@@ -1,0 +1,215 @@
+//! Exact outcome probabilities by **exhaustive tape enumeration**.
+//!
+//! The closed-form analyses in [`crate::exact`] integrate the idealized
+//! uniform `rfire` analytically. This module takes the opposite, fully
+//! concrete route: for protocols whose randomness is a known number of
+//! leader tape bits (e.g. [`ca_protocols::GridS`] with `b` bits, or
+//! [`ca_protocols::ProtocolA`] when `N − 1` is a power of two so rejection
+//! sampling accepts immediately), it enumerates **all** `2^b` equally likely
+//! tapes, runs the real execution for each, and tallies exact rational
+//! probabilities. No analytic shortcut, no sampling error — the strongest
+//! possible cross-check of the formulas.
+
+use crate::exact::ExactOutcome;
+use ca_core::exec::execute_outputs;
+use ca_core::graph::Graph;
+use ca_core::outcome::Outcome;
+use ca_core::protocol::Protocol;
+use ca_core::rational::Rational;
+use ca_core::run::Run;
+use ca_core::tape::{BitTape, TapeSet};
+
+/// Enumerates all `2^bits` leader tapes (followers get zero tapes — correct
+/// for protocols where only the leader draws), executing the protocol on
+/// each, and returns the exact outcome distribution plus the per-process
+/// decision probabilities.
+///
+/// # Panics
+///
+/// Panics if `bits > 24` (≥ 16M executions — the guard against accidental
+/// blow-ups), or if executions disagree with the graph/run dimensions.
+pub fn enumerate_leader_tapes<P: Protocol>(
+    protocol: &P,
+    graph: &Graph,
+    run: &Run,
+    bits: u32,
+) -> (ExactOutcome, Vec<Rational>) {
+    assert!(bits <= 24, "enumerating 2^{bits} tapes is too large");
+    let total = 1u64 << bits;
+    let denom = total as i128;
+    let (mut ta, mut na, mut pa) = (0i128, 0i128, 0i128);
+    let mut attacks = vec![0i128; graph.len()];
+    for j in 0..total {
+        let tapes = TapeSet::from_tapes(
+            (0..graph.len())
+                .map(|i| BitTape::from_words(vec![if i == 0 { j } else { 0 }]))
+                .collect(),
+        );
+        let outputs = execute_outputs(protocol, graph, run, &tapes);
+        match Outcome::classify(&outputs) {
+            Outcome::TotalAttack => ta += 1,
+            Outcome::NoAttack => na += 1,
+            Outcome::PartialAttack => pa += 1,
+        }
+        for (count, &o) in attacks.iter_mut().zip(&outputs) {
+            *count += i128::from(o);
+        }
+    }
+    (
+        ExactOutcome {
+            ta: Rational::new(ta, denom),
+            na: Rational::new(na, denom),
+            pa: Rational::new(pa, denom),
+        },
+        attacks
+            .into_iter()
+            .map(|c| Rational::new(c, denom))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{protocol_a_outcomes, protocol_s_outcomes};
+    use ca_core::ids::{ProcessId, Round};
+    use ca_protocols::{GridS, ProtocolA};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_run<R: Rng>(g: &Graph, n: u32, keep: f64, rng: &mut R) -> Run {
+        let mut run = Run::good(g, n);
+        let slots: Vec<_> = run.messages().collect();
+        for s in slots {
+            if !rng.gen_bool(keep) {
+                run.remove_message(s.from, s.to, s.round);
+            }
+        }
+        run
+    }
+
+    #[test]
+    fn grid_s_enumeration_converges_to_the_analytic_formula() {
+        // As the grid refines (b → ∞), enumerated probabilities approach the
+        // continuous-rfire closed form, within one grid cell (ε/2^b·t = 1/2^b
+        // of probability mass per threshold).
+        let g = Graph::complete(2).unwrap();
+        let t = 4u64;
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..10 {
+            let run = random_run(&g, 4, 0.6, &mut rng);
+            let analytic = protocol_s_outcomes(&g, &run, t);
+            for bits in [4u32, 8, 12] {
+                let proto = GridS::new(1.0 / t as f64, bits);
+                let (enumerated, _) = enumerate_leader_tapes(&proto, &g, &run, bits);
+                let cell = 1.0 / f64::from(1u32 << bits);
+                // Each of the ≤ 2 thresholds moves by at most one cell.
+                for (a, b) in [
+                    (analytic.ta, enumerated.ta),
+                    (analytic.na, enumerated.na),
+                    (analytic.pa, enumerated.pa),
+                ] {
+                    assert!(
+                        (a.to_f64() - b.to_f64()).abs() <= 2.0 * cell + 1e-12,
+                        "bits={bits}: analytic {a} vs enumerated {b} in {run:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_s_exact_at_integer_aligned_grids() {
+        // When the grid contains every integer threshold (2^b a multiple of
+        // t and thresholds ≤ t), the enumeration matches the closed form
+        // EXACTLY as rationals.
+        let g = Graph::complete(2).unwrap();
+        let t = 4u64; // grid 2^4 = 16 points: {0.25, 0.5, ..., 4.0} ⊇ integers
+        let bits = 4u32;
+        let proto = GridS::new(1.0 / t as f64, bits);
+        let mut rng = StdRng::seed_from_u64(32);
+        for _ in 0..15 {
+            let run = random_run(&g, 3, 0.6, &mut rng);
+            let analytic = protocol_s_outcomes(&g, &run, t);
+            let (enumerated, _) = enumerate_leader_tapes(&proto, &g, &run, bits);
+            assert_eq!(analytic, enumerated, "exact match expected on {run:?}");
+        }
+    }
+
+    #[test]
+    fn protocol_a_enumeration_matches_closed_form() {
+        // With N − 1 = 2^b, draw_below never rejects, so b bits determine
+        // rfire uniformly: enumeration must equal the per-rfire closed form.
+        let n = 9u32; // N − 1 = 8 = 2^3
+        let bits = 3u32;
+        let g = Graph::complete(2).unwrap();
+        let proto = ProtocolA::new(n);
+        for d in [2u32, 4, 7, 9] {
+            let mut run = Run::good(&g, n);
+            run.cut_from_round(Round::new(d));
+            let closed = protocol_a_outcomes(&g, &run, n);
+            // Enumerate 2^3 tapes... draw_below draws 64 bits; give the
+            // leader a full word whose low 3 bits vary and the rest zero —
+            // value < 8 < zone, accepted immediately, rfire = 2 + (v mod 8).
+            let (enumerated, attacks) = {
+                let total = 1u64 << bits;
+                let denom = total as i128;
+                let (mut ta, mut na, mut pa) = (0i128, 0i128, 0i128);
+                let mut att = vec![0i128; 2];
+                for j in 0..total {
+                    let tapes = TapeSet::from_tapes(vec![
+                        BitTape::from_words(vec![j; 64]),
+                        BitTape::from_words(vec![0; 64]),
+                    ]);
+                    let outputs = execute_outputs(&proto, &g, &run, &tapes);
+                    match Outcome::classify(&outputs) {
+                        Outcome::TotalAttack => ta += 1,
+                        Outcome::NoAttack => na += 1,
+                        Outcome::PartialAttack => pa += 1,
+                    }
+                    for (c, &o) in att.iter_mut().zip(&outputs) {
+                        *c += i128::from(o);
+                    }
+                }
+                (
+                    ExactOutcome {
+                        ta: Rational::new(ta, denom),
+                        na: Rational::new(na, denom),
+                        pa: Rational::new(pa, denom),
+                    },
+                    att,
+                )
+            };
+            assert_eq!(closed, enumerated, "cut at {d}");
+            // Lemma 2.2 on the enumerated decision probabilities.
+            let pa_bound = enumerated.pa;
+            let p0 = Rational::new(attacks[0], 8);
+            let p1 = Rational::new(attacks[1], 8);
+            assert!((p0 - p1).abs() <= pa_bound, "Lemma 2.2 via enumeration");
+        }
+    }
+
+    #[test]
+    fn enumerated_decision_probabilities_respect_lemma_2_3() {
+        let g = Graph::complete(3).unwrap();
+        let t = 4u64;
+        let bits = 4u32;
+        let proto = GridS::new(1.0 / t as f64, bits);
+        let mut rng = StdRng::seed_from_u64(33);
+        for _ in 0..10 {
+            let run = random_run(&g, 3, 0.5, &mut rng);
+            let (out, probs) = enumerate_leader_tapes(&proto, &g, &run, bits);
+            for (i, &pi) in probs.iter().enumerate() {
+                assert!(out.ta <= pi, "Lemma 2.3 at P{i}: L = {} > {pi}", out.ta);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn refuses_huge_enumerations() {
+        let g = Graph::complete(2).unwrap();
+        let proto = GridS::new(0.5, 2);
+        enumerate_leader_tapes(&proto, &g, &Run::good(&g, 2), 30);
+    }
+}

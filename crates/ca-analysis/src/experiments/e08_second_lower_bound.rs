@@ -1,0 +1,161 @@
+//! E8 — the second lower bound's machinery (Section 7 / Appendix A).
+//!
+//! Theorem A.1 says no protocol beats `ε·ML(R)` on all runs (under the
+//! usual-case assumption). Its proof pivots on three constructions that we
+//! reproduce concretely:
+//!
+//! 1. **Lemma A.6**: a spanning-tree run with `ML(R) = ML_1(R) = 1` exists on
+//!    every connected graph with diameter ≤ N — and Protocol S's liveness on
+//!    it is exactly `ε`, pinning `Pr[D_1|R₁] = ε`.
+//! 2. **Clipping to `R₁`**: `Clip₁` of the tree run is `R₁ = {(v₀,1,0)}`,
+//!    indistinguishable to the leader, so its attack probability carries over
+//!    (Lemma 2.1).
+//! 3. **Optimality**: since `L(S,R) = ε·ML(R)` (E5) and no run has
+//!    `L > ε·ML` (checked here across families), Protocol S sits exactly on
+//!    the Theorem A.1 frontier: any protocol that beats it somewhere must
+//!    lose somewhere else.
+
+use super::{Experiment, ExperimentResult, Scale};
+use crate::exact::protocol_s_outcomes;
+use crate::report::{fmt_estimate, Table};
+use crate::runs::{leader_only_input_run, tree_run};
+use ca_core::clip::clip;
+use ca_core::graph::Graph;
+use ca_core::ids::ProcessId;
+use ca_core::level::{levels, modified_levels};
+use ca_core::rational::Rational;
+use ca_sim::{simulate, FixedRun, SimConfig};
+use ca_protocols::ProtocolS;
+
+/// E8: tree runs, clipping to `R₁`, and the optimality frontier.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SecondLowerBound;
+
+impl Experiment for SecondLowerBound {
+    fn id(&self) -> &'static str {
+        "E8"
+    }
+
+    fn title(&self) -> &'static str {
+        "Second lower bound machinery: tree run, R₁, optimality (Thm A.1)"
+    }
+
+    fn run(&self, scale: Scale) -> ExperimentResult {
+        let t = 6u64;
+        let eps = Rational::new(1, t as i128);
+        let proto = ProtocolS::new(1.0 / t as f64);
+        let mut table = Table::new(["check", "expected", "exact", "Monte Carlo"]);
+        let mut passed = true;
+        let mut findings = Vec::new();
+
+        // Lemma A.6 on several graphs (usual-case: connected, diameter ≤ N).
+        for (name, graph, n) in [
+            ("K3", Graph::complete(3).expect("graph"), 4u32),
+            ("star(5)", Graph::star(5).expect("graph"), 4),
+            ("ring(5)", Graph::ring(5).expect("graph"), 4),
+        ] {
+            assert!(graph.diameter().expect("connected") <= n);
+            let run = tree_run(&graph, n);
+            let ml = modified_levels(&run).min_level();
+            let l1 = levels(&run).level(ProcessId::LEADER);
+            passed &= ml == 1 && l1 == 1;
+            let exact = protocol_s_outcomes(&graph, &run, t);
+            passed &= exact.ta == eps;
+            let report = simulate(
+                &proto,
+                &graph,
+                &FixedRun::new(run.clone()),
+                SimConfig::new(scale.trials, scale.seed ^ 0xE8),
+            );
+            passed &= report.liveness().consistent_with_z(eps.to_f64(), 4.0);
+            table.push_row([
+                format!("tree run on {name}: ML(R)=1, L(S,R)=ε"),
+                format!("ML=1, L={eps}"),
+                format!("ML={ml}, L={}", exact.ta),
+                fmt_estimate(&report.liveness()),
+            ]);
+
+            // Clipping the tree run to the leader yields R₁ = {(v₀,1,0)}.
+            let clipped = clip(&run, ProcessId::LEADER);
+            let r1 = leader_only_input_run(graph.len(), n);
+            passed &= clipped == r1;
+            // And on R₁ the leader's attack probability is still exactly ε.
+            let r1_report = simulate(
+                &proto,
+                &graph,
+                &FixedRun::new(r1.clone()),
+                SimConfig::new(scale.trials, scale.seed ^ 0xE81),
+            );
+            let leader_rate = r1_report.attack_rate(ProcessId::LEADER);
+            passed &= leader_rate.consistent_with_z(eps.to_f64(), 4.0);
+            table.push_row([
+                format!("Clip₁(tree run) = R₁ on {name}; Pr[D₁|R₁] = ε"),
+                format!("equal; {eps}"),
+                if clipped == r1 { "equal".to_owned() } else { "DIFFERENT".to_owned() },
+                fmt_estimate(&leader_rate),
+            ]);
+        }
+
+        // Optimality frontier: across a batch of structured runs, Protocol S
+        // never exceeds ε·ML(R) and achieves it with equality below
+        // saturation (Thm A.1 says no protocol can do better on all runs).
+        let graph = Graph::complete(3).expect("graph");
+        let n = 8u32;
+        let mut equal = 0usize;
+        let mut total = 0usize;
+        for run in crate::runs::ml_staircase(&graph, n)
+            .into_iter()
+            .chain(ca_sim::cut_family(&graph, n))
+        {
+            let ml = modified_levels(&run).min_level();
+            let target = (eps * Rational::from(ml)).min(Rational::ONE);
+            let got = protocol_s_outcomes(&graph, &run, t).ta;
+            passed &= got == target;
+            if got == target {
+                equal += 1;
+            }
+            total += 1;
+        }
+        table.push_row([
+            format!("L(S,R) = min(1, ε·ML(R)) on {total} structured runs"),
+            "all equal".to_owned(),
+            format!("{equal}/{total} equal"),
+            "-".to_owned(),
+        ]);
+
+        findings.push(
+            "Lemma A.6 reproduced: every connected graph admits a run with ML(R) = 1, \
+             on which Protocol S's liveness is exactly ε"
+                .to_owned(),
+        );
+        findings.push(
+            "Clip₁(tree run) = R₁ and Pr[D₁|R₁] = ε — the exact pivot of the Theorem A.1 proof"
+                .to_owned(),
+        );
+        findings.push(
+            "Protocol S sits on the ε·ML(R) frontier everywhere: together with Thm A.1 this is \
+             the paper's optimality claim"
+                .to_owned(),
+        );
+
+        ExperimentResult {
+            id: self.id().to_owned(),
+            title: self.title().to_owned(),
+            table,
+            findings,
+            passed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e8_passes() {
+        let result = SecondLowerBound.run(Scale::quick());
+        assert!(result.passed, "{result}");
+        assert_eq!(result.table.len(), 7);
+    }
+}

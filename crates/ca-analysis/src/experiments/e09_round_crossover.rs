@@ -1,0 +1,90 @@
+//! E9 — the round crossover: liveness 1 with unsafety `≤ 1/t` costs `t`
+//! rounds (Section 8).
+//!
+//! The conclusions' headline: *"if we want to achieve liveness with
+//! probability 1 on some run, and yet limit the probability of error to be
+//! less than 0.001, then the protocol must run for at least 1000 rounds."*
+//! We regenerate the crossover table: for each `ε`, the lower bound on `N`
+//! from Theorem 5.4 and the `N` at which Protocol S actually reaches
+//! liveness 1 (on the 2-clique: exactly `t`).
+
+use super::{Experiment, ExperimentResult, Scale};
+use crate::tradeoff::{min_rounds_for_certain_liveness, min_rounds_lower_bound};
+use crate::report::Table;
+use ca_core::graph::Graph;
+
+/// E9: rounds needed for certain liveness as `ε` shrinks.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundCrossover;
+
+impl Experiment for RoundCrossover {
+    fn id(&self) -> &'static str {
+        "E9"
+    }
+
+    fn title(&self) -> &'static str {
+        "Crossover: liveness 1 with U ≤ 1/t needs N ≥ t rounds (§8)"
+    }
+
+    fn run(&self, _scale: Scale) -> ExperimentResult {
+        let graph = Graph::complete(2).expect("graph");
+        let mut table = Table::new([
+            "ε = 1/t",
+            "lower bound on N (Thm 5.4)",
+            "N where S reaches L = 1",
+            "match",
+        ]);
+        let mut passed = true;
+
+        for t in [2u64, 4, 8, 16, 64, 256, 1000] {
+            let cap = (t as u32) + 8;
+            let lower = min_rounds_lower_bound(&graph, t, cap);
+            let achieved = min_rounds_for_certain_liveness(&graph, t, cap);
+            // Theorem 5.4's level-based bound allows t-1 (the good run's
+            // L = N+1); Protocol S achieves at exactly t. The one-round gap
+            // is Lemma 6.1's L-vs-ML slack, closed by Theorem A.1.
+            let ok = lower == Some(t as u32 - 1) && achieved == Some(t as u32);
+            passed &= ok;
+            table.push_row([
+                format!("1/{t}"),
+                lower.map_or("-".to_owned(), |n| n.to_string()),
+                achieved.map_or("-".to_owned(), |n| n.to_string()),
+                if ok {
+                    "t-1 / t (gap = Lemma 6.1)".to_owned()
+                } else {
+                    "MISMATCH".to_owned()
+                },
+            ]);
+        }
+
+        let findings = vec![
+            "paper: ε = 0.001 forces ≈ 1000 rounds; measured: Protocol S reaches liveness 1 at \
+             exactly N = 1000 for t = 1000"
+                .to_owned(),
+            "the Thm 5.4 lower bound sits one round earlier (t-1) because L(good) = N+1 counts \
+             hearing the input itself; the ML-based second bound (Thm A.1) closes that gap — \
+             the tradeoff L/U ≤ N is tight end to end"
+                .to_owned(),
+        ];
+
+        ExperimentResult {
+            id: self.id().to_owned(),
+            title: self.title().to_owned(),
+            table,
+            findings,
+            passed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e9_passes() {
+        let result = RoundCrossover.run(Scale::quick());
+        assert!(result.passed, "{result}");
+        assert_eq!(result.table.len(), 7);
+    }
+}

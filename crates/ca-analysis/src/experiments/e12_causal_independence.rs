@@ -1,0 +1,237 @@
+//! E12 — causal independence implies probabilistic independence
+//! (Lemma A.2), and its safety consequence (Lemma A.3).
+//!
+//! Two processes are *causally independent* in a run if no process's round-0
+//! state flows to both. Because tapes are private and independent, the
+//! decisions of causally independent processes are independent random
+//! variables — the bridge between causality and probability that powers the
+//! second lower bound. We measure joint attack rates on constructed runs and
+//! compare with the product of marginals; a causally *dependent* control pair
+//! shows the correlation reappearing.
+
+use super::{Experiment, ExperimentResult, Scale};
+use crate::report::{fmt_f64, Table};
+use crate::runs::isolated_pair_run;
+use ca_core::flow::FlowGraph;
+use ca_core::graph::Graph;
+use ca_core::ids::ProcessId;
+use ca_core::run::Run;
+use ca_core::exec::execute;
+use ca_core::tape::TapeSet;
+use ca_protocols::{CombineRule, ProtocolS, Repeat};
+use ca_core::protocol::Protocol;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// E12: Lemma A.2 measured.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CausalIndependence;
+
+/// Samples joint/marginal attack rates for a pair on a fixed run.
+fn pair_rates<P: Protocol>(
+    proto: &P,
+    graph: &Graph,
+    run: &Run,
+    a: ProcessId,
+    b: ProcessId,
+    trials: u64,
+    seed: u64,
+) -> (f64, f64, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (mut ca, mut cb, mut cab) = (0u64, 0u64, 0u64);
+    for _ in 0..trials {
+        let tapes = TapeSet::random(&mut rng, graph.len(), proto.tape_bits().max(1));
+        let ex = execute(proto, graph, run, &tapes);
+        let (da, db) = (ex.local(a).output, ex.local(b).output);
+        ca += u64::from(da);
+        cb += u64::from(db);
+        cab += u64::from(da && db);
+    }
+    (
+        ca as f64 / trials as f64,
+        cb as f64 / trials as f64,
+        cab as f64 / trials as f64,
+    )
+}
+
+impl Experiment for CausalIndependence {
+    fn id(&self) -> &'static str {
+        "E12"
+    }
+
+    fn title(&self) -> &'static str {
+        "Causal independence ⟹ probabilistic independence (Lemma A.2)"
+    }
+
+    fn run(&self, scale: Scale) -> ExperimentResult {
+        let mut table = Table::new([
+            "run / pair",
+            "causally independent?",
+            "Pr[D_a]",
+            "Pr[D_b]",
+            "Pr[D_a ∧ D_b]",
+            "Pr[D_a]·Pr[D_b]",
+        ]);
+        let mut passed = true;
+        let mut findings = Vec::new();
+        let trials = scale.trials.max(2_000);
+
+        // To give *both* processes of the pair nonzero attack probability
+        // under causal independence we need per-process randomness; Protocol
+        // S concentrates all randomness at the leader, so use two independent
+        // copies of it with leaders at either end via the Repeat combinator —
+        // decisions still depend only on private tapes and received messages,
+        // which is all Lemma A.2 needs. Simpler and faithful: compare the
+        // *leader* (whose decision is random) against a cut-off process b on
+        // a run where Pr[D_b] = 0 (Lemma A.3's regime), then a dependent
+        // control pair where both probabilities are driven by the same rfire.
+        // ε = 1/8 with N = 4 keeps ML(R) = 4..5 below saturation, so the
+        // control pairs' decisions stay genuinely random (marginals ≈ 1/2).
+        let graph = Graph::complete(4).expect("graph");
+        let n = 4u32;
+        let proto = ProtocolS::new(0.125);
+
+        // Independent pair: nothing is delivered to P1 or P2.
+        let run = isolated_pair_run(&graph, n, ProcessId::new(1), ProcessId::new(2));
+        let flow = FlowGraph::new(&run);
+        let indep = flow.causally_independent(ProcessId::new(1), ProcessId::new(2));
+        passed &= indep;
+        let (pa, pb, pab) = pair_rates(
+            &proto,
+            &graph,
+            &run,
+            ProcessId::new(1),
+            ProcessId::new(2),
+            trials,
+            scale.seed ^ 0xE12,
+        );
+        // Lemma A.3's regime: both are cut off from the leader, so neither
+        // can attack — joint = product = 0.
+        passed &= pa == 0.0 && pb == 0.0 && pab == 0.0;
+        table.push_row([
+            "isolated pair (P1,P2), K4".to_owned(),
+            format!("{indep}"),
+            fmt_f64(pa),
+            fmt_f64(pb),
+            fmt_f64(pab),
+            fmt_f64(pa * pb),
+        ]);
+
+        // Independent pair with genuinely random decisions: two copies of S
+        // (independent rfires) with the ANY rule; pair = (leader, leader) of
+        // the two copies is the same process... so instead make the pair's
+        // randomness private: each copy's rfire lives on P0's tape, but the
+        // *decisions of P1 and P2* after hearing nothing are deterministic 0.
+        // The informative independent case is leader-vs-isolated on R with
+        // only the leader's own input: Pr[D_leader] = ε·ML_leader, the
+        // isolated process never attacks.
+        let mut solo = Run::good(&graph, n);
+        let slots: Vec<_> = solo.messages().collect();
+        for s in slots {
+            if s.to == ProcessId::new(3) || s.from == ProcessId::new(3) {
+                solo.remove_message(s.from, s.to, s.round);
+            }
+        }
+        let flow = FlowGraph::new(&solo);
+        let indep03 = flow.causally_independent(ProcessId::new(0), ProcessId::new(3));
+        passed &= indep03;
+        let (pa, pb, pab) = pair_rates(
+            &proto,
+            &graph,
+            &solo,
+            ProcessId::new(0),
+            ProcessId::new(3),
+            trials,
+            scale.seed ^ 0xE121,
+        );
+        passed &= pb == 0.0 && pab == 0.0 && pa > 0.0;
+        passed &= (pab - pa * pb).abs() < 0.02;
+        table.push_row([
+            "P3 fully isolated, K4".to_owned(),
+            format!("{indep03}"),
+            fmt_f64(pa),
+            fmt_f64(pb),
+            fmt_f64(pab),
+            fmt_f64(pa * pb),
+        ]);
+
+        // Dependent control: on the good run, P1 and P2 decisions are both
+        // driven by the same rfire — strongly correlated, joint ≫ product
+        // would fail only if independent; here joint ≈ min of marginals.
+        let good = Run::good(&graph, n);
+        let flow = FlowGraph::new(&good);
+        let dep = flow.causally_independent(ProcessId::new(1), ProcessId::new(2));
+        passed &= !dep;
+        let (pa, pb, pab) = pair_rates(
+            &proto,
+            &graph,
+            &good,
+            ProcessId::new(1),
+            ProcessId::new(2),
+            trials,
+            scale.seed ^ 0xE122,
+        );
+        // Correlation check: joint should exceed product by a clear margin.
+        passed &= pab > pa * pb + 0.05;
+        table.push_row([
+            "good run (control), K4".to_owned(),
+            format!("{dep}"),
+            fmt_f64(pa),
+            fmt_f64(pb),
+            fmt_f64(pab),
+            fmt_f64(pa * pb),
+        ]);
+
+        // A Repeat-based dependent example exercising multi-copy decisions.
+        let rep = Repeat::new(ProtocolS::new(0.125), 2, CombineRule::Any);
+        let (pa, pb, pab) = pair_rates(
+            &rep,
+            &graph,
+            &good,
+            ProcessId::new(1),
+            ProcessId::new(2),
+            trials,
+            scale.seed ^ 0xE123,
+        );
+        passed &= pab > pa * pb + 0.05;
+        table.push_row([
+            "good run, 2×S ANY rule (control)".to_owned(),
+            "false".to_owned(),
+            fmt_f64(pa),
+            fmt_f64(pb),
+            fmt_f64(pab),
+            fmt_f64(pa * pb),
+        ]);
+
+        findings.push(
+            "causally independent pairs show exactly independent decisions (here: the isolated \
+             process can never attack, so joint = product = 0 — Lemma A.3's safety consequence)"
+                .to_owned(),
+        );
+        findings.push(
+            "causally connected control pairs are strongly correlated (joint ≫ product): the \
+             correlation is carried entirely by information flow, as Lemma A.2 asserts"
+                .to_owned(),
+        );
+
+        ExperimentResult {
+            id: self.id().to_owned(),
+            title: self.title().to_owned(),
+            table,
+            findings,
+            passed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e12_passes() {
+        let result = CausalIndependence.run(Scale::quick());
+        assert!(result.passed, "{result}");
+        assert_eq!(result.table.len(), 4);
+    }
+}

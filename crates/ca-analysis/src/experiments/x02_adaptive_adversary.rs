@@ -1,0 +1,138 @@
+//! X2 — adaptive metadata-only adversaries don't beat the strong adversary.
+//!
+//! Footnote 3 of the paper dismisses adversaries that can read message bits
+//! (encryption makes the assumption reasonable) — but what about adversaries
+//! that *adapt* their destruction schedule round by round? Since message
+//! contents are hidden and every process sends every round, an adaptive
+//! adversary's only observable history is its own choices: it collapses to a
+//! distribution over runs, and `U_s = max_R Pr[PA|R]` covers it.
+//!
+//! X2 demonstrates the collapse empirically: three adaptive strategies
+//! (randomized cut, a history-driven "gambler", a per-round link chopper)
+//! are measured against Protocol S; none pushes disagreement past `ε`.
+
+use super::{Experiment, ExperimentResult, Scale};
+use crate::report::{fmt_estimate, Table};
+use ca_core::graph::Graph;
+use ca_core::rational::Rational;
+use ca_sim::adaptive::{AdaptiveSampler, Gambler, LinkChopper, RandomizedCut};
+use ca_sim::{simulate, SimConfig};
+use ca_protocols::ProtocolS;
+
+/// X2: adaptivity without bit access adds nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AdaptiveAdversaryExperiment;
+
+impl Experiment for AdaptiveAdversaryExperiment {
+    fn id(&self) -> &'static str {
+        "X2"
+    }
+
+    fn title(&self) -> &'static str {
+        "Extension: adaptive metadata-only adversaries stay below ε (footnote 3)"
+    }
+
+    fn run(&self, scale: Scale) -> ExperimentResult {
+        let n = 8u32;
+        let t = 4u64;
+        let eps = Rational::new(1, t as i128);
+        let proto = ProtocolS::new(1.0 / t as f64);
+        let mut table = Table::new(["adaptive strategy", "graph", "Pr[PA] (MC)", "ε", "≤ ε?"]);
+        let mut passed = true;
+
+        let graphs = [
+            ("K2", Graph::complete(2).expect("graph")),
+            ("K3", Graph::complete(3).expect("graph")),
+        ];
+
+        for (gname, graph) in &graphs {
+            // Randomized cut.
+            let sampler = AdaptiveSampler::new(graph.clone(), n, "randomized-cut", move |seed| {
+                RandomizedCut::new(n, seed)
+            });
+            let report = simulate(
+                &proto,
+                graph,
+                &sampler,
+                SimConfig::new(scale.trials, scale.seed ^ 0x21),
+            );
+            let ok = report.disagreement().wilson_interval(4.0).0 <= eps.to_f64();
+            passed &= ok;
+            table.push_row([
+                "randomized cut".to_owned(),
+                (*gname).to_owned(),
+                fmt_estimate(&report.disagreement()),
+                eps.to_string(),
+                format!("{ok}"),
+            ]);
+
+            // Gambler.
+            let sampler = AdaptiveSampler::new(graph.clone(), n, "gambler", |seed| {
+                Gambler::new(2, seed)
+            });
+            let report = simulate(
+                &proto,
+                graph,
+                &sampler,
+                SimConfig::new(scale.trials, scale.seed ^ 0x22),
+            );
+            let ok = report.disagreement().wilson_interval(4.0).0 <= eps.to_f64();
+            passed &= ok;
+            table.push_row([
+                "gambler".to_owned(),
+                (*gname).to_owned(),
+                fmt_estimate(&report.disagreement()),
+                eps.to_string(),
+                format!("{ok}"),
+            ]);
+
+            // Link chopper.
+            let sampler = AdaptiveSampler::new(graph.clone(), n, "link-chopper", |seed| {
+                LinkChopper::new(2, seed)
+            });
+            let report = simulate(
+                &proto,
+                graph,
+                &sampler,
+                SimConfig::new(scale.trials, scale.seed ^ 0x23),
+            );
+            let ok = report.disagreement().wilson_interval(4.0).0 <= eps.to_f64();
+            passed &= ok;
+            table.push_row([
+                "link chopper".to_owned(),
+                (*gname).to_owned(),
+                fmt_estimate(&report.disagreement()),
+                eps.to_string(),
+                format!("{ok}"),
+            ]);
+        }
+
+        let findings = vec![
+            "every adaptive strategy's disagreement stays at or below ε — adaptivity over \
+             metadata collapses to a distribution over runs, which the worst-case bound covers"
+                .to_owned(),
+            "formally: Pr[PA] = Σ_R Pr[strategy picks R]·Pr[PA|R] ≤ max_R Pr[PA|R] = U_s(S) ≤ ε"
+                .to_owned(),
+        ];
+
+        ExperimentResult {
+            id: self.id().to_owned(),
+            title: self.title().to_owned(),
+            table,
+            findings,
+            passed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x2_passes() {
+        let result = AdaptiveAdversaryExperiment.run(Scale::quick());
+        assert!(result.passed, "{result}");
+        assert_eq!(result.table.len(), 6);
+    }
+}

@@ -1,0 +1,128 @@
+//! X4 — serial token-passing vs parallel gossip as `m` grows.
+//!
+//! The natural m-general generalization of Protocol A bounces a single token
+//! along a path; the adversary then gets a **window** of `Θ(m)` firing
+//! values that split the generals, instead of Protocol A's single value. The
+//! worst-case disagreement of the chain grows linearly in `m`, while
+//! Protocol S — gossiping in parallel — stays at `ε` regardless of `m`.
+//! This quantifies *why* the paper's optimal protocol counts levels with
+//! all-to-all gossip rather than serializing acknowledgements.
+
+use super::{Experiment, ExperimentResult, Scale};
+use crate::exact::protocol_s_worst_pa;
+use crate::report::{fmt_f64, Table};
+use ca_core::exec::execute;
+use ca_core::graph::Graph;
+use ca_core::ids::Round;
+use ca_core::outcome::Outcome;
+use ca_core::run::Run;
+use ca_core::tape::{BitTape, TapeSet};
+use ca_protocols::ChainProtocol;
+
+/// X4: the price of serial information spreading.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChainVsGossip;
+
+/// Exact worst-case PA of the chain protocol over prefix cuts, by
+/// enumerating every `(cut, rfire)` pair.
+fn chain_worst_pa(m: usize, n: u32) -> (f64, u32) {
+    let graph = Graph::line(m).expect("graph");
+    let proto = ChainProtocol::new(n);
+    let hi = ChainProtocol::max_rfire(m, n);
+    let denom = f64::from(hi - 1);
+    let mut worst = 0u32;
+    for d in 2..=n + 1 {
+        let mut run = Run::good(&graph, n);
+        if d <= n {
+            run.cut_from_round(Round::new(d));
+        }
+        let mut pa = 0u32;
+        for rfire in 2..=hi {
+            let word = u64::from(rfire - 2);
+            let tapes = TapeSet::from_tapes(
+                (0..m)
+                    .map(|i| BitTape::from_words(vec![if i == 0 { word } else { 0 }; 64]))
+                    .collect(),
+            );
+            if execute(&proto, &graph, &run, &tapes).outcome() == Outcome::PartialAttack {
+                pa += 1;
+            }
+        }
+        worst = worst.max(pa);
+    }
+    (f64::from(worst) / denom, worst)
+}
+
+impl Experiment for ChainVsGossip {
+    fn id(&self) -> &'static str {
+        "X4"
+    }
+
+    fn title(&self) -> &'static str {
+        "Ablation: serial token chain vs Protocol S's parallel gossip as m grows"
+    }
+
+    fn run(&self, _scale: Scale) -> ExperimentResult {
+        let n = 20u32;
+        let t = u64::from(n) - 1; // match Protocol A's ε ≈ 1/N budget
+        let mut table = Table::new([
+            "m",
+            "chain worst U (exact)",
+            "bad rfire values",
+            "S worst U (exact, line graph)",
+        ]);
+        let mut passed = true;
+        let mut last_bad = 0u32;
+
+        for m in [2usize, 3, 4, 5, 6] {
+            let (chain_u, bad) = chain_worst_pa(m, n);
+            let graph = Graph::line(m).expect("graph");
+            let family = ca_sim::cut_family(&graph, n);
+            let (s_u, _) = protocol_s_worst_pa(&graph, &family, t);
+            passed &= bad >= last_bad;
+            passed &= s_u.to_f64() <= 1.0 / t as f64 + 1e-12;
+            if m == 2 {
+                passed &= bad == 1; // reduces to Protocol A
+            }
+            last_bad = bad;
+            table.push_row([
+                m.to_string(),
+                fmt_f64(chain_u),
+                bad.to_string(),
+                s_u.to_string(),
+            ]);
+        }
+        // The divergence: by m = 6 the chain's disagreement window is several
+        // times Protocol A's single value, while S never moves.
+        passed &= last_bad >= 5;
+
+        let findings = vec![
+            "the chain's worst-case disagreement window grows linearly in m (serializing \
+             acknowledgements lets one cut strand a Θ(m)-round sweep mid-flight)"
+                .to_owned(),
+            "Protocol S's worst-case disagreement is ε on every topology and every m — \
+             parallel level-counting is what makes the tradeoff m-independent"
+                .to_owned(),
+        ];
+
+        ExperimentResult {
+            id: self.id().to_owned(),
+            title: self.title().to_owned(),
+            table,
+            findings,
+            passed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x4_passes() {
+        let result = ChainVsGossip.run(Scale::quick());
+        assert!(result.passed, "{result}");
+        assert_eq!(result.table.len(), 5);
+    }
+}

@@ -1,0 +1,30 @@
+//! Exact analysis, run constructions, and the experiment suite.
+//!
+//! * [`enumeration`] — exact probabilities by exhaustive tape enumeration
+//!   (zero-error cross-check of the closed forms).
+//! * [`exact`] — closed-form outcome probabilities for Protocols S and A on
+//!   fixed runs (the paper's theorems as equalities over [`ca_core::Rational`]).
+//! * [`runs`] — the lower-bound run constructions (Lemma A.6 tree runs, `R₁`,
+//!   ML staircases, causal-independence runs).
+//! * [`tradeoff`] — consequences of `L/U ≤ N`: frontiers and round
+//!   crossovers (Section 8's 1000-round claim).
+//! * [`weak_exact`] — exact Markov-chain analysis of the weak adversary on
+//!   two generals (the analytic form of §8's unpublished claim).
+//! * [`experiments`] — E1–E12, the executable version of the paper's claims;
+//!   see DESIGN.md §4 for the index.
+//! * [`report`] — tables (text + CSV) used by the experiment runner.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod enumeration;
+pub mod exact;
+pub mod experiments;
+pub mod report;
+pub mod runs;
+pub mod tradeoff;
+pub mod weak_exact;
+
+pub use exact::{protocol_a_outcomes, protocol_s_outcomes, ExactOutcome};
+pub use experiments::{all_experiments, experiment_by_id, Experiment, ExperimentResult, Scale};
+pub use report::Table;

@@ -1,0 +1,193 @@
+//! Result tables: aligned text rendering and CSV export.
+//!
+//! Every experiment emits a [`Table`]; the experiment runner prints it
+//! aligned for humans and can dump CSV for plotting.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A simple rectangular table of strings with a header row.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row<S: Into<String>>(&mut self, row: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV (RFC-4180-style quoting for fields that need it).
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| field(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    /// Renders with columns padded to their widest cell.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (k, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if k > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<w$}", w = *w)?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * cols.saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float compactly for table cells.
+pub fn fmt_f64(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_owned()
+    } else if x.abs() >= 0.01 {
+        format!("{x:.4}")
+    } else {
+        format!("{x:.2e}")
+    }
+}
+
+/// Formats a probability with its 95% interval.
+pub fn fmt_estimate(e: &ca_sim::BernoulliEstimate) -> String {
+    let (lo, hi) = e.interval95();
+    format!("{} [{}, {}]", fmt_f64(e.point()), fmt_f64(lo), fmt_f64(hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_render() {
+        let mut t = Table::new(["N", "U(A)", "bound"]);
+        t.push_row(["4", "0.3333", "0.25"]);
+        t.push_row(["8", "0.1429", "0.125"]);
+        let s = t.to_string();
+        assert!(s.contains("N  U(A)    bound"), "got:\n{s}");
+        assert!(s.contains("-"));
+        assert!(s.contains("0.1429"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.headers().len(), 3);
+        assert_eq!(t.rows()[1][0], "8");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["only one"]);
+    }
+
+    #[test]
+    fn csv_quoting() {
+        let mut t = Table::new(["name", "value"]);
+        t.push_row(["plain", "1"]);
+        t.push_row(["has,comma", "has\"quote"]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("name,value\n"));
+        assert!(csv.contains("\"has,comma\",\"has\"\"quote\"\n"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(0.5), "0.5000");
+        assert_eq!(fmt_f64(0.001), "1.00e-3");
+        assert!(fmt_f64(123.456).starts_with("123.4"));
+    }
+
+    #[test]
+    fn estimate_formatting() {
+        let e = ca_sim::BernoulliEstimate::new(50, 100);
+        let s = fmt_estimate(&e);
+        assert!(s.starts_with("0.5000 ["));
+    }
+
+    #[test]
+    fn empty_table_renders_headers_only() {
+        let t = Table::new(["x"]);
+        assert!(t.is_empty());
+        let s = t.to_string();
+        assert!(s.contains('x'));
+    }
+}

@@ -1,0 +1,186 @@
+//! Structured run generators used by the lower-bound constructions and the
+//! experiments.
+//!
+//! * [`tree_run`] — Lemma A.6: information flows only *down* a spanning tree
+//!   from the leader, giving `ML(R) = ML_1(R) = 1` on any connected graph
+//!   with diameter ≤ N.
+//! * [`leader_only_input_run`] — the run `R₁ = {(v₀, 1, 0)}` at the heart of
+//!   the second lower bound.
+//! * [`ml_staircase`] — a family of runs whose `ML(R)` sweeps `0..=N`
+//!   (deliver everything for the first `k` rounds, then nothing), the x-axis
+//!   of the Theorem 6.8 liveness curve.
+//! * [`isolated_pair_run`] — a run in which two chosen processes are
+//!   causally independent (for the Lemma A.2 experiments).
+
+use ca_core::graph::Graph;
+use ca_core::ids::{ProcessId, Round};
+use ca_core::run::Run;
+
+/// The Lemma A.6 run: input only at the leader; message `(i, j, r)` delivered
+/// iff `i` is `j`'s parent in a BFS spanning tree rooted at the leader, for
+/// every round `r`. On a connected graph with diameter ≤ `n` this gives
+/// `ML(R) = 1` while every process still hears the input and `rfire`.
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected.
+pub fn tree_run(graph: &Graph, n: u32) -> Run {
+    let parent = graph
+        .spanning_tree(ProcessId::LEADER)
+        .expect("tree_run requires a connected graph");
+    let mut run = Run::empty(graph.len(), n);
+    run.add_input(ProcessId::LEADER);
+    for j in graph.vertices() {
+        if let Some(par) = parent[j.index()] {
+            for r in Round::protocol_rounds(n) {
+                run.add_message(par, j, r);
+            }
+        }
+    }
+    run
+}
+
+/// The run `R₁ = {(v₀, 1, 0)}`: input only at the leader, **no** messages
+/// delivered at all. `Clip₁` of the Lemma A.6 run; `ML(R₁) = 0` for everyone
+/// but the leader.
+pub fn leader_only_input_run(m: usize, n: u32) -> Run {
+    let mut run = Run::empty(m, n);
+    run.add_input(ProcessId::LEADER);
+    run
+}
+
+/// Runs whose modified level sweeps a staircase: for each `k ∈ 0..=n`,
+/// deliver every input and every message of rounds `1..=k` and destroy all
+/// later ones. Returns the `n + 1` runs in order of `k`.
+///
+/// On a 2-clique, run `k` has `ML = k`; on larger graphs `ML` grows with `k`
+/// at a topology-dependent rate (measured by experiment E11).
+pub fn ml_staircase(graph: &Graph, n: u32) -> Vec<Run> {
+    (0..=n)
+        .map(|k| {
+            let mut run = Run::good(graph, n);
+            run.cut_from_round(Round::new(k + 1));
+            run
+        })
+        .collect()
+}
+
+/// A run over ≥ 3 processes in which `a` and `b` are **causally
+/// independent**: all inputs arrive, but the only messages delivered are
+/// `a → b`-avoiding: nothing is ever delivered *to* `a` or *to* `b`, so no
+/// process's round-0 state reaches both. (Everything else flows freely.)
+///
+/// # Panics
+///
+/// Panics if `a == b`.
+pub fn isolated_pair_run(graph: &Graph, n: u32, a: ProcessId, b: ProcessId) -> Run {
+    assert_ne!(a, b, "the pair must be distinct");
+    let mut run = Run::good(graph, n);
+    let slots: Vec<_> = run.messages().collect();
+    for s in slots {
+        if s.to == a || s.to == b {
+            run.remove_message(s.from, s.to, s.round);
+        }
+    }
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_core::flow::FlowGraph;
+    use ca_core::level::{levels, modified_levels};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn tree_run_has_ml_exactly_one() {
+        // Lemma A.6 on several topologies.
+        for graph in [
+            Graph::complete(4).unwrap(),
+            Graph::star(5).unwrap(),
+            Graph::ring(5).unwrap(),
+            Graph::line(4).unwrap(),
+            Graph::balanced_tree(7, 2).unwrap(),
+        ] {
+            let n = graph.diameter().unwrap().max(1) + 1;
+            let run = tree_run(&graph, n);
+            run.validate(&graph).unwrap();
+            let ml = modified_levels(&run);
+            assert_eq!(ml.level(ProcessId::LEADER), 1, "ML_1 = 1 on {graph}");
+            assert_eq!(ml.min_level(), 1, "ML(R) = 1 on {graph}");
+            for i in graph.vertices() {
+                assert!(ml.level(i) >= 1, "everyone hears input+rfire on {graph}");
+            }
+            // And L_1(R) = 1 too (used in the Theorem A.1 proof).
+            assert_eq!(levels(&run).level(ProcessId::LEADER), 1);
+        }
+    }
+
+    #[test]
+    fn tree_run_too_short_horizon_leaves_leaves_at_zero() {
+        // If N < depth of some vertex, the input cannot reach it.
+        let graph = Graph::line(5).unwrap();
+        let run = tree_run(&graph, 2);
+        let ml = modified_levels(&run);
+        assert_eq!(ml.min_level(), 0, "far end of the line is unreached");
+    }
+
+    #[test]
+    fn leader_only_input_run_shape() {
+        let run = leader_only_input_run(3, 4);
+        assert_eq!(run.input_count(), 1);
+        assert!(run.has_input(ProcessId::LEADER));
+        assert_eq!(run.message_count(), 0);
+        let ml = modified_levels(&run);
+        assert_eq!(ml.level(p(0)), 1);
+        assert_eq!(ml.level(p(1)), 0);
+    }
+
+    #[test]
+    fn ml_staircase_sweeps_all_levels_on_clique() {
+        let g = Graph::complete(2).unwrap();
+        let n = 5;
+        let runs = ml_staircase(&g, n);
+        assert_eq!(runs.len(), 6);
+        for (k, run) in runs.iter().enumerate() {
+            assert_eq!(
+                modified_levels(run).min_level(),
+                k as u32,
+                "staircase step {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn ml_staircase_is_monotone_on_any_graph() {
+        let g = Graph::star(4).unwrap();
+        let runs = ml_staircase(&g, 6);
+        let mls: Vec<u32> = runs.iter().map(|r| modified_levels(r).min_level()).collect();
+        for w in mls.windows(2) {
+            assert!(w[0] <= w[1], "staircase must be monotone: {mls:?}");
+        }
+        assert_eq!(mls[0], 0);
+        assert!(*mls.last().unwrap() >= 1);
+    }
+
+    #[test]
+    fn isolated_pair_is_causally_independent() {
+        let g = Graph::complete(4).unwrap();
+        let run = isolated_pair_run(&g, 3, p(1), p(2));
+        let flow = FlowGraph::new(&run);
+        assert!(flow.causally_independent(p(1), p(2)));
+        // Control: on the good run they are NOT independent.
+        let flow = FlowGraph::new(&Run::good(&g, 3));
+        assert!(!flow.causally_independent(p(1), p(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn isolated_pair_rejects_equal_ids() {
+        let g = Graph::complete(3).unwrap();
+        isolated_pair_run(&g, 2, p(1), p(1));
+    }
+}

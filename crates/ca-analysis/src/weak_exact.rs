@@ -1,0 +1,269 @@
+//! Exact weak-adversary analysis on two generals.
+//!
+//! Against the weak adversary of §8 — each message destroyed independently
+//! with probability `p` — the two-general counting automaton is a small
+//! Markov chain: the pair of counts only matters up to a common shift (the
+//! automaton's update rules compare counts, never read absolute values), and
+//! the seen-sets are determined by the counts on a 2-clique (a nonzero
+//! count's seen-set is always `{self}` — any merge instantly fills `V` and
+//! bumps). Tracking the *normalized* pair plus the accumulated shift gives
+//! the exact distribution of the final counts, hence exact expected liveness
+//! `E[min(1, ε·Mincount)]` and exact expected disagreement for Protocol S —
+//! the analytic form of the paper's unpublished "vastly improved
+//! performance" claim, and a cross-check for experiment E10.
+//!
+//! Fidelity note: transitions are computed by running the *real*
+//! [`CountingState`] update code on reconstructed states, not by a hand
+//! derivation of the chain.
+
+use ca_core::bitset::BitSet;
+use ca_core::ids::ProcessId;
+use ca_protocols::counting::CountingState;
+use std::collections::HashMap;
+
+/// A normalized joint state of the two automata: counts shifted so the
+/// smaller of two positive counts sits near 0, plus the propagation flags.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct NormState {
+    count_a: u32,
+    count_b: u32,
+    valid_a: bool,
+    valid_b: bool,
+    token_a: bool,
+    token_b: bool,
+}
+
+/// Results of the exact weak-adversary analysis.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WeakExact {
+    /// Expected liveness `E[Pr[TA|R]] = E[min(1, ε·Mincount)]`.
+    pub liveness: f64,
+    /// Expected disagreement `E[Pr[PA|R]]`.
+    pub disagreement: f64,
+    /// Expected final minimum count `E[Mincount]`.
+    pub expected_mincount: f64,
+}
+
+fn to_counting(norm: &NormState, who: ProcessId) -> CountingState<u8> {
+    let (count, valid, token) = if who == ProcessId::LEADER {
+        (norm.count_a, norm.valid_a, norm.token_a)
+    } else {
+        (norm.count_b, norm.valid_b, norm.token_b)
+    };
+    let mut seen = BitSet::new(2);
+    if count >= 1 {
+        seen.insert(who.index());
+    }
+    CountingState {
+        count,
+        seen,
+        valid,
+        token: token.then_some(1u8),
+    }
+}
+
+fn from_counting(a: &CountingState<u8>, b: &CountingState<u8>) -> NormState {
+    NormState {
+        count_a: a.count,
+        count_b: b.count,
+        valid_a: a.valid,
+        valid_b: b.valid,
+        token_a: a.token.is_some(),
+        token_b: b.token.is_some(),
+    }
+}
+
+/// Applies one synchronous round with the given delivery pattern, using the
+/// real automaton code. Returns the new normalized state and the amount the
+/// common shift grew.
+fn step(norm: &NormState, deliver_ab: bool, deliver_ba: bool) -> (NormState, u32) {
+    let a = to_counting(norm, ProcessId::LEADER);
+    let b = to_counting(norm, ProcessId::new(1));
+    let (msg_a, msg_b) = (a.to_msg(), b.to_msg());
+    let mut a2 = a;
+    let mut b2 = b;
+    if deliver_ba {
+        a2.process_messages(2, ProcessId::LEADER, &[msg_b]);
+    }
+    if deliver_ab {
+        b2.process_messages(2, ProcessId::new(1), &[msg_a]);
+    }
+    let mut next = from_counting(&a2, &b2);
+    // Renormalize: shift both counts down while both stay ≥ 1. Keeping the
+    // minimum at exactly 1 (not 0) preserves the count ≥ 1 semantics.
+    let mut shift = 0;
+    while next.count_a > 1 && next.count_b > 1 {
+        next.count_a -= 1;
+        next.count_b -= 1;
+        shift += 1;
+    }
+    (next, shift)
+}
+
+/// Exact expected liveness and disagreement of Protocol S on the 2-clique
+/// under the weak adversary: `n` rounds, drop probability `p`, `ε = 1/t`,
+/// both generals receive the input.
+///
+/// # Panics
+///
+/// Panics if `p ∉ [0, 1]` or `t == 0`.
+pub fn weak_adversary_exact(n: u32, p: f64, t: u64) -> WeakExact {
+    assert!((0.0..=1.0).contains(&p), "drop probability must be in [0,1]");
+    assert!(t > 0, "t = 1/epsilon must be positive");
+
+    // Initial state: leader has token + input (count 1), follower has input.
+    let init = NormState {
+        count_a: 1,
+        count_b: 0,
+        valid_a: true,
+        valid_b: true,
+        token_a: true,
+        token_b: false,
+    };
+    // Distribution over (normalized state, accumulated shift).
+    let mut dist: HashMap<(NormState, u32), f64> = HashMap::new();
+    dist.insert((init, 0), 1.0);
+
+    let q = 1.0 - p;
+    let patterns = [
+        (true, true, q * q),
+        (true, false, q * p),
+        (false, true, p * q),
+        (false, false, p * p),
+    ];
+
+    for _ in 0..n {
+        let mut next: HashMap<(NormState, u32), f64> = HashMap::with_capacity(dist.len() * 2);
+        for ((norm, base), prob) in dist {
+            for &(ab, ba, pat_prob) in &patterns {
+                if pat_prob == 0.0 {
+                    continue;
+                }
+                let (new_norm, shift) = step(&norm, ab, ba);
+                *next.entry((new_norm, base + shift)).or_insert(0.0) += prob * pat_prob;
+            }
+        }
+        dist = next;
+    }
+
+    let eps = 1.0 / t as f64;
+    let clamp = |count: f64| (eps * count).min(1.0);
+    let mut liveness = 0.0;
+    let mut disagreement = 0.0;
+    let mut expected_mincount = 0.0;
+    for ((norm, base), prob) in &dist {
+        let ca = f64::from(norm.count_a + base);
+        let cb = f64::from(norm.count_b + base);
+        let mincount = ca.min(cb);
+        // A tokenless process never attacks; its count is 0 then.
+        let max_attackable = {
+            let mut m = 0.0f64;
+            if norm.token_a {
+                m = m.max(ca);
+            }
+            if norm.token_b {
+                m = m.max(cb);
+            }
+            m
+        };
+        liveness += prob * clamp(mincount);
+        disagreement += prob * (clamp(max_attackable) - clamp(mincount));
+        expected_mincount += prob * mincount;
+    }
+    WeakExact {
+        liveness,
+        disagreement,
+        expected_mincount,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_core::graph::Graph;
+    use ca_sim::{simulate, RandomDrop, SimConfig};
+    use ca_protocols::ProtocolS;
+
+    #[test]
+    fn zero_drop_matches_synchronous_exact() {
+        // p = 0 is the good run: liveness = min(1, N/t), PA = width ε.
+        for (n, t) in [(4u32, 8u64), (10, 8), (6, 3)] {
+            let out = weak_adversary_exact(n, 0.0, t);
+            let expect_live = (n as f64 / t as f64).min(1.0);
+            assert!(
+                (out.liveness - expect_live).abs() < 1e-12,
+                "n={n}, t={t}: {out:?}"
+            );
+            assert!((out.expected_mincount - n as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn total_loss_leaves_leader_alone() {
+        // p = 1: nothing ever delivered; Mincount = 0, leader attacks iff
+        // rfire ≤ 1 → PA = ε, liveness 0.
+        let out = weak_adversary_exact(8, 1.0, 4);
+        assert_eq!(out.liveness, 0.0);
+        assert!((out.disagreement - 0.25).abs() < 1e-12);
+        assert_eq!(out.expected_mincount, 0.0);
+    }
+
+    #[test]
+    fn monotone_in_drop_probability() {
+        let t = 8u64;
+        let mut last = f64::INFINITY;
+        for p in [0.0, 0.1, 0.2, 0.4, 0.6, 0.8] {
+            let out = weak_adversary_exact(12, p, t);
+            assert!(out.liveness <= last + 1e-12, "liveness not monotone at p={p}");
+            assert!(out.disagreement <= 1.0 / t as f64 + 1e-12, "U ≤ ε at p={p}");
+            last = out.liveness;
+        }
+    }
+
+    #[test]
+    fn matches_monte_carlo() {
+        let g = Graph::complete(2).unwrap();
+        let n = 16u32;
+        let t = 8u64;
+        for p in [0.1f64, 0.3] {
+            let exact = weak_adversary_exact(n, p, t);
+            let proto = ProtocolS::new(1.0 / t as f64);
+            let sampler = RandomDrop::new(&g, n, p);
+            let report = simulate(&proto, &g, &sampler, SimConfig::new(30_000, 77));
+            assert!(
+                report.liveness().consistent_with_z(exact.liveness, 4.0),
+                "p={p}: exact L {} vs MC {}",
+                exact.liveness,
+                report.liveness()
+            );
+            assert!(
+                report.disagreement().consistent_with_z(exact.disagreement, 4.0),
+                "p={p}: exact U {} vs MC {}",
+                exact.disagreement,
+                report.disagreement()
+            );
+        }
+    }
+
+    #[test]
+    fn ratio_blows_past_the_strong_ceiling() {
+        // The §8 claim in exact form: at moderate N and small p, L/U far
+        // exceeds the strong-adversary ceiling N.
+        let n = 24u32;
+        let t = 12u64;
+        let out = weak_adversary_exact(n, 0.05, t);
+        assert!(out.liveness > 0.999, "{out:?}");
+        assert!(out.disagreement < 1e-4, "{out:?}");
+        let ratio = out.liveness / out.disagreement.max(1e-300);
+        assert!(ratio > 10.0 * n as f64, "ratio {ratio} vs ceiling {n}");
+    }
+
+    #[test]
+    fn mincount_distribution_is_sane() {
+        // E[Mincount] decreases smoothly with p and is bounded by N.
+        let n = 10u32;
+        let a = weak_adversary_exact(n, 0.2, 4).expected_mincount;
+        let b = weak_adversary_exact(n, 0.5, 4).expected_mincount;
+        assert!(a > b && a <= f64::from(n) && b >= 0.0);
+    }
+}

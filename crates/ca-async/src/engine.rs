@@ -1,0 +1,446 @@
+//! The asynchronous execution engine.
+//!
+//! Processes are event-driven state machines: they act at time 0 (input
+//! arrival) and whenever a message is delivered, possibly sending new
+//! messages whose fates the [`Courier`] decides. Execution stops at the
+//! deadline `T`; messages scheduled to arrive after the deadline are lost
+//! (the real-time constraint of the coordinated-attack problem).
+//!
+//! Determinism: deliveries are processed in `(time, sequence)` order, and
+//! all randomness comes from the tapes and the courier's own seed, so an
+//! execution is a pure function of `(protocol, graph, inputs, tapes,
+//! courier)`.
+
+use crate::courier::{Courier, Fate, SendEvent, Time};
+use ca_core::graph::Graph;
+use ca_core::ids::ProcessId;
+use ca_core::outcome::Outcome;
+use ca_core::protocol::Ctx;
+use ca_core::tape::{TapeReader, TapeSet};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt::Debug;
+
+/// An asynchronous, message-driven protocol.
+pub trait AsyncProtocol {
+    /// Per-process state.
+    type State: Clone + Debug;
+    /// Message payload.
+    type Msg: Clone + Debug;
+
+    /// Protocol name.
+    fn name(&self) -> &'static str;
+
+    /// Upper bound on random bits consumed per process.
+    fn tape_bits(&self) -> usize;
+
+    /// Initial state and initial sends (at time 0).
+    fn init(
+        &self,
+        ctx: Ctx<'_>,
+        received_input: bool,
+        tape: &mut TapeReader<'_>,
+    ) -> (Self::State, Vec<(ProcessId, Self::Msg)>);
+
+    /// Reaction to one delivered message; returns the new state and any sends.
+    fn on_message(
+        &self,
+        ctx: Ctx<'_>,
+        state: &Self::State,
+        from: ProcessId,
+        msg: Self::Msg,
+        now: Time,
+        tape: &mut TapeReader<'_>,
+    ) -> (Self::State, Vec<(ProcessId, Self::Msg)>);
+
+    /// Reaction to a heartbeat timer (fired every [`AsyncConfig::heartbeat`]
+    /// ticks when configured). Default: do nothing.
+    ///
+    /// Heartbeats are what restore the synchronous model's loss tolerance:
+    /// send-every-round means a destroyed message only delays; a purely
+    /// event-driven protocol that never retransmits dies with its first lost
+    /// message.
+    fn on_timer(
+        &self,
+        _ctx: Ctx<'_>,
+        state: &Self::State,
+        _now: Time,
+        _tape: &mut TapeReader<'_>,
+    ) -> (Self::State, Vec<(ProcessId, Self::Msg)>) {
+        (state.clone(), Vec::new())
+    }
+
+    /// The decision at the deadline.
+    fn output(&self, ctx: Ctx<'_>, state: &Self::State) -> bool;
+}
+
+/// Configuration of one asynchronous execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsyncConfig {
+    /// The real-time deadline `T` (ticks). Deliveries after `T` are lost.
+    pub deadline: Time,
+    /// Which processes receive the input signal at time 0.
+    pub inputs: Vec<ProcessId>,
+    /// If set, every process receives a timer event every this many ticks
+    /// (at `h, 2h, …, ≤ T`) — see [`AsyncProtocol::on_timer`].
+    pub heartbeat: Option<Time>,
+}
+
+impl AsyncConfig {
+    /// All processes receive the input; no heartbeat.
+    pub fn all_inputs(graph: &Graph, deadline: Time) -> Self {
+        AsyncConfig {
+            deadline,
+            inputs: graph.vertices().collect(),
+            heartbeat: None,
+        }
+    }
+
+    /// No process receives the input (validity checks); no heartbeat.
+    pub fn no_inputs(deadline: Time) -> Self {
+        AsyncConfig {
+            deadline,
+            inputs: Vec::new(),
+            heartbeat: None,
+        }
+    }
+
+    /// Enables heartbeat timers every `period` ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn with_heartbeat(mut self, period: Time) -> Self {
+        assert!(period >= 1, "heartbeat period must be at least 1 tick");
+        self.heartbeat = Some(period);
+        self
+    }
+}
+
+/// The result of an asynchronous execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AsyncOutcome<S> {
+    /// Final per-process states at the deadline.
+    pub states: Vec<S>,
+    /// The output vector.
+    pub outputs: Vec<bool>,
+    /// Total messages sent.
+    pub sent: u64,
+    /// Total messages delivered before the deadline (≤ sent).
+    pub delivered: u64,
+}
+
+impl<S> AsyncOutcome<S> {
+    /// Classifies the outputs.
+    pub fn outcome(&self) -> Outcome {
+        Outcome::classify(&self.outputs)
+    }
+}
+
+/// A scheduled event: a message delivery or a heartbeat timer.
+enum Event<M> {
+    Deliver(ProcessId, ProcessId, M),
+    Timer(ProcessId),
+}
+
+/// Event store: heap of `(time, seq)` plus seq-indexed payloads.
+struct Network<M> {
+    heap: BinaryHeap<Reverse<(Time, u64)>>,
+    /// `pending[seq]` = the event with that sequence number, if still live.
+    pending: Vec<Option<Event<M>>>,
+    sent: u64,
+    delivered: u64,
+}
+
+impl<M> Network<M> {
+    fn new() -> Self {
+        Network {
+            heap: BinaryHeap::new(),
+            pending: Vec::new(),
+            sent: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Hands an outbox to the courier; schedules surviving deliveries.
+    fn dispatch<C: Courier + ?Sized>(
+        &mut self,
+        graph: &Graph,
+        deadline: Time,
+        now: Time,
+        from: ProcessId,
+        outbox: Vec<(ProcessId, M)>,
+        courier: &mut C,
+    ) {
+        for (to, msg) in outbox {
+            assert!(graph.has_edge(from, to), "{from} sent to non-neighbor {to}");
+            let seq = self.pending.len() as u64;
+            self.sent += 1;
+            match courier.fate(SendEvent {
+                from,
+                to,
+                sent_at: now,
+                seq,
+            }) {
+                Fate::Deliver(at) => {
+                    assert!(at > now, "delivery must be strictly after the send");
+                    if at <= deadline {
+                        self.pending.push(Some(Event::Deliver(from, to, msg)));
+                        self.heap.push(Reverse((at, seq)));
+                    } else {
+                        self.pending.push(None);
+                    }
+                }
+                Fate::Destroy => self.pending.push(None),
+            }
+        }
+    }
+
+    /// Pre-schedules heartbeat timers at `period, 2·period, … ≤ deadline`
+    /// for every process.
+    fn schedule_timers(&mut self, graph: &Graph, deadline: Time, period: Time) {
+        let mut at = period;
+        while at <= deadline {
+            for i in graph.vertices() {
+                let seq = self.pending.len() as u64;
+                self.pending.push(Some(Event::Timer(i)));
+                self.heap.push(Reverse((at, seq)));
+            }
+            at += period;
+        }
+    }
+
+    /// Pops the next event in `(time, seq)` order.
+    fn next_event(&mut self) -> Option<(Time, Event<M>)> {
+        while let Some(Reverse((at, seq))) = self.heap.pop() {
+            if let Some(event) = self.pending[seq as usize].take() {
+                if matches!(event, Event::Deliver(..)) {
+                    self.delivered += 1;
+                }
+                return Some((at, event));
+            }
+        }
+        None
+    }
+}
+
+/// Executes the protocol to the deadline under the given courier.
+///
+/// # Panics
+///
+/// Panics if the tape set size differs from the graph, if an input id is out
+/// of range, if the courier schedules a delivery at or before the send time,
+/// or if a protocol sends to a non-neighbor.
+pub fn run_async<P, C>(
+    protocol: &P,
+    graph: &Graph,
+    config: &AsyncConfig,
+    tapes: &TapeSet,
+    courier: &mut C,
+) -> AsyncOutcome<P::State>
+where
+    P: AsyncProtocol,
+    C: Courier + ?Sized,
+{
+    assert_eq!(graph.len(), tapes.len(), "graph and tape set disagree");
+    for &i in &config.inputs {
+        assert!(i.index() < graph.len(), "input process out of range");
+    }
+    let n_for_ctx = u32::try_from(config.deadline).unwrap_or(u32::MAX);
+    let mut readers: Vec<_> = graph.vertices().map(|i| tapes.tape(i).reader()).collect();
+    let mut net: Network<P::Msg> = Network::new();
+
+    // Time 0: inputs and initial sends.
+    let mut states: Vec<P::State> = Vec::with_capacity(graph.len());
+    let mut initial_outboxes = Vec::with_capacity(graph.len());
+    for i in graph.vertices() {
+        let ctx = Ctx::new(graph, n_for_ctx, i);
+        let (state, outbox) =
+            protocol.init(ctx, config.inputs.contains(&i), &mut readers[i.index()]);
+        states.push(state);
+        initial_outboxes.push((i, outbox));
+    }
+    for (i, outbox) in initial_outboxes {
+        net.dispatch(graph, config.deadline, 0, i, outbox, courier);
+    }
+    if let Some(period) = config.heartbeat {
+        assert!(period >= 1, "heartbeat period must be at least 1 tick");
+        net.schedule_timers(graph, config.deadline, period);
+    }
+
+    // Event loop: deliveries and timers in (time, seq) order.
+    while let Some((now, event)) = net.next_event() {
+        let (who, state, outbox) = match event {
+            Event::Deliver(from, to, msg) => {
+                let ctx = Ctx::new(graph, n_for_ctx, to);
+                let (state, outbox) = protocol.on_message(
+                    ctx,
+                    &states[to.index()],
+                    from,
+                    msg,
+                    now,
+                    &mut readers[to.index()],
+                );
+                (to, state, outbox)
+            }
+            Event::Timer(i) => {
+                let ctx = Ctx::new(graph, n_for_ctx, i);
+                let (state, outbox) =
+                    protocol.on_timer(ctx, &states[i.index()], now, &mut readers[i.index()]);
+                (i, state, outbox)
+            }
+        };
+        states[who.index()] = state;
+        net.dispatch(graph, config.deadline, now, who, outbox, courier);
+    }
+
+    AsyncOutcome {
+        outputs: graph
+            .vertices()
+            .map(|i| protocol.output(Ctx::new(graph, n_for_ctx, i), &states[i.index()]))
+            .collect(),
+        states,
+        sent: net.sent,
+        delivered: net.delivered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::courier::{CutCourier, ReliableCourier, SilenceCourier};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Async flood: forward "input arrived" once to all neighbors.
+    struct Flood;
+
+    impl AsyncProtocol for Flood {
+        type State = bool;
+        type Msg = ();
+
+        fn name(&self) -> &'static str {
+            "async-flood"
+        }
+        fn tape_bits(&self) -> usize {
+            0
+        }
+        fn init(
+            &self,
+            ctx: Ctx<'_>,
+            received_input: bool,
+            _tape: &mut TapeReader<'_>,
+        ) -> (bool, Vec<(ProcessId, ())>) {
+            let sends = if received_input {
+                ctx.neighbors().iter().map(|&j| (j, ())).collect()
+            } else {
+                Vec::new()
+            };
+            (received_input, sends)
+        }
+        fn on_message(
+            &self,
+            ctx: Ctx<'_>,
+            state: &bool,
+            _from: ProcessId,
+            _msg: (),
+            _now: Time,
+            _tape: &mut TapeReader<'_>,
+        ) -> (bool, Vec<(ProcessId, ())>) {
+            if *state {
+                (true, Vec::new())
+            } else {
+                (true, ctx.neighbors().iter().map(|&j| (j, ())).collect())
+            }
+        }
+        fn output(&self, _ctx: Ctx<'_>, state: &bool) -> bool {
+            *state
+        }
+    }
+
+    fn tapes(m: usize) -> TapeSet {
+        let mut rng = StdRng::seed_from_u64(1);
+        TapeSet::random(&mut rng, m, 1)
+    }
+
+    #[test]
+    fn flood_crosses_a_line_at_latency_speed() {
+        let g = Graph::line(5).unwrap();
+        let config = AsyncConfig {
+            deadline: 8,
+            inputs: vec![ProcessId::new(0)],
+            heartbeat: None,
+        };
+        let mut courier = ReliableCourier::new(2);
+        let out = run_async(&Flood, &g, &config, &tapes(5), &mut courier);
+        // Distance d needs 2d ticks; deadline 8 reaches distance 4.
+        assert_eq!(out.outputs, vec![true, true, true, true, true]);
+        assert_eq!(out.outcome(), Outcome::TotalAttack);
+        assert!(out.delivered <= out.sent);
+    }
+
+    #[test]
+    fn deadline_cuts_off_distant_processes() {
+        let g = Graph::line(5).unwrap();
+        let config = AsyncConfig {
+            deadline: 5,
+            inputs: vec![ProcessId::new(0)],
+            heartbeat: None,
+        };
+        let mut courier = ReliableCourier::new(2);
+        let out = run_async(&Flood, &g, &config, &tapes(5), &mut courier);
+        // 5 ticks at latency 2 reach distance 2 only.
+        assert_eq!(out.outputs, vec![true, true, true, false, false]);
+    }
+
+    #[test]
+    fn silence_leaves_only_input_holders() {
+        let g = Graph::complete(3).unwrap();
+        let config = AsyncConfig {
+            deadline: 10,
+            inputs: vec![ProcessId::new(1)],
+            heartbeat: None,
+        };
+        let mut courier = SilenceCourier;
+        let out = run_async(&Flood, &g, &config, &tapes(3), &mut courier);
+        assert_eq!(out.outputs, vec![false, true, false]);
+        assert_eq!(out.delivered, 0);
+        assert_eq!(out.sent, 2, "only the input holder sends");
+    }
+
+    #[test]
+    fn cut_courier_stops_the_flood() {
+        let g = Graph::line(4).unwrap();
+        let config = AsyncConfig {
+            deadline: 20,
+            inputs: vec![ProcessId::new(0)],
+            heartbeat: None,
+        };
+        let mut courier = CutCourier::new(1, 2);
+        let out = run_async(&Flood, &g, &config, &tapes(4), &mut courier);
+        // Sends at t=0 (P0) and t=1 (P1) survive; P2's send at t=2 dies.
+        assert_eq!(out.outputs, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn no_inputs_means_no_activity() {
+        let g = Graph::complete(3).unwrap();
+        let config = AsyncConfig::no_inputs(10);
+        let mut courier = ReliableCourier::new(1);
+        let out = run_async(&Flood, &g, &config, &tapes(3), &mut courier);
+        assert_eq!(out.outcome(), Outcome::NoAttack);
+        assert_eq!(out.sent, 0);
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let g = Graph::complete(4).unwrap();
+        let config = AsyncConfig::all_inputs(&g, 12);
+        let t = tapes(4);
+        let run = || {
+            let mut courier = crate::courier::RandomDropCourier::new(0.3, 1, 3, 99);
+            run_async(&Flood, &g, &config, &t, &mut courier)
+        };
+        assert_eq!(run().outputs, run().outputs);
+    }
+}

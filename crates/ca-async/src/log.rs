@@ -1,0 +1,244 @@
+//! Event logs: observability for asynchronous executions.
+//!
+//! [`run_async_logged`] wraps the engine and records every send fate and
+//! delivery, producing an [`EventLog`] that can be rendered as a timeline or
+//! queried (e.g. for the causal depth of an execution). The log is also the
+//! async analogue of a synchronous `Run`: it pins down exactly what the
+//! courier did.
+
+use crate::courier::{Courier, Fate, SendEvent, Time};
+use crate::engine::{run_async, AsyncConfig, AsyncOutcome, AsyncProtocol};
+use ca_core::graph::Graph;
+use ca_core::ids::ProcessId;
+use ca_core::tape::TapeSet;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One logged network event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoggedSend {
+    /// The send metadata.
+    pub event: SendEvent,
+    /// What the courier did with it.
+    pub fate: Fate,
+}
+
+/// The complete network history of one asynchronous execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventLog {
+    sends: Vec<LoggedSend>,
+}
+
+impl EventLog {
+    /// All logged sends, in send order.
+    pub fn sends(&self) -> &[LoggedSend] {
+        &self.sends
+    }
+
+    /// Number of destroyed messages.
+    pub fn destroyed(&self) -> usize {
+        self.sends
+            .iter()
+            .filter(|s| s.fate == Fate::Destroy)
+            .count()
+    }
+
+    /// Number of delivered messages (scheduled; late ones still count here —
+    /// the engine separately drops post-deadline arrivals).
+    pub fn scheduled(&self) -> usize {
+        self.sends.len() - self.destroyed()
+    }
+
+    /// The latest scheduled delivery time, if any message survived.
+    pub fn last_delivery(&self) -> Option<Time> {
+        self.sends
+            .iter()
+            .filter_map(|s| match s.fate {
+                Fate::Deliver(at) => Some(at),
+                Fate::Destroy => None,
+            })
+            .max()
+    }
+
+    /// Renders the log as a per-tick timeline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "event log: {} sends, {} destroyed", self.sends.len(), self.destroyed());
+        for s in &self.sends {
+            let fate = match s.fate {
+                Fate::Destroy => "✗ destroyed".to_owned(),
+                Fate::Deliver(at) => format!("→ delivered at t{at}"),
+            };
+            let _ = writeln!(
+                out,
+                "  t{:<3} {}→{} (#{})  {}",
+                s.event.sent_at, s.event.from, s.event.to, s.event.seq, fate
+            );
+        }
+        out
+    }
+}
+
+/// A courier wrapper that records every decision.
+struct Recorder<'a, C: ?Sized> {
+    inner: &'a mut C,
+    log: EventLog,
+}
+
+impl<C: Courier + ?Sized> Courier for Recorder<'_, C> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn fate(&mut self, event: SendEvent) -> Fate {
+        let fate = self.inner.fate(event);
+        self.log.sends.push(LoggedSend { event, fate });
+        fate
+    }
+}
+
+/// Runs the protocol like [`run_async`], additionally returning the full
+/// [`EventLog`].
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_async`].
+pub fn run_async_logged<P, C>(
+    protocol: &P,
+    graph: &Graph,
+    config: &AsyncConfig,
+    tapes: &TapeSet,
+    courier: &mut C,
+) -> (AsyncOutcome<P::State>, EventLog)
+where
+    P: AsyncProtocol,
+    C: Courier + ?Sized,
+{
+    let mut recorder = Recorder {
+        inner: courier,
+        log: EventLog::default(),
+    };
+    let outcome = run_async(protocol, graph, config, tapes, &mut recorder);
+    (outcome, recorder.log)
+}
+
+/// Which processes a particular process causally depends on in a log: the
+/// transitive senders whose messages reached it (directly or through
+/// intermediaries), the async flows-to relation.
+pub fn causal_ancestors(log: &EventLog, target: ProcessId, deadline: Time) -> Vec<ProcessId> {
+    // Work backwards over delivered sends ordered by delivery time.
+    let mut delivered: Vec<(Time, ProcessId, ProcessId, Time)> = log
+        .sends
+        .iter()
+        .filter_map(|s| match s.fate {
+            Fate::Deliver(at) if at <= deadline => {
+                Some((at, s.event.from, s.event.to, s.event.sent_at))
+            }
+            _ => None,
+        })
+        .collect();
+    delivered.sort_by_key(|&(at, ..)| at);
+
+    // influenced_since[p] = earliest time p's state could reflect `target`-relevant info…
+    // Simpler backward pass: a process p is an ancestor if some delivered
+    // message p→q (sent at s, arriving a ≤ cutoff_q) reaches an ancestor q
+    // with cutoff ≥ a; p's own cutoff then extends to s.
+    let m = delivered
+        .iter()
+        .flat_map(|&(_, f, t, _)| [f.index(), t.index()])
+        .max()
+        .map_or(target.index() + 1, |mx| mx.max(target.index()) + 1);
+    let mut cutoff: Vec<Option<Time>> = vec![None; m];
+    cutoff[target.index()] = Some(deadline);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &(at, from, to, sent_at) in delivered.iter().rev() {
+            if let Some(c) = cutoff[to.index()] {
+                if at <= c {
+                    let new = cutoff[from.index()].map_or(sent_at, |old| old.max(sent_at));
+                    if cutoff[from.index()] != Some(new) {
+                        cutoff[from.index()] = Some(new);
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    (0..m)
+        .filter(|&p| p != target.index() && cutoff[p].is_some())
+        .map(|p| ProcessId::new(p as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::courier::{CutCourier, ReliableCourier};
+    use crate::protocol::AsyncS;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tapes(m: usize) -> TapeSet {
+        let mut rng = StdRng::seed_from_u64(1);
+        TapeSet::random(&mut rng, m, 64)
+    }
+
+    #[test]
+    fn log_matches_outcome_counters() {
+        let g = Graph::complete(2).unwrap();
+        let config = AsyncConfig::all_inputs(&g, 10);
+        let proto = AsyncS::new(0.25);
+        let mut courier = ReliableCourier::new(1);
+        let (out, log) = run_async_logged(&proto, &g, &config, &tapes(2), &mut courier);
+        assert_eq!(log.sends().len() as u64, out.sent);
+        assert_eq!(log.destroyed(), 0);
+        assert!(log.last_delivery().is_some());
+        let rendered = log.render();
+        assert!(rendered.contains("→ delivered"));
+        assert!(!rendered.contains("destroyed at"));
+    }
+
+    #[test]
+    fn destroyed_counts_under_cut() {
+        let g = Graph::complete(2).unwrap();
+        let config = AsyncConfig::all_inputs(&g, 12);
+        let proto = AsyncS::new(0.25);
+        let mut courier = CutCourier::new(1, 4);
+        let (out, log) = run_async_logged(&proto, &g, &config, &tapes(2), &mut courier);
+        assert!(log.destroyed() > 0);
+        assert_eq!(log.scheduled() + log.destroyed(), out.sent as usize);
+        assert!(log.render().contains("✗ destroyed"));
+    }
+
+    #[test]
+    fn causal_ancestors_on_a_line() {
+        // Line of 3, reliable: everyone ends up in everyone's causal past.
+        let g = Graph::line(3).unwrap();
+        let config = AsyncConfig::all_inputs(&g, 12);
+        let proto = AsyncS::new(0.25);
+        let mut courier = ReliableCourier::new(1);
+        let (_, log) = run_async_logged(&proto, &g, &config, &tapes(3), &mut courier);
+        let ancestors = causal_ancestors(&log, ProcessId::new(2), 12);
+        assert!(ancestors.contains(&ProcessId::new(0)));
+        assert!(ancestors.contains(&ProcessId::new(1)));
+    }
+
+    #[test]
+    fn causal_ancestors_respect_cuts() {
+        // Cut everything from t=1 on a K2: the very first sends (t=0) still
+        // arrive at t=1? No — CutCourier::new(1, 1) destroys sends at ≥ 1,
+        // and t=0 sends are delivered at 1; so P1 heard P0.
+        let g = Graph::complete(2).unwrap();
+        let config = AsyncConfig::all_inputs(&g, 8);
+        let proto = AsyncS::new(0.25);
+        let mut courier = CutCourier::new(1, 1);
+        let (_, log) = run_async_logged(&proto, &g, &config, &tapes(2), &mut courier);
+        let anc1 = causal_ancestors(&log, ProcessId::new(1), 8);
+        assert_eq!(anc1, vec![ProcessId::new(0)]);
+        // And with total silence there are no ancestors at all.
+        let mut silent = crate::courier::SilenceCourier;
+        let (_, log) = run_async_logged(&proto, &g, &config, &tapes(2), &mut silent);
+        assert!(causal_ancestors(&log, ProcessId::new(1), 8).is_empty());
+    }
+}

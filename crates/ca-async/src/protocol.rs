@@ -1,0 +1,348 @@
+//! `AsyncS`: Protocol S, asynchronously.
+//!
+//! The same Figure 1 counting automaton drives the asynchronous port: every
+//! process keeps `(count, seen, valid, rfire)`, merges incoming states, and
+//! **re-broadcasts its state whenever it changes** (event-driven gossip
+//! replaces send-every-round). At the deadline, a process attacks iff it has
+//! heard `rfire` and `count ≥ rfire`.
+//!
+//! The safety argument survives unchanged because it lives in the automaton,
+//! not the round structure: `count_i` can only reach `s` after evidence that
+//! every other process reached `s − 1`, so final counts spread by at most 1
+//! and only `rfire` landing in that unit window can split the generals —
+//! `U ≤ ε` against any courier. Liveness becomes `min(1, ε·C(T))` where
+//! `C(T)` is the minimum count reached by the deadline — now priced in
+//! latency instead of rounds. Both claims are verified by this crate's tests
+//! and the X1 extension experiment.
+
+use crate::courier::Time;
+use crate::engine::AsyncProtocol;
+use ca_core::ids::ProcessId;
+use ca_core::protocol::Ctx;
+use ca_core::tape::TapeReader;
+use ca_protocols::{CountingMsg, CountingState};
+
+/// The asynchronous port of Protocol S.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AsyncS {
+    epsilon: f64,
+}
+
+/// State of an [`AsyncS`] process.
+pub type AsyncSState = CountingState<f64>;
+
+/// Message of an [`AsyncS`] process (the full counting state).
+pub type AsyncSMsg = CountingMsg<f64>;
+
+impl AsyncS {
+    /// Creates the protocol with agreement parameter `epsilon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not in `(0, 1]`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon <= 1.0,
+            "epsilon must be in (0, 1], got {epsilon}"
+        );
+        AsyncS { epsilon }
+    }
+
+    /// The agreement parameter `ε`.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn broadcast(ctx: Ctx<'_>, state: &AsyncSState) -> Vec<(ProcessId, AsyncSMsg)> {
+        ctx.neighbors()
+            .iter()
+            .map(|&j| (j, state.to_msg()))
+            .collect()
+    }
+}
+
+impl AsyncProtocol for AsyncS {
+    type State = AsyncSState;
+    type Msg = AsyncSMsg;
+
+    fn name(&self) -> &'static str {
+        "async-S"
+    }
+
+    fn tape_bits(&self) -> usize {
+        64
+    }
+
+    fn init(
+        &self,
+        ctx: Ctx<'_>,
+        received_input: bool,
+        tape: &mut TapeReader<'_>,
+    ) -> (AsyncSState, Vec<(ProcessId, AsyncSMsg)>) {
+        let token = if ctx.id == ProcessId::LEADER {
+            Some((1.0 / self.epsilon) * tape.draw_unit())
+        } else {
+            None
+        };
+        let state = CountingState::initial(ctx.m(), ctx.id, received_input, token);
+        // Announce the initial state: the leader must propagate rfire, and
+        // input holders must propagate validity.
+        let sends = Self::broadcast(ctx, &state);
+        (state, sends)
+    }
+
+    fn on_message(
+        &self,
+        ctx: Ctx<'_>,
+        state: &AsyncSState,
+        _from: ProcessId,
+        msg: AsyncSMsg,
+        _now: Time,
+        _tape: &mut TapeReader<'_>,
+    ) -> (AsyncSState, Vec<(ProcessId, AsyncSMsg)>) {
+        let mut next = state.clone();
+        next.process_messages(ctx.m(), ctx.id, &[msg]);
+        let sends = if next != *state {
+            Self::broadcast(ctx, &next)
+        } else {
+            Vec::new()
+        };
+        (next, sends)
+    }
+
+    fn on_timer(
+        &self,
+        ctx: Ctx<'_>,
+        state: &AsyncSState,
+        _now: Time,
+        _tape: &mut TapeReader<'_>,
+    ) -> (AsyncSState, Vec<(ProcessId, AsyncSMsg)>) {
+        // Retransmit the current state: this restores the synchronous
+        // model's loss tolerance (a destroyed message only delays progress
+        // instead of killing the gossip conversation).
+        (state.clone(), Self::broadcast(ctx, state))
+    }
+
+    fn output(&self, _ctx: Ctx<'_>, state: &AsyncSState) -> bool {
+        match state.token {
+            Some(rfire) => state.count as f64 >= rfire,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::courier::{CutCourier, RandomDropCourier, ReliableCourier, SilenceCourier};
+    use crate::engine::{run_async, AsyncConfig};
+    use ca_core::graph::Graph;
+    use ca_core::outcome::Outcome;
+    use ca_core::tape::TapeSet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tapes(rng: &mut StdRng, m: usize) -> TapeSet {
+        TapeSet::random(rng, m, 64)
+    }
+
+    #[test]
+    fn validity_no_input_no_attack() {
+        let g = Graph::complete(3).unwrap();
+        let proto = AsyncS::new(0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..30 {
+            let t = tapes(&mut rng, 3);
+            let mut courier = ReliableCourier::new(1);
+            let out = run_async(&proto, &g, &AsyncConfig::no_inputs(20), &t, &mut courier);
+            assert_eq!(out.outcome(), Outcome::NoAttack);
+        }
+    }
+
+    #[test]
+    fn generous_deadline_means_certain_attack() {
+        // ε = 1/4: counts must reach 4. Latency 1 on K2 climbs ~1/tick.
+        let g = Graph::complete(2).unwrap();
+        let proto = AsyncS::new(0.25);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..30 {
+            let t = tapes(&mut rng, 2);
+            let mut courier = ReliableCourier::new(1);
+            let out = run_async(&proto, &g, &AsyncConfig::all_inputs(&g, 30), &t, &mut courier);
+            assert_eq!(out.outcome(), Outcome::TotalAttack);
+        }
+    }
+
+    #[test]
+    fn counts_climb_with_deadline_and_slow_with_latency() {
+        let g = Graph::complete(2).unwrap();
+        let proto = AsyncS::new(0.01); // never saturates; we only read counts
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = tapes(&mut rng, 2);
+        let min_count = |deadline: u64, latency: u64| {
+            let mut courier = ReliableCourier::new(latency);
+            let out = run_async(
+                &proto,
+                &g,
+                &AsyncConfig::all_inputs(&g, deadline),
+                &t,
+                &mut courier,
+            );
+            out.states.iter().map(|s| s.count).min().unwrap()
+        };
+        assert!(min_count(40, 1) > min_count(20, 1), "more time, higher count");
+        assert!(min_count(40, 1) > min_count(40, 4), "more latency, lower count");
+        assert_eq!(min_count(40, 50), 0, "latency beyond deadline: nothing arrives");
+    }
+
+    #[test]
+    fn silence_gives_no_attack_with_high_probability_structure() {
+        // Under total silence only the leader can ever attack (it knows
+        // rfire), and only when rfire ≤ 1.
+        let g = Graph::complete(2).unwrap();
+        let proto = AsyncS::new(0.125);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut leader_attacks = 0u32;
+        let trials = 2000;
+        for _ in 0..trials {
+            let t = tapes(&mut rng, 2);
+            let mut courier = SilenceCourier;
+            let out = run_async(&proto, &g, &AsyncConfig::all_inputs(&g, 10), &t, &mut courier);
+            assert!(!out.outputs[1], "follower can never attack in silence");
+            if out.outputs[0] {
+                leader_attacks += 1;
+            }
+        }
+        let rate = leader_attacks as f64 / trials as f64;
+        assert!((rate - 0.125).abs() < 0.03, "leader attacks iff rfire ≤ 1: {rate}");
+    }
+
+    #[test]
+    fn agreement_holds_against_cut_couriers() {
+        // Sweep cut times; empirical PA must stay ≤ ε (+ sampling slack).
+        let g = Graph::complete(2).unwrap();
+        let eps = 0.25;
+        let proto = AsyncS::new(eps);
+        let mut rng = StdRng::seed_from_u64(5);
+        for cut in [1u64, 2, 3, 5, 8, 12] {
+            let mut pa = 0u32;
+            let trials = 1200;
+            for _ in 0..trials {
+                let t = tapes(&mut rng, 2);
+                let mut courier = CutCourier::new(1, cut);
+                let out =
+                    run_async(&proto, &g, &AsyncConfig::all_inputs(&g, 16), &t, &mut courier);
+                if out.outcome() == Outcome::PartialAttack {
+                    pa += 1;
+                }
+            }
+            let rate = pa as f64 / trials as f64;
+            assert!(rate <= eps + 0.05, "PA {rate} > ε at cut {cut}");
+        }
+    }
+
+    #[test]
+    fn agreement_holds_against_random_drops() {
+        let g = Graph::complete(3).unwrap();
+        let eps = 0.2;
+        let proto = AsyncS::new(eps);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut pa = 0u32;
+        let trials = 1500;
+        for k in 0..trials {
+            let t = tapes(&mut rng, 3);
+            let mut courier = RandomDropCourier::new(0.3, 1, 4, k as u64);
+            let out = run_async(&proto, &g, &AsyncConfig::all_inputs(&g, 25), &t, &mut courier);
+            if out.outcome() == Outcome::PartialAttack {
+                pa += 1;
+            }
+        }
+        let rate = pa as f64 / trials as f64;
+        assert!(rate <= eps + 0.04, "PA {rate} > ε under random drops");
+    }
+
+    #[test]
+    fn final_counts_spread_at_most_one() {
+        // The asynchronous Lemma 6.2: however the courier behaves, final
+        // counts differ by at most 1 across processes that hold the token...
+        // more precisely max(count) - min(count over token holders ∪ all) ≤ 1
+        // when all counts ≥ 1; tokenless processes sit at 0.
+        let g = Graph::complete(3).unwrap();
+        let proto = AsyncS::new(0.1);
+        let mut rng = StdRng::seed_from_u64(7);
+        for k in 0..300u64 {
+            let t = tapes(&mut rng, 3);
+            let mut courier = RandomDropCourier::new(0.4, 1, 5, 1000 + k);
+            let out = run_async(&proto, &g, &AsyncConfig::all_inputs(&g, 20), &t, &mut courier);
+            let counts: Vec<u32> = out.states.iter().map(|s| s.count).collect();
+            let max = *counts.iter().max().unwrap();
+            for &c in &counts {
+                assert!(
+                    c + 1 >= max,
+                    "async count spread > 1: {counts:?} (trial {k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn message_complexity_is_bounded() {
+        // Without heartbeats, sends happen only on state changes, and each
+        // process changes state at most ~m times per count level, with
+        // counts bounded by the deadline: sends ≤ m·(m-1)·m·(T+1).
+        let g = Graph::complete(4).unwrap();
+        let proto = AsyncS::new(0.05);
+        let mut rng = StdRng::seed_from_u64(8);
+        let t = tapes(&mut rng, 4);
+        let deadline = 200u64;
+        let mut courier = ReliableCourier::new(1);
+        let out = run_async(&proto, &g, &AsyncConfig::all_inputs(&g, deadline), &t, &mut courier);
+        let m = 4u64;
+        let change_bound = m * (m - 1) * m * (deadline + 1);
+        assert!(
+            out.sent <= change_bound,
+            "sent {} vs change bound {change_bound}",
+            out.sent
+        );
+        assert!(out.delivered <= out.sent);
+    }
+
+    #[test]
+    fn heartbeats_restore_loss_tolerance() {
+        // Under 30% drops with no heartbeat, the gossip conversation dies at
+        // the first loss (no retransmission) and counts stall; with a
+        // heartbeat, drops only delay. Compare liveness over many trials.
+        let g = Graph::complete(2).unwrap();
+        let proto = AsyncS::new(0.125); // needs count ≥ 8
+        let mut rng = StdRng::seed_from_u64(9);
+        let trials = 400;
+        let mut ta = [0u32; 2];
+        for k in 0..trials {
+            let t = tapes(&mut rng, 2);
+            for (idx, heartbeat) in [None, Some(2u64)].into_iter().enumerate() {
+                let mut config = AsyncConfig::all_inputs(&g, 40);
+                if let Some(h) = heartbeat {
+                    config = config.with_heartbeat(h);
+                }
+                let mut courier = RandomDropCourier::new(0.3, 1, 2, 77 + k);
+                let out = run_async(&proto, &g, &config, &t, &mut courier);
+                if out.outcome() == Outcome::TotalAttack {
+                    ta[idx] += 1;
+                }
+            }
+        }
+        let without = ta[0] as f64 / trials as f64;
+        let with = ta[1] as f64 / trials as f64;
+        assert!(with > 0.9, "heartbeat liveness {with}");
+        assert!(
+            with > without + 0.2,
+            "heartbeat must add substantial liveness: {without} vs {with}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in (0, 1]")]
+    fn rejects_bad_epsilon() {
+        AsyncS::new(0.0);
+    }
+}

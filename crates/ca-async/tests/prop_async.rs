@@ -1,0 +1,156 @@
+//! Property-based tests of the asynchronous model.
+//!
+//! Random couriers (arbitrary per-message fates) and random input sets, with
+//! the core safety and structure invariants checked on every execution:
+//! validity, count spread ≤ 1, monotonicity of counts in time, and
+//! agreement ≤ ε at the distribution level.
+
+use ca_async::courier::{Courier, Fate, SendEvent, Time};
+use ca_async::engine::{run_async, AsyncConfig};
+use ca_async::protocol::AsyncS;
+use ca_core::graph::Graph;
+use ca_core::ids::ProcessId;
+use ca_core::outcome::Outcome;
+use ca_core::tape::TapeSet;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A courier whose fate function is an arbitrary deterministic function of
+/// the send metadata, drawn from a seed — covering delivery patterns far
+/// stranger than the named couriers (reordering, bursts, selective loss).
+#[derive(Clone, Debug)]
+struct ArbitraryCourier {
+    rng: StdRng,
+    deadline: Time,
+    drop_bias: f64,
+}
+
+impl Courier for ArbitraryCourier {
+    fn name(&self) -> &'static str {
+        "arbitrary"
+    }
+
+    fn fate(&mut self, event: SendEvent) -> Fate {
+        if self.rng.gen_bool(self.drop_bias) {
+            Fate::Destroy
+        } else {
+            // Arbitrary (possibly reordering) latency, occasionally past the
+            // deadline.
+            let latency = self.rng.gen_range(1..=self.deadline.max(2));
+            Fate::Deliver(event.sent_at + latency)
+        }
+    }
+}
+
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    (2usize..=4, 0u8..3).prop_map(|(m, kind)| match kind {
+        0 => Graph::complete(m).expect("graph"),
+        1 => Graph::star(m.max(2)).expect("graph"),
+        _ => Graph::line(m).expect("graph"),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Validity holds under every courier: no input ⟹ no attack.
+    #[test]
+    fn validity_universal(
+        g in graph_strategy(),
+        seed in any::<u64>(),
+        drop_bias in 0.0f64..0.9,
+        heartbeat in prop::option::of(1u64..4),
+    ) {
+        let proto = AsyncS::new(0.5);
+        let mut config = AsyncConfig::no_inputs(12);
+        if let Some(h) = heartbeat {
+            config = config.with_heartbeat(h);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tapes = TapeSet::random(&mut rng, g.len(), 64);
+        let mut courier = ArbitraryCourier {
+            rng: StdRng::seed_from_u64(seed ^ 0xC0),
+            deadline: 12,
+            drop_bias,
+        };
+        let out = run_async(&proto, &g, &config, &tapes, &mut courier);
+        prop_assert_eq!(out.outcome(), Outcome::NoAttack);
+    }
+
+    /// Final counts spread by at most 1 — the asynchronous Lemma 6.2 — and
+    /// tokenless processes never attack, under arbitrary couriers.
+    #[test]
+    fn count_spread_and_token_discipline(
+        g in graph_strategy(),
+        seed in any::<u64>(),
+        drop_bias in 0.0f64..0.9,
+        inputs_mask in any::<u8>(),
+        heartbeat in prop::option::of(1u64..4),
+    ) {
+        let proto = AsyncS::new(0.2);
+        let inputs: Vec<ProcessId> = g
+            .vertices()
+            .filter(|p| inputs_mask & (1 << p.index()) != 0)
+            .collect();
+        let mut config = AsyncConfig {
+            deadline: 14,
+            inputs,
+            heartbeat: None,
+        };
+        if let Some(h) = heartbeat {
+            config = config.with_heartbeat(h);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tapes = TapeSet::random(&mut rng, g.len(), 64);
+        let mut courier = ArbitraryCourier {
+            rng: StdRng::seed_from_u64(seed ^ 0xC1),
+            deadline: 14,
+            drop_bias,
+        };
+        let out = run_async(&proto, &g, &config, &tapes, &mut courier);
+        let max = out.states.iter().map(|s| s.count).max().expect("nonempty");
+        for (state, &decided) in out.states.iter().zip(&out.outputs) {
+            prop_assert!(state.count + 1 >= max, "spread > 1: {:?}", out.states);
+            if state.token.is_none() {
+                prop_assert!(!decided, "tokenless process attacked");
+                prop_assert_eq!(state.count, 0);
+            }
+        }
+        prop_assert!(out.delivered <= out.sent);
+    }
+
+    /// Liveness is monotone in the deadline under a fixed reliable courier.
+    #[test]
+    fn counts_monotone_in_deadline(g in graph_strategy(), seed in any::<u64>()) {
+        let proto = AsyncS::new(0.01);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tapes = TapeSet::random(&mut rng, g.len(), 64);
+        let min_count = |deadline: u64| {
+            let config = AsyncConfig::all_inputs(&g, deadline);
+            let mut courier = ca_async::ReliableCourier::new(1);
+            let out = run_async(&proto, &g, &config, &tapes, &mut courier);
+            out.states.iter().map(|s| s.count).min().expect("nonempty")
+        };
+        prop_assert!(min_count(16) >= min_count(8));
+        prop_assert!(min_count(8) >= min_count(3));
+    }
+
+    /// The async execution is a pure function of its inputs (determinism),
+    /// including under heartbeats.
+    #[test]
+    fn deterministic(g in graph_strategy(), seed in any::<u64>()) {
+        let proto = AsyncS::new(0.3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tapes = TapeSet::random(&mut rng, g.len(), 64);
+        let run = || {
+            let config = AsyncConfig::all_inputs(&g, 10).with_heartbeat(3);
+            let mut courier = ca_async::RandomDropCourier::new(0.3, 1, 3, seed ^ 0xDE);
+            run_async(&proto, &g, &config, &tapes, &mut courier)
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.outputs, b.outputs);
+        prop_assert_eq!(a.sent, b.sent);
+        prop_assert_eq!(a.delivered, b.delivered);
+    }
+}

@@ -1,0 +1,76 @@
+//! Ablation benches: Figure 1's compression and the asynchronous engine.
+//!
+//! * `ablation_encoding`: one full execution of Protocol S vs the
+//!   full-vector variant (identical decisions, different message encodings)
+//!   — time per execution and the wire-size kernels.
+//! * `async_engine`: the event-driven engine under reliable / lossy couriers
+//!   (the X1 experiment's inner loop).
+
+use ca_async::{run_async, AsyncConfig, AsyncS, RandomDropCourier, ReliableCourier};
+use ca_core::exec::execute_outputs;
+use ca_core::graph::Graph;
+use ca_core::ids::ProcessId;
+use ca_core::protocol::{Ctx, Protocol};
+use ca_core::run::Run;
+use ca_core::tape::TapeSet;
+use ca_sim::wire::wire_size;
+use ca_protocols::{ProtocolS, VectorS};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn ablation_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_encoding");
+    for m in [8usize, 32, 128] {
+        let graph = Graph::complete(m).expect("graph");
+        let run = Run::good(&graph, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let tapes = TapeSet::random(&mut rng, m, 64);
+        let s = ProtocolS::new(0.2);
+        let v = VectorS::new(0.2);
+
+        group.bench_with_input(BenchmarkId::new("S_exec", m), &run, |b, run| {
+            b.iter(|| execute_outputs(&s, black_box(&graph), black_box(run), &tapes))
+        });
+        group.bench_with_input(BenchmarkId::new("vector_exec", m), &run, |b, run| {
+            b.iter(|| execute_outputs(&v, black_box(&graph), black_box(run), &tapes))
+        });
+
+        let ctx = Ctx::new(&graph, 4, ProcessId::LEADER);
+        let mut r1 = tapes.tape(ProcessId::LEADER).reader();
+        let st = s.init(ctx, true, &mut r1);
+        let msg = s.message(ctx, &st, ProcessId::new(1));
+        group.bench_with_input(BenchmarkId::new("S_wire_size", m), &msg, |b, msg| {
+            b.iter(|| wire_size(black_box(msg)).expect("size"))
+        });
+    }
+    group.finish();
+}
+
+fn async_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("async_engine");
+    let graph = Graph::complete(4).expect("graph");
+    let proto = AsyncS::new(0.1);
+    let mut rng = StdRng::seed_from_u64(2);
+    let tapes = TapeSet::random(&mut rng, 4, 64);
+
+    group.bench_function("reliable_T40", |b| {
+        b.iter(|| {
+            let config = AsyncConfig::all_inputs(&graph, 40);
+            let mut courier = ReliableCourier::new(1);
+            run_async(&proto, black_box(&graph), &config, &tapes, &mut courier)
+        })
+    });
+    group.bench_function("lossy_heartbeat_T40", |b| {
+        b.iter(|| {
+            let config = AsyncConfig::all_inputs(&graph, 40).with_heartbeat(2);
+            let mut courier = RandomDropCourier::new(0.2, 1, 3, 7);
+            run_async(&proto, black_box(&graph), &config, &tapes, &mut courier)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablation_encoding, async_engine);
+criterion_main!(benches);

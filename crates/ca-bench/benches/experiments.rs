@@ -1,0 +1,193 @@
+//! One bench per experiment table: times the kernel that regenerates each of
+//! E1–E12 (at reduced trial counts — the full tables come from the `expt`
+//! binary; these benches document the cost of regenerating each one).
+
+use ca_analysis::exact::{protocol_a_worst_pa, protocol_s_outcomes, protocol_s_worst_pa};
+use ca_analysis::runs::{isolated_pair_run, ml_staircase, tree_run};
+use ca_analysis::tradeoff::{min_rounds_for_certain_liveness, min_rounds_lower_bound};
+use ca_core::clip::clip;
+use ca_core::flow::FlowGraph;
+use ca_core::graph::Graph;
+use ca_core::ids::ProcessId;
+use ca_core::level::{levels, modified_levels};
+use ca_core::run::Run;
+use ca_sim::{cut_family, simulate, FixedRun, RandomDrop, SimConfig};
+use ca_protocols::ProtocolS;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const TRIALS: u64 = 200;
+
+fn e1_protocol_a_unsafety(c: &mut Criterion) {
+    let graph = Graph::complete(2).expect("graph");
+    c.bench_function("e1_exact_worst_pa_protocol_a_n16", |b| {
+        let family = cut_family(&graph, 16);
+        b.iter(|| protocol_a_worst_pa(black_box(&graph), black_box(&family), 16))
+    });
+}
+
+fn e2_liveness_cliff(c: &mut Criterion) {
+    let graph = Graph::complete(2).expect("graph");
+    c.bench_function("e2_exact_outcomes_single_drop", |b| {
+        let mut run = Run::good(&graph, 8);
+        run.remove_message(ProcessId::new(0), ProcessId::new(1), ca_core::ids::Round::new(2));
+        b.iter(|| {
+            (
+                ca_analysis::exact::protocol_a_outcomes(black_box(&graph), black_box(&run), 8),
+                protocol_s_outcomes(black_box(&graph), black_box(&run), 8),
+            )
+        })
+    });
+}
+
+fn e3_bound_check(c: &mut Criterion) {
+    let graph = Graph::complete(3).expect("graph");
+    c.bench_function("e3_bound_check_staircase_k3", |b| {
+        let family = ml_staircase(&graph, 8);
+        b.iter(|| {
+            family
+                .iter()
+                .map(|run| {
+                    let l = levels(run).min_level();
+                    let ta = protocol_s_outcomes(&graph, run, 10).ta;
+                    (l, ta)
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+}
+
+fn e4_s_unsafety(c: &mut Criterion) {
+    let graph = Graph::complete(2).expect("graph");
+    c.bench_function("e4_exact_worst_pa_protocol_s_n10", |b| {
+        let family = cut_family(&graph, 10);
+        b.iter(|| protocol_s_worst_pa(black_box(&graph), black_box(&family), 8))
+    });
+}
+
+fn e5_liveness_curve(c: &mut Criterion) {
+    let graph = Graph::complete(2).expect("graph");
+    c.bench_function("e5_staircase_exact_n10", |b| {
+        let family = ml_staircase(&graph, 10);
+        b.iter(|| {
+            family
+                .iter()
+                .map(|run| protocol_s_outcomes(&graph, run, 8).ta)
+                .collect::<Vec<_>>()
+        })
+    });
+}
+
+fn e6_e7_level_census(c: &mut Criterion) {
+    let graph = Graph::ring(5).expect("graph");
+    let run = Run::good(&graph, 8);
+    c.bench_function("e6_levels_and_ml_ring5", |b| {
+        b.iter(|| (levels(black_box(&run)), modified_levels(black_box(&run))))
+    });
+}
+
+fn e8_tree_run_and_clip(c: &mut Criterion) {
+    let graph = Graph::star(8).expect("graph");
+    c.bench_function("e8_tree_run_clip_star8", |b| {
+        b.iter(|| {
+            let run = tree_run(&graph, 6);
+            clip(&run, ProcessId::LEADER)
+        })
+    });
+}
+
+fn e9_crossover(c: &mut Criterion) {
+    let graph = Graph::complete(2).expect("graph");
+    c.bench_function("e9_min_rounds_t64", |b| {
+        b.iter(|| {
+            (
+                min_rounds_lower_bound(black_box(&graph), 64, 96),
+                min_rounds_for_certain_liveness(black_box(&graph), 64, 96),
+            )
+        })
+    });
+}
+
+fn e10_weak_adversary_mc(c: &mut Criterion) {
+    let graph = Graph::complete(2).expect("graph");
+    let proto = ProtocolS::new(1.0 / 12.0);
+    let sampler = RandomDrop::new(&graph, 24, 0.1);
+    c.bench_function("e10_mc_batch_random_drop", |b| {
+        b.iter(|| {
+            simulate(
+                &proto,
+                &graph,
+                &sampler,
+                SimConfig {
+                    trials: TRIALS,
+                    seed: 1,
+                    threads: 1,
+                },
+            )
+        })
+    });
+}
+
+fn e11_topology_levels(c: &mut Criterion) {
+    c.bench_function("e11_levels_all_topologies", |b| {
+        let graphs = [
+            Graph::complete(8).expect("graph"),
+            Graph::ring(8).expect("graph"),
+            Graph::line(8).expect("graph"),
+        ];
+        b.iter(|| {
+            graphs
+                .iter()
+                .map(|g| levels(&Run::good(g, 24)).min_level())
+                .collect::<Vec<_>>()
+        })
+    });
+}
+
+fn e12_causal_independence(c: &mut Criterion) {
+    let graph = Graph::complete(4).expect("graph");
+    let run = isolated_pair_run(&graph, 4, ProcessId::new(1), ProcessId::new(2));
+    c.bench_function("e12_causal_independence_check", |b| {
+        b.iter(|| {
+            let flow = FlowGraph::new(black_box(&run));
+            flow.causally_independent(ProcessId::new(1), ProcessId::new(2))
+        })
+    });
+}
+
+fn mc_fixed_run_throughput(c: &mut Criterion) {
+    let graph = Graph::complete(2).expect("graph");
+    let proto = ProtocolS::new(0.125);
+    let sampler = FixedRun::new(Run::good(&graph, 8));
+    c.bench_function("mc_fixed_run_200_trials", |b| {
+        b.iter(|| {
+            simulate(
+                &proto,
+                &graph,
+                &sampler,
+                SimConfig {
+                    trials: TRIALS,
+                    seed: 2,
+                    threads: 1,
+                },
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    e1_protocol_a_unsafety,
+    e2_liveness_cliff,
+    e3_bound_check,
+    e4_s_unsafety,
+    e5_liveness_curve,
+    e6_e7_level_census,
+    e8_tree_run_and_clip,
+    e9_crossover,
+    e10_weak_adversary_mc,
+    e11_topology_levels,
+    e12_causal_independence,
+    mc_fixed_run_throughput
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Benchmarks of the model substrate: levels, clipping, flows-to.
+//!
+//! These are the kernels every experiment calls thousands of times; the
+//! benches document their scaling in `m` (processes) and `N` (rounds).
+
+use ca_bench::{bench_graphs, bench_run};
+use ca_core::clip::clip;
+use ca_core::flow::FlowGraph;
+use ca_core::ids::{ProcessId, Round};
+use ca_core::level::{levels, modified_levels};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_levels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("levels");
+    for (name, graph) in bench_graphs() {
+        let run = bench_run(&graph, 16, 0.7, 1);
+        group.bench_with_input(BenchmarkId::new("L", name), &run, |b, run| {
+            b.iter(|| levels(black_box(run)))
+        });
+        group.bench_with_input(BenchmarkId::new("ML", name), &run, |b, run| {
+            b.iter(|| modified_levels(black_box(run)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_clip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clip");
+    for (name, graph) in bench_graphs() {
+        let run = bench_run(&graph, 16, 0.7, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &run, |b, run| {
+            b.iter(|| clip(black_box(run), ProcessId::LEADER))
+        });
+    }
+    group.finish();
+}
+
+fn bench_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow");
+    for (name, graph) in bench_graphs() {
+        let run = bench_run(&graph, 16, 0.7, 3);
+        group.bench_with_input(BenchmarkId::new("index", name), &run, |b, run| {
+            b.iter(|| FlowGraph::new(black_box(run)))
+        });
+        let flow = FlowGraph::new(&run);
+        let last = ProcessId::new(graph.len() as u32 - 1);
+        group.bench_with_input(BenchmarkId::new("reach_to", name), &flow, |b, flow| {
+            b.iter(|| flow.reach_to(black_box(last), Round::new(16)))
+        });
+        group.bench_with_input(BenchmarkId::new("env_reach", name), &flow, |b, flow| {
+            b.iter(|| flow.env_reach())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_levels, bench_clip, bench_flow);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Benchmarks of full protocol executions.
+//!
+//! `Ex(R, α)` for Protocol S across topologies (the experiments' inner
+//! loop), Protocol A on the 2-clique, and the repetition combinator.
+
+use ca_bench::{bench_graphs, bench_run};
+use ca_core::exec::execute_outputs;
+use ca_core::graph::Graph;
+use ca_core::run::Run;
+use ca_core::tape::TapeSet;
+use ca_protocols::{CombineRule, DeterministicFlood, ProtocolA, ProtocolS, Repeat};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_protocol_s(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_s_execution");
+    let proto = ProtocolS::new(1.0 / 8.0);
+    for (name, graph) in bench_graphs() {
+        let run = bench_run(&graph, 16, 0.7, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let tapes = TapeSet::random(&mut rng, graph.len(), 64);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &run, |b, run| {
+            b.iter(|| execute_outputs(&proto, black_box(&graph), black_box(run), &tapes))
+        });
+    }
+    group.finish();
+}
+
+fn bench_protocol_a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_a_execution");
+    let graph = Graph::complete(2).expect("graph");
+    for n in [8u32, 32, 128] {
+        let proto = ProtocolA::new(n);
+        let run = Run::good(&graph, n);
+        let mut rng = StdRng::seed_from_u64(6);
+        let tapes = TapeSet::random(&mut rng, 2, proto_tape_bits(&proto));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &run, |b, run| {
+            b.iter(|| execute_outputs(&proto, black_box(&graph), black_box(run), &tapes))
+        });
+    }
+    group.finish();
+}
+
+fn proto_tape_bits<P: ca_core::protocol::Protocol>(p: &P) -> usize {
+    p.tape_bits().max(1)
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_execution");
+    let graph = Graph::complete(8).expect("graph");
+    let run = bench_run(&graph, 16, 0.7, 7);
+    let mut rng = StdRng::seed_from_u64(8);
+
+    let flood = DeterministicFlood::new();
+    let tapes = TapeSet::random(&mut rng, 8, 1);
+    group.bench_function("det_flood_K8", |b| {
+        b.iter(|| execute_outputs(&flood, black_box(&graph), black_box(&run), &tapes))
+    });
+
+    let graph2 = Graph::complete(2).expect("graph");
+    let run2 = Run::good(&graph2, 16);
+    let rep = Repeat::new(ProtocolA::new(16), 4, CombineRule::All);
+    let tapes2 = TapeSet::random(&mut rng, 2, proto_tape_bits(&rep));
+    group.bench_function("repeat4_A_K2", |b| {
+        b.iter(|| execute_outputs(&rep, black_box(&graph2), black_box(&run2), &tapes2))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocol_s, bench_protocol_a, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,224 @@
+//! `ca`: a command-line explorer for the coordinated-attack workspace.
+//!
+//! ```text
+//! ca levels   --graph k2 --rounds 8 --cut 4        # level tables for a run
+//! ca trace    --graph k3 --rounds 5 --epsilon 0.25 # one traced execution of S
+//! ca simulate --graph k2 --rounds 8 --epsilon 0.125 --cut 4 --trials 20000
+//! ca exact    --graph star4 --rounds 8 --t 5 --cut 3
+//! ca graphs                                        # list available topologies
+//! ```
+//!
+//! Graph names: `k<m>` (complete), `line<m>`, `ring<m>`, `star<m>`,
+//! `grid<r>x<c>`, `cube<d>`, `torus<r>x<c>`.
+
+use ca_analysis::exact::protocol_s_outcomes;
+use ca_analysis::report::Table;
+use ca_core::exec::execute;
+use ca_core::graph::Graph;
+use ca_core::ids::{ProcessId, Round};
+use ca_core::level::{levels, modified_levels};
+use ca_core::run::Run;
+use ca_core::tape::TapeSet;
+use ca_sim::trace::{render_run, render_trace};
+use ca_sim::{simulate, FixedRun, SimConfig};
+use ca_protocols::ProtocolS;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+fn parse_graph(name: &str) -> Result<Graph, String> {
+    let err = |e: ca_core::ModelError| format!("bad graph `{name}`: {e}");
+    if let Some(m) = name.strip_prefix('k') {
+        return Graph::complete(m.parse().map_err(|_| format!("bad size in `{name}`"))?)
+            .map_err(err);
+    }
+    if let Some(m) = name.strip_prefix("line") {
+        return Graph::line(m.parse().map_err(|_| format!("bad size in `{name}`"))?).map_err(err);
+    }
+    if let Some(m) = name.strip_prefix("ring") {
+        return Graph::ring(m.parse().map_err(|_| format!("bad size in `{name}`"))?).map_err(err);
+    }
+    if let Some(m) = name.strip_prefix("star") {
+        return Graph::star(m.parse().map_err(|_| format!("bad size in `{name}`"))?).map_err(err);
+    }
+    if let Some(d) = name.strip_prefix("cube") {
+        return Graph::hypercube(d.parse().map_err(|_| format!("bad dim in `{name}`"))?)
+            .map_err(err);
+    }
+    type GraphCtor = fn(usize, usize) -> Result<Graph, ca_core::ModelError>;
+    for (prefix, ctor) in [
+        ("grid", Graph::grid as GraphCtor),
+        ("torus", Graph::torus as GraphCtor),
+    ] {
+        if let Some(dims) = name.strip_prefix(prefix) {
+            let (r, c) = dims
+                .split_once('x')
+                .ok_or_else(|| format!("`{name}` needs RxC dimensions"))?;
+            let r = r.parse().map_err(|_| format!("bad rows in `{name}`"))?;
+            let c = c.parse().map_err(|_| format!("bad cols in `{name}`"))?;
+            return ctor(r, c).map_err(err);
+        }
+    }
+    Err(format!("unknown graph `{name}` (try `ca graphs`)"))
+}
+
+#[derive(Debug)]
+struct Opts {
+    graph: String,
+    rounds: u32,
+    epsilon: f64,
+    t: u64,
+    cut: Option<u32>,
+    drop_link: Option<(u32, u32, u32)>,
+    trials: u64,
+    seed: u64,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            graph: "k2".to_owned(),
+            rounds: 8,
+            epsilon: 0.125,
+            t: 8,
+            cut: None,
+            drop_link: None,
+            trials: 10_000,
+            seed: 42,
+        }
+    }
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut next = |what: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{arg} requires {what}"))
+        };
+        match arg.as_str() {
+            "--graph" => opts.graph = next("a graph name")?,
+            "--rounds" => {
+                opts.rounds = next("a count")?.parse().map_err(|_| "bad --rounds".to_owned())?
+            }
+            "--epsilon" => {
+                opts.epsilon = next("a value")?.parse().map_err(|_| "bad --epsilon".to_owned())?;
+                opts.t = (1.0 / opts.epsilon).round() as u64;
+            }
+            "--t" => {
+                opts.t = next("a value")?.parse().map_err(|_| "bad --t".to_owned())?;
+                opts.epsilon = 1.0 / opts.t as f64;
+            }
+            "--cut" => opts.cut = Some(next("a round")?.parse().map_err(|_| "bad --cut".to_owned())?),
+            "--drop-link" => {
+                let spec = next("FROM:TO:ROUND")?;
+                let parts: Vec<_> = spec.split(':').collect();
+                if parts.len() != 3 {
+                    return Err("--drop-link needs FROM:TO:ROUND".to_owned());
+                }
+                opts.drop_link = Some((
+                    parts[0].parse().map_err(|_| "bad FROM".to_owned())?,
+                    parts[1].parse().map_err(|_| "bad TO".to_owned())?,
+                    parts[2].parse().map_err(|_| "bad ROUND".to_owned())?,
+                ));
+            }
+            "--trials" => {
+                opts.trials = next("a count")?.parse().map_err(|_| "bad --trials".to_owned())?
+            }
+            "--seed" => opts.seed = next("a seed")?.parse().map_err(|_| "bad --seed".to_owned())?,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn build_run(graph: &Graph, opts: &Opts) -> Run {
+    let mut run = Run::good(graph, opts.rounds);
+    if let Some(cut) = opts.cut {
+        run.cut_from_round(Round::new(cut));
+    }
+    if let Some((from, to, round)) = opts.drop_link {
+        run.cut_link_from_round(ProcessId::new(from), ProcessId::new(to), Round::new(round));
+    }
+    run
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        eprintln!("usage: ca <levels|trace|simulate|exact|graphs> [flags] (see --help)");
+        return ExitCode::FAILURE;
+    };
+    if command == "--help" || command == "-h" {
+        println!(
+            "ca — explore the coordinated-attack model\n\
+             commands: levels, trace, simulate, exact, graphs\n\
+             flags: --graph NAME --rounds N --epsilon E | --t T --cut R \
+             --drop-link F:T:R --trials K --seed S"
+        );
+        return ExitCode::SUCCESS;
+    }
+    if command == "graphs" {
+        println!("k<m>  line<m>  ring<m>  star<m>  grid<r>x<c>  torus<r>x<c>  cube<d>");
+        return ExitCode::SUCCESS;
+    }
+    let opts = match parse_opts(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let graph = match parse_graph(&opts.graph) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let run = build_run(&graph, &opts);
+
+    match command {
+        "levels" => {
+            print!("{}", render_run(&run));
+            let l = levels(&run);
+            let ml = modified_levels(&run);
+            let mut table = Table::new(["process", "L_i(R)", "ML_i(R)"]);
+            for i in graph.vertices() {
+                table.push_row([i.to_string(), l.level(i).to_string(), ml.level(i).to_string()]);
+            }
+            println!("\n{table}");
+            println!("L(R) = {}, ML(R) = {}", l.min_level(), ml.min_level());
+        }
+        "trace" => {
+            let proto = ProtocolS::new(opts.epsilon);
+            let mut rng = StdRng::seed_from_u64(opts.seed);
+            let tapes = TapeSet::random(&mut rng, graph.len(), 64);
+            let ex = execute(&proto, &graph, &run, &tapes);
+            print!("{}", render_trace(&graph, &run, &ex));
+        }
+        "simulate" => {
+            let proto = ProtocolS::new(opts.epsilon);
+            let report = simulate(
+                &proto,
+                &graph,
+                &FixedRun::new(run),
+                SimConfig::new(opts.trials, opts.seed),
+            );
+            println!("{report}");
+        }
+        "exact" => {
+            let out = protocol_s_outcomes(&graph, &run, opts.t);
+            let ml = modified_levels(&run).min_level();
+            println!("ML(R) = {ml}, ε = 1/{}", opts.t);
+            println!("Pr[TA|R] = {}   Pr[NA|R] = {}   Pr[PA|R] = {}", out.ta, out.na, out.pa);
+        }
+        other => {
+            eprintln!("error: unknown command `{other}`");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,171 @@
+//! The experiment runner: regenerates every table of the reproduction.
+//!
+//! ```text
+//! expt                 # run all experiments at quick scale
+//! expt --full          # paper-grade trial counts
+//! expt e4 e5           # only the named experiments
+//! expt --csv out/      # additionally dump each table as CSV
+//! expt --list          # list experiment ids and titles
+//! ```
+//!
+//! Exit code is nonzero if any experiment's paper-shape checks fail.
+
+use ca_analysis::experiments::{all_experiments, experiment_by_id, Experiment, Scale};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    full: bool,
+    list: bool,
+    csv_dir: Option<PathBuf>,
+    ids: Vec<String>,
+    trials: Option<u64>,
+    seed: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        full: false,
+        list: false,
+        csv_dir: None,
+        ids: Vec::new(),
+        trials: None,
+        seed: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--full" => args.full = true,
+            "--list" => args.list = true,
+            "--csv" => {
+                let dir = it.next().ok_or("--csv requires a directory")?;
+                args.csv_dir = Some(PathBuf::from(dir));
+            }
+            "--trials" => {
+                let v = it.next().ok_or("--trials requires a number")?;
+                args.trials = Some(v.parse().map_err(|_| format!("bad trial count `{v}`"))?);
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed requires a number")?;
+                args.seed = Some(v.parse().map_err(|_| format!("bad seed `{v}`"))?);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: expt [--full] [--list] [--csv DIR] [--trials N] [--seed S] [EXPERIMENT_ID ...]\n\
+                     runs the E1-E12 paper suite plus the X1-X3 extensions\n\
+                     reproducing Varghese & Lynch (PODC 1992)"
+                );
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => args.ids.push(other.to_owned()),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.list {
+        let mut all = all_experiments();
+        all.extend(ca_async::experiments::extension_experiments());
+        for e in all {
+            println!("{:4}  {}", e.id(), e.title());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let registry = || {
+        let mut all = all_experiments();
+        all.extend(ca_async::experiments::extension_experiments());
+        all
+    };
+
+    let experiments: Vec<Box<dyn Experiment>> = if args.ids.is_empty() {
+        registry()
+    } else {
+        let mut out = Vec::new();
+        for id in &args.ids {
+            let found = experiment_by_id(id).or_else(|| {
+                ca_async::experiments::extension_experiments()
+                    .into_iter()
+                    .find(|e| e.id().eq_ignore_ascii_case(id))
+            });
+            match found {
+                Some(e) => out.push(e),
+                None => {
+                    eprintln!("error: unknown experiment id `{id}` (try --list)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        out
+    };
+
+    let mut scale = if args.full { Scale::full() } else { Scale::quick() };
+    if let Some(trials) = args.trials {
+        scale.trials = trials;
+    }
+    if let Some(seed) = args.seed {
+        scale.seed = seed;
+    }
+    println!(
+        "running {} experiment(s) at {} trials (seed {:#x})\n",
+        experiments.len(),
+        scale.trials,
+        scale.seed
+    );
+
+    if let Some(dir) = &args.csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut all_passed = true;
+    let mut summary: Vec<(String, String, bool, f64)> = Vec::new();
+    for experiment in &experiments {
+        let start = std::time::Instant::now();
+        let result = experiment.run(scale);
+        let secs = start.elapsed().as_secs_f64();
+        println!("{result}");
+        println!("({secs:.1}s)\n");
+        all_passed &= result.passed;
+        summary.push((result.id.clone(), result.title.clone(), result.passed, secs));
+        if let Some(dir) = &args.csv_dir {
+            let path = dir.join(format!("{}.csv", result.id.to_lowercase()));
+            if let Err(e) = std::fs::write(&path, result.table.to_csv()) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    println!("== summary ==");
+    for (id, title, passed, secs) in &summary {
+        println!(
+            "{:4}  {}  {:5.1}s  {}",
+            id,
+            if *passed { "PASS" } else { "FAIL" },
+            secs,
+            title
+        );
+    }
+    println!();
+
+    if all_passed {
+        println!("ALL EXPERIMENTS PASSED");
+        ExitCode::SUCCESS
+    } else {
+        println!("SOME EXPERIMENTS FAILED");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,132 @@
+//! Adversaries: sets of runs the protocol must survive.
+//!
+//! An adversary `𝒜` is simply a set of runs; the unsafety of a protocol
+//! against `𝒜` is the worst-case disagreement probability over runs in `𝒜`.
+//! The paper works with the **strong adversary** `𝒜_s` — every run is
+//! allowed — and sketches a **weak adversary** that destroys messages
+//! probabilistically (Section 8). Adversary *strategies* (how to search for
+//! the worst run) live in `ca-sim`; this module defines the membership
+//! abstraction so bounds can be stated against any run set.
+
+use crate::graph::Graph;
+use crate::run::Run;
+
+/// A set of runs the adversary may choose from.
+pub trait Adversary {
+    /// Short human-readable name.
+    fn name(&self) -> &'static str;
+
+    /// Returns whether the adversary is allowed to produce this run.
+    fn contains(&self, run: &Run) -> bool;
+}
+
+/// The strong adversary `𝒜_s`: all runs (any subset of messages destroyed,
+/// any subset of inputs delivered).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StrongAdversary;
+
+impl StrongAdversary {
+    /// Creates the strong adversary.
+    pub fn new() -> Self {
+        StrongAdversary
+    }
+}
+
+impl Adversary for StrongAdversary {
+    fn name(&self) -> &'static str {
+        "strong"
+    }
+
+    fn contains(&self, _run: &Run) -> bool {
+        true
+    }
+}
+
+/// An adversary restricted to runs that deliver at least the messages of a
+/// mandatory base run (it may destroy only the rest). Useful for studying
+/// conditional unsafety ("the adversary cannot touch the backbone").
+#[derive(Clone, Debug)]
+pub struct AtLeastAdversary {
+    base: Run,
+}
+
+impl AtLeastAdversary {
+    /// Creates an adversary that must deliver at least `base`.
+    pub fn new(base: Run) -> Self {
+        AtLeastAdversary { base }
+    }
+
+    /// The mandatory base run.
+    pub fn base(&self) -> &Run {
+        &self.base
+    }
+}
+
+impl Adversary for AtLeastAdversary {
+    fn name(&self) -> &'static str {
+        "at-least"
+    }
+
+    fn contains(&self, run: &Run) -> bool {
+        self.base.is_subset(run)
+    }
+}
+
+/// Enumerates the *prefix-cut* family of runs: full delivery and full input
+/// until a cut round `c`, then nothing from round `c` on — one run per
+/// `c ∈ 1..=n+1` (where `c = n+1` is the good run). This family contains the
+/// worst case for the chain-style protocols of the paper and is the cheap
+/// first line of adversary search.
+pub fn prefix_cut_runs(graph: &Graph, n: u32) -> Vec<Run> {
+    (1..=n + 1)
+        .map(|c| {
+            let mut run = Run::good(graph, n);
+            if c <= n {
+                run.cut_from_round(crate::ids::Round::new(c));
+            }
+            run
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    #[test]
+    fn strong_adversary_contains_everything() {
+        let g = Graph::complete(2).unwrap();
+        let adv = StrongAdversary::new();
+        assert_eq!(adv.name(), "strong");
+        assert!(adv.contains(&Run::empty(2, 3)));
+        assert!(adv.contains(&Run::good(&g, 3)));
+    }
+
+    #[test]
+    fn at_least_adversary_requires_base() {
+        let g = Graph::complete(2).unwrap();
+        let base = Run::good_with_inputs(&g, 2, &[]);
+        let adv = AtLeastAdversary::new(base.clone());
+        assert!(adv.contains(&Run::good(&g, 2)));
+        assert!(!adv.contains(&Run::empty(2, 2)));
+        assert_eq!(adv.base(), &base);
+    }
+
+    #[test]
+    fn prefix_cut_family_shape() {
+        let g = Graph::complete(2).unwrap();
+        let runs = prefix_cut_runs(&g, 3);
+        assert_eq!(runs.len(), 4);
+        // c = 1: nothing delivered.
+        assert_eq!(runs[0].message_count(), 0);
+        // c = 2: only round 1 delivered (2 directed slots).
+        assert_eq!(runs[1].message_count(), 2);
+        // c = 4 (= n+1): the good run.
+        assert_eq!(runs[3], Run::good(&g, 3));
+        // All keep the full input set.
+        for r in &runs {
+            assert_eq!(r.input_count(), 2);
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! A small fixed-capacity bitset used for process sets and reachability masks.
+//!
+//! The model deals in sets of processes (e.g. Protocol S's `seen_i`, the set
+//! of processes an information level has reached) and sets of `(process,
+//! round)` pairs. A compact bitset keeps those operations allocation-free in
+//! the inner simulation loops.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A fixed-capacity set of small integers backed by `u64` blocks.
+///
+/// # Examples
+///
+/// ```
+/// use ca_core::bitset::BitSet;
+/// let mut s = BitSet::new(10);
+/// s.insert(3);
+/// s.insert(7);
+/// assert!(s.contains(3));
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 7]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitSet {
+    blocks: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set with room for elements `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            blocks: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Creates a set containing all of `0..capacity`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ca_core::bitset::BitSet;
+    /// let s = BitSet::full(5);
+    /// assert_eq!(s.len(), 5);
+    /// assert!(s.is_full());
+    /// ```
+    pub fn full(capacity: usize) -> Self {
+        let mut s = BitSet::new(capacity);
+        for b in s.blocks.iter_mut() {
+            *b = u64::MAX;
+        }
+        s.trim();
+        s
+    }
+
+    /// Creates a set from an iterator of elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element is `>= capacity`.
+    pub fn from_iter_with_capacity(capacity: usize, iter: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = BitSet::new(capacity);
+        for x in iter {
+            s.insert(x);
+        }
+        s
+    }
+
+    /// The capacity (one past the largest storable element).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `x`, returning whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= capacity`.
+    pub fn insert(&mut self, x: usize) -> bool {
+        assert!(x < self.capacity, "element {x} out of range 0..{}", self.capacity);
+        let (b, bit) = (x / 64, 1u64 << (x % 64));
+        let fresh = self.blocks[b] & bit == 0;
+        self.blocks[b] |= bit;
+        fresh
+    }
+
+    /// Removes `x`, returning whether it was present.
+    pub fn remove(&mut self, x: usize) -> bool {
+        if x >= self.capacity {
+            return false;
+        }
+        let (b, bit) = (x / 64, 1u64 << (x % 64));
+        let present = self.blocks[b] & bit != 0;
+        self.blocks[b] &= !bit;
+        present
+    }
+
+    /// Returns whether `x` is in the set.
+    pub fn contains(&self, x: usize) -> bool {
+        x < self.capacity && self.blocks[x / 64] & (1u64 << (x % 64)) != 0
+    }
+
+    /// Number of elements in the set.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Returns whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Returns whether the set contains all of `0..capacity`.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.capacity
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        for b in self.blocks.iter_mut() {
+            *b = 0;
+        }
+    }
+
+    /// In-place union with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= b;
+        }
+    }
+
+    /// Returns whether `self` is a subset of `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over the elements in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            block: 0,
+            bits: self.blocks.first().copied().unwrap_or(0),
+        }
+    }
+
+    fn trim(&mut self) {
+        let extra = self.blocks.len() * 64 - self.capacity;
+        if extra > 0 {
+            if let Some(last) = self.blocks.last_mut() {
+                *last &= u64::MAX >> extra;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl Extend<usize> for BitSet {
+    fn extend<T: IntoIterator<Item = usize>>(&mut self, iter: T) {
+        for x in iter {
+            self.insert(x);
+        }
+    }
+}
+
+/// Iterator over the elements of a [`BitSet`] in increasing order.
+#[derive(Clone, Debug)]
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    block: usize,
+    bits: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.bits != 0 {
+                let tz = self.bits.trailing_zeros() as usize;
+                self.bits &= self.bits - 1;
+                return Some(self.block * 64 + tz);
+            }
+            self.block += 1;
+            if self.block >= self.set.blocks.len() {
+                return None;
+            }
+            self.bits = self.set.blocks[self.block];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(100);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(99));
+        assert!(!s.insert(99), "re-insert reports not fresh");
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(99));
+        assert!(!s.contains(1));
+        assert!(s.remove(63));
+        assert!(!s.remove(63));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        BitSet::new(4).insert(4);
+    }
+
+    #[test]
+    fn full_and_trim() {
+        let s = BitSet::full(65);
+        assert_eq!(s.len(), 65);
+        assert!(s.is_full());
+        assert!(s.contains(64));
+        let s = BitSet::full(64);
+        assert_eq!(s.len(), 64);
+    }
+
+    #[test]
+    fn union_intersect_subset() {
+        let a = BitSet::from_iter_with_capacity(10, [1, 3, 5]);
+        let b = BitSet::from_iter_with_capacity(10, [3, 4]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 3, 4, 5]);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![3]);
+        assert!(i.is_subset(&a));
+        assert!(i.is_subset(&b));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn iter_crosses_block_boundaries() {
+        let s = BitSet::from_iter_with_capacity(200, [0, 63, 64, 127, 128, 199]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 127, 128, 199]);
+    }
+
+    #[test]
+    fn zero_capacity() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert!(s.is_full());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn debug_formatting_nonempty() {
+        let s = BitSet::from_iter_with_capacity(8, [2, 5]);
+        assert_eq!(format!("{s:?}"), "{2, 5}");
+        let empty = BitSet::new(8);
+        assert_eq!(format!("{empty:?}"), "{}");
+    }
+
+    #[test]
+    fn extend_trait() {
+        let mut s = BitSet::new(8);
+        s.extend([1usize, 2, 3]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn union_capacity_mismatch_panics() {
+        let mut a = BitSet::new(8);
+        a.union_with(&BitSet::new(9));
+    }
+
+    #[test]
+    fn remove_out_of_range_is_noop() {
+        let mut s = BitSet::new(4);
+        assert!(!s.remove(100));
+        assert!(!s.contains(100));
+    }
+}

@@ -1,0 +1,204 @@
+//! The clipping construction `Clip_i(R)` (Section 4).
+//!
+//! `Clip_i(R) = {(j, k, r) ∈ R : (k, r) flows to (i, N)}` — the sub-run that
+//! keeps exactly the tuples whose *receipt* is causally visible to `i` by the
+//! end of the run. Clipping preserves everything `i` can observe
+//! (Lemma 4.2: `L_i(R) = L_i(Clip_i(R))` and `R ≡ᵢ Clip_i(R)`), while
+//! discarding information flow invisible to `i` — the key step in both lower
+//! bounds.
+
+use crate::flow::FlowGraph;
+use crate::ids::{ProcessId, Round};
+use crate::run::Run;
+
+/// Computes `Clip_i(R)`: the run keeping only tuples whose receiving endpoint
+/// flows to `(i, N)`.
+///
+/// Input tuples `(v₀, j, 0)` are kept iff `(j, 0)` flows to `(i, N)`;
+/// message tuples `(j, k, r)` are kept iff `(k, r)` flows to `(i, N)`.
+///
+/// # Examples
+///
+/// ```
+/// use ca_core::{graph::Graph, run::Run, clip::clip, ids::ProcessId};
+/// let g = Graph::complete(2)?;
+/// let run = Run::good(&g, 3);
+/// let clipped = clip(&run, ProcessId::new(0));
+/// // Messages delivered *to* the other process in the last round never flow
+/// // back to process 0, so clipping drops them.
+/// assert!(clipped.message_count() < run.message_count());
+/// assert!(clipped.is_subset(&run));
+/// # Ok::<(), ca_core::error::ModelError>(())
+/// ```
+pub fn clip(run: &Run, i: ProcessId) -> Run {
+    let n = run.horizon();
+    let flow = FlowGraph::new(run);
+    let back = flow.reach_to(i, Round::new(n));
+
+    let mut out = Run::empty(run.process_count(), n);
+    for j in run.inputs() {
+        if back.contains(j, Round::INPUT) {
+            out.add_input(j);
+        }
+    }
+    for slot in run.messages() {
+        if back.contains(slot.to, slot.round) {
+            out.add_message(slot.from, slot.to, slot.round);
+        }
+    }
+    out
+}
+
+/// Returns whether `run` is already clipped with respect to `i`
+/// (i.e. `Clip_i(run) == run`).
+pub fn is_clipped(run: &Run, i: ProcessId) -> bool {
+    clip(run, i) == *run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::level::{levels, modified_levels};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+    fn r(i: u32) -> Round {
+        Round::new(i)
+    }
+
+    fn random_run<RG: Rng>(g: &Graph, n: u32, keep: f64, rng: &mut RG) -> Run {
+        let mut run = Run::good(g, n);
+        for i in g.vertices() {
+            if !rng.gen_bool(keep) {
+                run.remove_input(i);
+            }
+        }
+        let slots: Vec<_> = run.messages().collect();
+        for s in slots {
+            if !rng.gen_bool(keep) {
+                run.remove_message(s.from, s.to, s.round);
+            }
+        }
+        run
+    }
+
+    #[test]
+    fn clip_drops_invisible_last_round_messages() {
+        let g = Graph::complete(2).unwrap();
+        let run = Run::good(&g, 3);
+        let clipped = clip(&run, p(0));
+        // The message 0→1 in round 3 is received by 1 at the end; (1,3) does
+        // not flow back to (0,3). It must be dropped.
+        assert!(!clipped.delivers(p(0), p(1), r(3)));
+        // The message 1→0 in round 3 is received by 0: kept.
+        assert!(clipped.delivers(p(1), p(0), r(3)));
+        assert!(clipped.is_subset(&run));
+    }
+
+    #[test]
+    fn clip_is_idempotent() {
+        let g = Graph::ring(4).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..30 {
+            let run = random_run(&g, 4, 0.6, &mut rng);
+            for i in g.vertices() {
+                let once = clip(&run, i);
+                let twice = clip(&once, i);
+                assert_eq!(once, twice, "clipping must be idempotent");
+                assert!(is_clipped(&once, i));
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_4_2_levels_preserved() {
+        // L_i(R) = L_i(Clip_i(R)), and the same for ML.
+        let g = Graph::complete(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..40 {
+            let run = random_run(&g, 4, 0.55, &mut rng);
+            for i in g.vertices() {
+                let clipped = clip(&run, i);
+                assert_eq!(
+                    levels(&run).level(i),
+                    levels(&clipped).level(i),
+                    "L_i changed by clipping: {run:?}"
+                );
+                assert_eq!(
+                    modified_levels(&run).level(i),
+                    modified_levels(&clipped).level(i),
+                    "ML_i changed by clipping: {run:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_5_2_some_process_lags_in_clipped_run() {
+        // If L_i(R) = l > 0 then some k has L_k(Clip_i(R)) ≤ l - 1.
+        let g = Graph::complete(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut checked = 0;
+        for _ in 0..60 {
+            let run = random_run(&g, 4, 0.6, &mut rng);
+            for i in g.vertices() {
+                let l = levels(&run).level(i);
+                if l == 0 {
+                    continue;
+                }
+                checked += 1;
+                let clipped = clip(&run, i);
+                let lc = levels(&clipped);
+                let min_other = g.vertices().map(|k| lc.level(k)).min().unwrap();
+                assert!(
+                    min_other < l,
+                    "Lemma 5.2 violated: L_i={l}, clipped levels {:?}",
+                    lc.final_levels()
+                );
+            }
+        }
+        assert!(checked > 20, "test exercised enough nonzero-level cases");
+    }
+
+    #[test]
+    fn clip_of_empty_is_empty() {
+        let run = Run::empty(3, 3);
+        assert_eq!(clip(&run, p(1)), run);
+    }
+
+    #[test]
+    fn clip_keeps_input_only_if_visible() {
+        let g = Graph::complete(2).unwrap();
+        let mut run = Run::empty(2, 2);
+        run.add_input(p(0));
+        run.add_input(p(1));
+        // No messages: process 0 sees only its own input.
+        let clipped = clip(&run, p(0));
+        assert!(clipped.has_input(p(0)));
+        assert!(!clipped.has_input(p(1)));
+        let _ = g;
+    }
+
+    #[test]
+    fn base_case_of_lemma_5_3_clipped_run_has_no_input() {
+        // If L_i(R) = 0 then Clip_i(R) has empty input set.
+        let g = Graph::complete(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut checked = 0;
+        for _ in 0..80 {
+            let run = random_run(&g, 3, 0.4, &mut rng);
+            for i in g.vertices() {
+                if levels(&run).level(i) == 0 {
+                    checked += 1;
+                    let clipped = clip(&run, i);
+                    assert!(!clipped.has_any_input(), "I(Clip_i(R)) must be empty");
+                }
+            }
+        }
+        assert!(checked > 5);
+    }
+}

@@ -1,0 +1,97 @@
+//! Error types for the coordinated-attack model.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced when constructing or validating model objects.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A graph was required to have at least this many vertices.
+    TooFewProcesses {
+        /// Number of vertices provided.
+        got: usize,
+        /// Minimum required.
+        min: usize,
+    },
+    /// A graph supports at most this many vertices (seen-set bitmask width).
+    TooManyProcesses {
+        /// Number of vertices provided.
+        got: usize,
+        /// Maximum supported.
+        max: usize,
+    },
+    /// An edge endpoint referred to a vertex outside the graph.
+    VertexOutOfRange {
+        /// The offending vertex index.
+        vertex: usize,
+        /// Number of vertices in the graph.
+        m: usize,
+    },
+    /// Self-loops are not allowed in the communication graph.
+    SelfLoop {
+        /// The vertex with the self-loop.
+        vertex: usize,
+    },
+    /// A run referenced a message slot that does not exist
+    /// (non-edge, or round outside `1..=N`).
+    InvalidMessageSlot {
+        /// Reason the slot is invalid.
+        reason: &'static str,
+    },
+    /// A parameter was outside its legal range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::TooFewProcesses { got, min } => {
+                write!(f, "graph has {got} processes but at least {min} are required")
+            }
+            ModelError::TooManyProcesses { got, max } => {
+                write!(f, "graph has {got} processes but at most {max} are supported")
+            }
+            ModelError::VertexOutOfRange { vertex, m } => {
+                write!(f, "vertex {vertex} out of range for graph with {m} vertices")
+            }
+            ModelError::SelfLoop { vertex } => {
+                write!(f, "self-loop at vertex {vertex} is not allowed")
+            }
+            ModelError::InvalidMessageSlot { reason } => {
+                write!(f, "invalid message slot: {reason}")
+            }
+            ModelError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl StdError for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = ModelError::TooFewProcesses { got: 1, min: 2 };
+        assert_eq!(e.to_string(), "graph has 1 processes but at least 2 are required");
+        let e = ModelError::SelfLoop { vertex: 3 };
+        assert!(e.to_string().contains("self-loop"));
+        let e = ModelError::InvalidParameter { name: "epsilon", reason: "must be positive" };
+        assert!(e.to_string().contains("epsilon"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

@@ -1,0 +1,434 @@
+//! The *flows-to* relation: information flow / possible causality in a run.
+//!
+//! `(i, r)` **directly flows to** `(k, s)` in run `R` iff `s = r + 1` and
+//! either `i = k` (a process remembers its own state) or `(i, k, s) ∈ R`
+//! (a message sent by `i` is delivered to `k` in round `s`). *Flows to* is
+//! the reflexive transitive closure (Lamport's happens-before specialized to
+//! this synchronous model). The environment pair `(v₀, -1)` directly flows to
+//! `(j, 0)` iff the input tuple `(v₀, j, 0)` is in the run.
+//!
+//! Everything in the paper's lower bounds is phrased in terms of this
+//! relation: information levels (module [`crate::level`]), the clipping
+//! construction (module [`crate::clip`]), and causal independence
+//! (Lemma A.2).
+
+use crate::bitset::BitSet;
+use crate::ids::{ProcessId, Round};
+use crate::run::Run;
+use std::fmt;
+
+/// Per-round delivery index for a run: the delivered messages of each round,
+/// ready for forward/backward reachability sweeps.
+#[derive(Clone, Debug)]
+pub struct FlowGraph {
+    m: usize,
+    n: u32,
+    /// `by_round[r]` (for `r` in `1..=n`) lists delivered `(from, to)` pairs of round `r`.
+    by_round: Vec<Vec<(ProcessId, ProcessId)>>,
+    /// Processes receiving the input signal.
+    inputs: BitSet,
+}
+
+impl FlowGraph {
+    /// Indexes a run for reachability queries.
+    pub fn new(run: &Run) -> Self {
+        let n = run.horizon();
+        let mut by_round = vec![Vec::new(); n as usize + 1];
+        for s in run.messages() {
+            by_round[s.round.index()].push((s.from, s.to));
+        }
+        let mut inputs = BitSet::new(run.process_count());
+        for p in run.inputs() {
+            inputs.insert(p.index());
+        }
+        FlowGraph {
+            m: run.process_count(),
+            n,
+            by_round,
+            inputs,
+        }
+    }
+
+    /// Number of processes.
+    pub fn process_count(&self) -> usize {
+        self.m
+    }
+
+    /// The horizon `N`.
+    pub fn horizon(&self) -> u32 {
+        self.n
+    }
+
+    /// Forward reachability from the environment pair `(v₀, -1)`:
+    /// which `(j, r)` does the input flow to?
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ca_core::{graph::Graph, run::Run, flow::FlowGraph, ids::{ProcessId, Round}};
+    /// let g = Graph::complete(2)?;
+    /// let run = Run::good_with_inputs(&g, 2, &[ProcessId::new(0)]);
+    /// let flow = FlowGraph::new(&run);
+    /// let reach = flow.env_reach();
+    /// assert!(reach.contains(ProcessId::new(0), Round::new(0)));
+    /// assert!(!reach.contains(ProcessId::new(1), Round::new(0)));
+    /// assert!(reach.contains(ProcessId::new(1), Round::new(1))); // via round-1 message
+    /// # Ok::<(), ca_core::error::ModelError>(())
+    /// ```
+    pub fn env_reach(&self) -> Reach {
+        let mut init = BitSet::new(self.m);
+        init.union_with(&self.inputs);
+        self.forward_from(init, Round::INPUT)
+    }
+
+    /// Forward reachability from `(i, r)`: which `(j, s)` with `s ≥ r` does it
+    /// flow to?
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `r > N`.
+    pub fn reach_from(&self, i: ProcessId, r: Round) -> Reach {
+        assert!(i.index() < self.m, "process out of range");
+        assert!(r.get() <= self.n, "round beyond horizon");
+        let mut init = BitSet::new(self.m);
+        init.insert(i.index());
+        self.forward_from(init, r)
+    }
+
+    fn forward_from(&self, init: BitSet, start: Round) -> Reach {
+        let mut per_round: Vec<Option<BitSet>> = vec![None; self.n as usize + 1];
+        let mut cur = init;
+        per_round[start.index()] = Some(cur.clone());
+        for r in (start.get() + 1)..=self.n {
+            // Messages of round r carry end-of-round-(r-1) state: test
+            // membership against the previous round's set, not the one being
+            // built (two messages cannot chain within a single round).
+            let prev = per_round[r as usize - 1]
+                .as_ref()
+                .expect("previous round computed")
+                .clone();
+            for &(from, to) in &self.by_round[r as usize] {
+                if prev.contains(from.index()) {
+                    cur.insert(to.index());
+                }
+            }
+            per_round[r as usize] = Some(cur.clone());
+        }
+        Reach {
+            start,
+            per_round,
+        }
+    }
+
+    /// Backward reachability to `(i, r)`: which `(k, s)` with `s ≤ r` flow to
+    /// it, and does the environment pair `(v₀, -1)` flow to it?
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `r > N`.
+    pub fn reach_to(&self, i: ProcessId, r: Round) -> BackReach {
+        assert!(i.index() < self.m, "process out of range");
+        assert!(r.get() <= self.n, "round beyond horizon");
+        let mut per_round: Vec<Option<BitSet>> = vec![None; self.n as usize + 1];
+        let mut cur = BitSet::new(self.m);
+        cur.insert(i.index());
+        per_round[r.index()] = Some(cur.clone());
+        for s in (0..r.get()).rev() {
+            // (k, s) flows to (j, s+1) iff k = j or (k, j, s+1) ∈ R. The
+            // receiver test must use the round-(s+1) set: a sender added at
+            // round s must not enable other round-(s+1) messages.
+            let next = per_round[s as usize + 1]
+                .as_ref()
+                .expect("next round computed")
+                .clone();
+            for &(from, to) in &self.by_round[s as usize + 1] {
+                if next.contains(to.index()) {
+                    cur.insert(from.index());
+                }
+            }
+            per_round[s as usize] = Some(cur.clone());
+        }
+        // (v₀, -1) flows to the target iff some input recipient is in the
+        // round-0 backward set.
+        let env = if r == Round::INPUT {
+            cur.contains(i.index()) && self.inputs.contains(i.index())
+        } else {
+            per_round[0]
+                .as_ref()
+                .map(|s0| self.inputs.iter().any(|k| s0.contains(k)))
+                .unwrap_or(false)
+        };
+        BackReach {
+            end: r,
+            per_round,
+            env,
+        }
+    }
+
+    /// Returns whether `(src, r_src)` flows to `(dst, r_dst)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a process is out of range or a round exceeds the horizon.
+    pub fn flows_to(&self, src: ProcessId, r_src: Round, dst: ProcessId, r_dst: Round) -> bool {
+        if r_src > r_dst {
+            return false;
+        }
+        self.reach_from(src, r_src).contains(dst, r_dst)
+    }
+
+    /// Returns whether the input `(v₀, -1)` flows to `(dst, r_dst)`.
+    pub fn input_flows_to(&self, dst: ProcessId, r_dst: Round) -> bool {
+        self.env_reach().contains(dst, r_dst)
+    }
+
+    /// Returns whether processes `i` and `j` are **causally independent** in
+    /// this run: there is no `k` such that `(k, 0)` flows to both `(i, N)`
+    /// and `(j, N)` (Lemma A.2's premise).
+    pub fn causally_independent(&self, i: ProcessId, j: ProcessId) -> bool {
+        let bi = self.reach_to(i, Round::new(self.n));
+        let bj = self.reach_to(j, Round::new(self.n));
+        let (si, sj) = match (bi.at_round(Round::INPUT), bj.at_round(Round::INPUT)) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return true,
+        };
+        let mut inter = si.clone();
+        inter.intersect_with(sj);
+        inter.is_empty()
+    }
+}
+
+/// The forward cone of a point: for each round, the set of processes reached.
+#[derive(Clone)]
+pub struct Reach {
+    start: Round,
+    per_round: Vec<Option<BitSet>>,
+}
+
+impl Reach {
+    /// Returns whether the source flows to `(j, r)`.
+    pub fn contains(&self, j: ProcessId, r: Round) -> bool {
+        self.per_round
+            .get(r.index())
+            .and_then(|s| s.as_ref())
+            .map(|s| s.contains(j.index()))
+            .unwrap_or(false)
+    }
+
+    /// The set of processes reached by round `r`, if `r` is at or after the source round.
+    pub fn at_round(&self, r: Round) -> Option<&BitSet> {
+        self.per_round.get(r.index()).and_then(|s| s.as_ref())
+    }
+
+    /// The round the cone starts at.
+    pub fn start(&self) -> Round {
+        self.start
+    }
+}
+
+impl fmt::Debug for Reach {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Reach")
+            .field("start", &self.start)
+            .field(
+                "final",
+                &self.per_round.last().and_then(|s| s.as_ref()),
+            )
+            .finish()
+    }
+}
+
+/// The backward cone of a point: for each round, the set of processes whose
+/// state at that round flows to the target, plus whether the environment does.
+#[derive(Clone)]
+pub struct BackReach {
+    end: Round,
+    per_round: Vec<Option<BitSet>>,
+    env: bool,
+}
+
+impl BackReach {
+    /// Returns whether `(k, s)` flows to the target.
+    pub fn contains(&self, k: ProcessId, s: Round) -> bool {
+        if s > self.end {
+            return false;
+        }
+        self.per_round
+            .get(s.index())
+            .and_then(|set| set.as_ref())
+            .map(|set| set.contains(k.index()))
+            .unwrap_or(false)
+    }
+
+    /// The set of processes whose round-`s` state flows to the target.
+    pub fn at_round(&self, s: Round) -> Option<&BitSet> {
+        if s > self.end {
+            return None;
+        }
+        self.per_round.get(s.index()).and_then(|set| set.as_ref())
+    }
+
+    /// Returns whether the environment pair `(v₀, -1)` flows to the target.
+    pub fn env_flows(&self) -> bool {
+        self.env
+    }
+
+    /// The target round.
+    pub fn end(&self) -> Round {
+        self.end
+    }
+}
+
+impl fmt::Debug for BackReach {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BackReach")
+            .field("end", &self.end)
+            .field("env", &self.env)
+            .field("round0", &self.per_round.first().and_then(|s| s.as_ref()))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+    fn r(i: u32) -> Round {
+        Round::new(i)
+    }
+
+    #[test]
+    fn reflexive_same_process_flow() {
+        let g = Graph::complete(2).unwrap();
+        let run = Run::empty(2, 3);
+        let _ = g;
+        let flow = FlowGraph::new(&run);
+        // (i, r) flows to (i, s) for all s >= r even with no messages.
+        assert!(flow.flows_to(p(0), r(0), p(0), r(3)));
+        assert!(flow.flows_to(p(0), r(2), p(0), r(2)), "reflexive");
+        assert!(!flow.flows_to(p(0), r(2), p(0), r(1)), "no backward flow");
+        assert!(!flow.flows_to(p(0), r(0), p(1), r(3)), "no cross flow without messages");
+    }
+
+    #[test]
+    fn single_message_flow() {
+        let g = Graph::complete(2).unwrap();
+        let mut run = Run::empty(2, 3);
+        run.add_message(p(0), p(1), r(2));
+        run.validate(&g).unwrap();
+        let flow = FlowGraph::new(&run);
+        // (0, r) for r <= 1 flows to (1, s) for s >= 2.
+        assert!(flow.flows_to(p(0), r(0), p(1), r(2)));
+        assert!(flow.flows_to(p(0), r(1), p(1), r(3)));
+        assert!(!flow.flows_to(p(0), r(2), p(1), r(3)), "message already sent");
+        assert!(!flow.flows_to(p(1), r(0), p(0), r(3)), "wrong direction");
+    }
+
+    #[test]
+    fn transitive_flow_through_intermediate() {
+        // Lemma 4.1: flow composes. 0 →(r1) 1 →(r2) 2 on a line graph.
+        let g = Graph::line(3).unwrap();
+        let mut run = Run::empty(3, 2);
+        run.add_message(p(0), p(1), r(1));
+        run.add_message(p(1), p(2), r(2));
+        run.validate(&g).unwrap();
+        let flow = FlowGraph::new(&run);
+        assert!(flow.flows_to(p(0), r(0), p(2), r(2)));
+        assert!(!flow.flows_to(p(0), r(1), p(2), r(2)), "0's round-1 state misses the r1 message");
+    }
+
+    #[test]
+    fn env_reach_follows_inputs() {
+        let g = Graph::complete(3).unwrap();
+        let mut run = Run::good_with_inputs(&g, 2, &[p(1)]);
+        run.cut_from_round(r(2));
+        let flow = FlowGraph::new(&run);
+        let reach = flow.env_reach();
+        assert!(reach.contains(p(1), r(0)));
+        assert!(!reach.contains(p(0), r(0)));
+        assert!(reach.contains(p(0), r(1)), "round-1 gossip spreads the input");
+        assert!(flow.input_flows_to(p(2), r(1)));
+        assert!(!FlowGraph::new(&Run::empty(3, 2)).input_flows_to(p(1), r(2)));
+    }
+
+    #[test]
+    fn back_reach_matches_forward() {
+        let g = Graph::ring(4).unwrap();
+        let mut run = Run::good(&g, 3);
+        run.remove_message(p(0), p(1), r(1));
+        run.remove_message(p(3), p(0), r(2));
+        let flow = FlowGraph::new(&run);
+        // Cross-check: forward and backward agree on every pair.
+        for i in g.vertices() {
+            for ri in 0..=3u32 {
+                let fwd = flow.reach_from(i, r(ri));
+                for j in g.vertices() {
+                    for rj in 0..=3u32 {
+                        let back = flow.reach_to(j, r(rj));
+                        assert_eq!(
+                            fwd.contains(j, r(rj)),
+                            back.contains(i, r(ri)),
+                            "mismatch ({i},{ri}) → ({j},{rj})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn env_back_reach() {
+        let g = Graph::complete(2).unwrap();
+        let run = Run::good_with_inputs(&g, 2, &[p(0)]);
+        let flow = FlowGraph::new(&run);
+        assert!(flow.reach_to(p(1), r(1)).env_flows(), "input reaches P1 via round-1 message");
+        let mut cut = run.clone();
+        cut.cut_from_round(r(1));
+        let flow = FlowGraph::new(&cut);
+        assert!(!flow.reach_to(p(1), r(2)).env_flows());
+        assert!(flow.reach_to(p(0), r(0)).env_flows());
+    }
+
+    #[test]
+    fn causal_independence() {
+        // Star graph, no messages at all: all pairs causally independent...
+        let run = Run::empty(3, 2);
+        let flow = FlowGraph::new(&run);
+        assert!(flow.causally_independent(p(1), p(2)));
+        // ...but i is never causally independent of itself ((i,0) flows to (i,N)).
+        assert!(!flow.causally_independent(p(1), p(1)));
+
+        // A shared causal ancestor breaks independence: 0 sends to both 1 and 2.
+        let g = Graph::star(3).unwrap();
+        let mut run = Run::empty(3, 2);
+        run.add_message(p(0), p(1), r(1));
+        run.add_message(p(0), p(2), r(2));
+        run.validate(&g).unwrap();
+        let flow = FlowGraph::new(&run);
+        assert!(!flow.causally_independent(p(1), p(2)));
+
+        // One-directional contact only: 1 hears from 0, 2 hears nothing.
+        let mut run = Run::empty(3, 2);
+        run.add_message(p(0), p(1), r(1));
+        let flow = FlowGraph::new(&run);
+        assert!(flow.causally_independent(p(1), p(2)));
+    }
+
+    #[test]
+    fn reach_accessors() {
+        let run = Run::empty(2, 2);
+        let flow = FlowGraph::new(&run);
+        let reach = flow.reach_from(p(0), r(1));
+        assert_eq!(reach.start(), r(1));
+        assert!(reach.at_round(r(0)).is_none(), "before the cone starts");
+        assert!(reach.at_round(r(1)).unwrap().contains(0));
+        let back = flow.reach_to(p(0), r(1));
+        assert_eq!(back.end(), r(1));
+        assert!(back.at_round(r(2)).is_none(), "after the cone ends");
+        assert!(!back.contains(p(0), r(2)));
+    }
+}

@@ -1,0 +1,243 @@
+//! Identifiers for processes, rounds, and nodes.
+//!
+//! The paper numbers the generals `1..m` and the rounds `-1, 0, 1..N`; the
+//! input is modeled as a message from a fictitious environment node `v₀` sent
+//! at the end of round `-1` and delivered at the end of round `0`.
+//!
+//! In code the generals are `ProcessId(0) .. ProcessId(m-1)` (so the paper's
+//! "process 1" — the one that chooses `rfire` — is [`ProcessId::LEADER`],
+//! i.e. `ProcessId(0)`), and rounds are kept non-negative: round `r` in code
+//! is round `r` in the paper, with the environment round `-1` represented
+//! implicitly by [`Node::Env`] paired with [`Round::ENV`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a general (a process at a vertex of the communication graph).
+///
+/// Process ids are dense: a graph over `m` generals uses ids `0..m`.
+///
+/// # Examples
+///
+/// ```
+/// use ca_core::ids::ProcessId;
+/// let p = ProcessId::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(ProcessId::LEADER.index(), 0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcessId(u32);
+
+impl ProcessId {
+    /// The distinguished process that chooses `rfire` in Protocol S
+    /// (the paper's "process 1").
+    pub const LEADER: ProcessId = ProcessId(0);
+
+    /// Creates a process id from a dense index.
+    pub const fn new(index: u32) -> Self {
+        ProcessId(index)
+    }
+
+    /// Returns the dense index of this process.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Iterates over all process ids `0..m`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ca_core::ids::ProcessId;
+    /// let ids: Vec<_> = ProcessId::all(3).map(|p| p.index()).collect();
+    /// assert_eq!(ids, vec![0, 1, 2]);
+    /// ```
+    pub fn all(m: usize) -> impl Iterator<Item = ProcessId> + Clone {
+        (0..m as u32).map(ProcessId)
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<u32> for ProcessId {
+    fn from(v: u32) -> Self {
+        ProcessId(v)
+    }
+}
+
+/// A round number.
+///
+/// Protocol rounds are `1..=N`; round `0` is the input round (inputs sent by
+/// the environment at the paper's round `-1` arrive at the end of round `0`).
+///
+/// # Examples
+///
+/// ```
+/// use ca_core::ids::Round;
+/// let r = Round::new(4);
+/// assert_eq!(r.get(), 4);
+/// assert_eq!(r.next().get(), 5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Round(u32);
+
+impl Round {
+    /// The input round: inputs from the environment arrive at its end.
+    pub const INPUT: Round = Round(0);
+
+    /// Creates a round from its number (`0` = input round, `1..=N` protocol rounds).
+    pub const fn new(r: u32) -> Self {
+        Round(r)
+    }
+
+    /// Returns the round number.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the round number as a `usize` (for indexing).
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The next round.
+    pub const fn next(self) -> Round {
+        Round(self.0 + 1)
+    }
+
+    /// The previous round.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if called on round 0.
+    pub const fn prev(self) -> Round {
+        debug_assert!(self.0 > 0, "round 0 has no predecessor");
+        Round(self.0 - 1)
+    }
+
+    /// Iterates over the protocol rounds `1..=n`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ca_core::ids::Round;
+    /// let rs: Vec<u32> = Round::protocol_rounds(3).map(|r| r.get()).collect();
+    /// assert_eq!(rs, vec![1, 2, 3]);
+    /// ```
+    pub fn protocol_rounds(n: u32) -> impl Iterator<Item = Round> + Clone {
+        (1..=n).map(Round)
+    }
+}
+
+impl fmt::Debug for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "round {}", self.0)
+    }
+}
+
+impl From<u32> for Round {
+    fn from(v: u32) -> Self {
+        Round(v)
+    }
+}
+
+/// A node in the information-flow graph: either a general or the environment `v₀`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Node {
+    /// The fictitious environment node `v₀` that sends input signals.
+    Env,
+    /// A general.
+    Process(ProcessId),
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Node::Env => write!(f, "v0"),
+            Node::Process(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+impl From<ProcessId> for Node {
+    fn from(p: ProcessId) -> Self {
+        Node::Process(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_roundtrip() {
+        let p = ProcessId::new(7);
+        assert_eq!(p.index(), 7);
+        assert_eq!(p.as_u32(), 7);
+        assert_eq!(ProcessId::from(7u32), p);
+        assert_eq!(format!("{p}"), "P7");
+        assert_eq!(format!("{p:?}"), "P7");
+    }
+
+    #[test]
+    fn leader_is_process_zero() {
+        assert_eq!(ProcessId::LEADER, ProcessId::new(0));
+    }
+
+    #[test]
+    fn all_yields_dense_ids() {
+        assert_eq!(ProcessId::all(0).count(), 0);
+        assert_eq!(
+            ProcessId::all(4).collect::<Vec<_>>(),
+            vec![
+                ProcessId::new(0),
+                ProcessId::new(1),
+                ProcessId::new(2),
+                ProcessId::new(3)
+            ]
+        );
+    }
+
+    #[test]
+    fn round_arithmetic() {
+        let r = Round::new(3);
+        assert_eq!(r.next(), Round::new(4));
+        assert_eq!(r.prev(), Round::new(2));
+        assert_eq!(Round::INPUT.get(), 0);
+    }
+
+    #[test]
+    fn protocol_rounds_range() {
+        assert_eq!(Round::protocol_rounds(0).count(), 0);
+        let rs: Vec<_> = Round::protocol_rounds(2).collect();
+        assert_eq!(rs, vec![Round::new(1), Round::new(2)]);
+    }
+
+    #[test]
+    fn node_ordering_and_display() {
+        assert!(Node::Env < Node::Process(ProcessId::new(0)));
+        assert_eq!(format!("{}", Node::Env), "v0");
+        assert_eq!(format!("{}", Node::Process(ProcessId::new(2))), "P2");
+    }
+}

@@ -1,0 +1,265 @@
+//! Epistemic knowledge: the [Halpern–Moses] view of information levels.
+//!
+//! The paper's *height/level* measure (Section 4) is iterated knowledge in
+//! disguise: a process reaches height 1 when it **knows** the input arrived,
+//! and height `h` when it knows everyone reached `h − 1` — i.e. level `h`
+//! is `h`-fold nested "everyone knows". Common knowledge (the `h → ∞`
+//! limit) is exactly what coordinated attack needs and what unreliable links
+//! make unattainable.
+//!
+//! This module makes the correspondence executable:
+//!
+//! * [`View`] — the *full-information view* of a process at a round: its
+//!   input bit plus, for each received message, the sender's view when it
+//!   sent. Two runs give `i` the same view iff they are indistinguishable to
+//!   `i` under **any** protocol (the view is the maximum anyone can know).
+//! * [`knows_input`] — true epistemic knowledge by definition: `i` knows the
+//!   input arrived at `(i, r)` in run `R`, w.r.t. an adversary (set of runs),
+//!   iff the input arrived in **every** run of the adversary that gives `i`
+//!   the same view. Computed by enumeration; intended for small instances.
+//! * [`everyone_knows_depth`] — the nested-`E` depth computed from views.
+//!
+//! The tests verify, by exhaustive enumeration over all runs of small
+//! instances, that the cheap [`crate::level`] computation coincides with
+//! true epistemic knowledge — and that common knowledge is never attained in
+//! any finite run (levels are bounded by `r + 1`), the classic impossibility
+//! behind the paper.
+
+use crate::flow::FlowGraph;
+use crate::ids::{ProcessId, Round};
+use crate::run::Run;
+
+/// The full-information view of a process at the end of a round.
+///
+/// Structurally: the process id, whether its own input arrived, and for each
+/// protocol round `1..=r`, the (sorted) list of `(sender, sender's view at
+/// send time)` for the messages delivered to it.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct View {
+    /// Whose view this is.
+    pub owner: ProcessId,
+    /// Whether the owner received the input signal.
+    pub input: bool,
+    /// `received[s]` lists round-`(s+1)` deliveries as (sender, view-at-send).
+    pub received: Vec<Vec<(ProcessId, View)>>,
+}
+
+/// Computes the full-information view of `i` at the end of round `r` in `run`.
+///
+/// Exponential in principle but heavily shared in practice; intended for the
+/// small instances the knowledge tests enumerate.
+pub fn view(run: &Run, i: ProcessId, r: Round) -> View {
+    let mut received = Vec::with_capacity(r.index());
+    for s in 1..=r.get() {
+        let mut round_msgs: Vec<(ProcessId, View)> = run
+            .messages_in_round(Round::new(s))
+            .filter(|slot| slot.to == i)
+            .map(|slot| (slot.from, view(run, slot.from, Round::new(s - 1))))
+            .collect();
+        round_msgs.sort_by_key(|(from, _)| *from);
+        received.push(round_msgs);
+    }
+    View {
+        owner: i,
+        input: run.has_input(i),
+        received,
+    }
+}
+
+/// True epistemic knowledge of the input: does `i` **know**, at the end of
+/// round `r` of run `run`, that some input signal arrived — with respect to
+/// the given adversary (a set of runs containing `run`)?
+///
+/// By definition: the input arrived in every run of `adversary` that gives
+/// `i` the same full-information view.
+///
+/// # Panics
+///
+/// Panics if `run` is not a member of `adversary` (knowledge is only defined
+/// relative to a run the adversary could have produced).
+pub fn knows_input(adversary: &[Run], run: &Run, i: ProcessId, r: Round) -> bool {
+    assert!(
+        adversary.iter().any(|x| x == run),
+        "run must belong to the adversary's run set"
+    );
+    let my_view = view(run, i, r);
+    adversary
+        .iter()
+        .filter(|other| view(other, i, r) == my_view)
+        .all(|other| other.has_any_input())
+}
+
+/// The nested-"everyone knows" depth of `i` at `(i, r)`: the largest `k`
+/// such that `i` knows `E^{k-1}(input arrived)` — computed structurally from
+/// information flow, exactly as the paper's height/level definition.
+///
+/// This equals [`crate::level::levels`]`.level_at(i, r)`; the equality (and
+/// its agreement with true epistemic knowledge via [`knows_input`]) is
+/// asserted by this module's tests.
+pub fn everyone_knows_depth(run: &Run, i: ProcessId, r: Round) -> u32 {
+    crate::level::levels(run).level_at(i, r)
+}
+
+/// Whether the group attains **common knowledge** of the input by round `r`:
+/// every finite nesting depth is exceeded. In this model this is impossible
+/// whenever messages can be lost; concretely, depths are bounded by `r + 1`,
+/// so this returns `false` for every run — provided here so the impossibility
+/// is stated (and tested) in code rather than prose.
+pub fn common_knowledge_attained(run: &Run, r: Round) -> bool {
+    let m = run.process_count();
+    // Depth is bounded by r + 1 (one level per round after hearing the
+    // input), so common knowledge would require unbounded depth: never.
+    let _ = (m, r);
+    false
+}
+
+/// Convenience: does the input flow to `(i, r)`? This is the *potential* for
+/// knowledge (what a full-information protocol learns); [`knows_input`] is
+/// the semantic fact. The two coincide — asserted in tests.
+pub fn input_flows(run: &Run, i: ProcessId, r: Round) -> bool {
+    FlowGraph::new(run).input_flows_to(i, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::level::levels;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn view_captures_received_structure() {
+        let g = Graph::complete(2).unwrap();
+        let mut run = Run::empty(2, 2);
+        run.add_input(p(0));
+        run.add_message(p(0), p(1), Round::new(1));
+        let _ = g;
+        let v = view(&run, p(1), Round::new(2));
+        assert!(!v.input);
+        assert_eq!(v.received.len(), 2);
+        assert_eq!(v.received[0].len(), 1, "one delivery in round 1");
+        assert!(v.received[0][0].1.input, "sender's view carries the input");
+        assert!(v.received[1].is_empty());
+    }
+
+    #[test]
+    fn identical_views_on_indistinguishable_runs() {
+        // Adding a message INTO the other process does not change my view.
+        let g = Graph::complete(2).unwrap();
+        let mut a = Run::empty(2, 2);
+        a.add_input(p(0));
+        a.add_message(p(0), p(1), Round::new(1));
+        let mut b = a.clone();
+        b.add_message(p(0), p(1), Round::new(2));
+        let _ = g;
+        assert_eq!(view(&a, p(0), Round::new(2)), view(&b, p(0), Round::new(2)));
+        assert_ne!(view(&a, p(1), Round::new(2)), view(&b, p(1), Round::new(2)));
+    }
+
+    #[test]
+    fn true_knowledge_equals_input_flow_exhaustively() {
+        // Over ALL runs of the K2, N=2 instance: i knows the input arrived
+        // iff the input flows to (i, r). (The "only if" is the interesting
+        // half: flow is exactly the limit of what can be known.)
+        let g = Graph::complete(2).unwrap();
+        let all = Run::enumerate_all(&g, 2);
+        for run in &all {
+            for i in g.vertices() {
+                for r in [Round::new(0), Round::new(1), Round::new(2)] {
+                    assert_eq!(
+                        knows_input(&all, run, i, r),
+                        input_flows(run, i, r),
+                        "knowledge/flow mismatch at {i}, {r:?} in {run:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depth_one_is_exactly_knowing_the_input() {
+        let g = Graph::complete(2).unwrap();
+        let all = Run::enumerate_all(&g, 2);
+        for run in &all {
+            for i in g.vertices() {
+                let depth = everyone_knows_depth(run, i, Round::new(2));
+                let knows = knows_input(&all, run, i, Round::new(2));
+                assert_eq!(depth >= 1, knows, "depth-1 ⟺ K_i(input) in {run:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_two_means_knowing_the_other_knows() {
+        // L_i ≥ 2 iff i's view contains, for the other process j, evidence
+        // that j knew the input at some received point. Check against a
+        // semantic formulation: in every run with the same view for i, the
+        // input flowed to j at a point that flows on to i.
+        let g = Graph::complete(2).unwrap();
+        let all = Run::enumerate_all(&g, 2);
+        for run in &all {
+            for i in g.vertices() {
+                let j = p(1 - i.as_u32());
+                let depth = levels(run).level(i);
+                let my_view = view(run, i, Round::new(2));
+                // Semantic: in all indistinguishable runs, ∃ s: input flows
+                // to (j, s) and (j, s) flows to (i, 2).
+                let semantic = all
+                    .iter()
+                    .filter(|other| view(other, i, Round::new(2)) == my_view)
+                    .all(|other| {
+                        let flow = FlowGraph::new(other);
+                        (0..=2u32).any(|s| {
+                            flow.input_flows_to(j, Round::new(s))
+                                && flow.flows_to(j, Round::new(s), i, Round::new(2))
+                        })
+                    });
+                assert_eq!(depth >= 2, semantic, "depth-2 semantics in {run:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn common_knowledge_is_never_attained() {
+        let g = Graph::complete(2).unwrap();
+        for run in Run::enumerate_all(&g, 2) {
+            assert!(!common_knowledge_attained(&run, Round::new(2)));
+            // And the structural reason: depth ≤ r + 1.
+            for i in g.vertices() {
+                for r in 0..=2u32 {
+                    assert!(
+                        levels(&run).level_at(i, Round::new(r)) <= r + 1,
+                        "level exceeds r+1"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn levels_bounded_by_round_plus_one_large() {
+        // The depth bound that makes common knowledge unattainable, on a
+        // larger instance (not exhaustive).
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let g = Graph::complete(4).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..30 {
+            let mut run = Run::good(&g, 5);
+            let slots: Vec<_> = run.messages().collect();
+            for s in slots {
+                if rng.gen_bool(0.4) {
+                    run.remove_message(s.from, s.to, s.round);
+                }
+            }
+            for i in g.vertices() {
+                for r in 0..=5u32 {
+                    assert!(levels(&run).level_at(i, Round::new(r)) <= r + 1);
+                }
+            }
+        }
+    }
+}

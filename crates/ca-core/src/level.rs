@@ -1,0 +1,527 @@
+//! Information levels: the knowledge measure behind both bounds.
+//!
+//! A process reaches **height** 1 when the input flows to it; it reaches
+//! height `h > 1` when, for every other process `i`, it has heard (in the
+//! flows-to sense) that `i` reached height `h - 1`. The **level**
+//! `L_i^r(R)` is the maximum height `i` reaches by round `r`; `L_i(R)` is
+//! `L_i^N(R)` and `L(R) = min_i L_i(R)`.
+//!
+//! The **modified level** `ML_i^r(R)` differs only at height 1: it requires
+//! both the input *and* the leader's round-0 state `(1, 0)` to flow to the
+//! process (because Protocol S needs every attacker to know `rfire`).
+//!
+//! Two implementations are provided:
+//!
+//! * [`levels`] / [`modified_levels`] — an `O(m²·N)` "gossip" dynamic program
+//!   that mirrors how the levels actually propagate; this is what the rest of
+//!   the workspace uses.
+//! * [`level_by_definition`] / [`modified_level_by_definition`] — a direct
+//!   memoized transcription of the recursive definition, used as a test
+//!   oracle.
+//!
+//! The paper's Lemmas 6.1 and 6.2 (`L_i - 1 ≤ ML_i ≤ L_i`,
+//! `|ML_i - ML_j| ≤ 1`) are asserted in this module's tests and again as
+//! property tests.
+
+use crate::flow::FlowGraph;
+use crate::ids::{ProcessId, Round};
+use crate::run::Run;
+use serde::{Deserialize, Serialize};
+
+/// Per-process, per-round level table for one run.
+///
+/// # Examples
+///
+/// ```
+/// use ca_core::{graph::Graph, run::Run, level::levels, ids::ProcessId};
+/// let g = Graph::complete(2)?;
+/// let run = Run::good(&g, 4);
+/// let table = levels(&run);
+/// // With all messages delivered, levels climb one unit per round.
+/// assert_eq!(table.level(ProcessId::new(0)), 5);
+/// assert_eq!(table.min_level(), 5);
+/// # Ok::<(), ca_core::error::ModelError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LevelTable {
+    /// `table[i][r]` = level of process `i` at end of round `r`.
+    table: Vec<Vec<u32>>,
+    n: u32,
+}
+
+impl LevelTable {
+    /// The level of `i` at the end of round `r` (`L_i^r(R)` or `ML_i^r(R)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `r` is out of range.
+    pub fn level_at(&self, i: ProcessId, r: Round) -> u32 {
+        self.table[i.index()][r.index()]
+    }
+
+    /// The final level of `i` (`L_i(R) = L_i^N(R)`).
+    pub fn level(&self, i: ProcessId) -> u32 {
+        self.table[i.index()][self.n as usize]
+    }
+
+    /// The run-wide level `L(R) = min_i L_i(R)`.
+    pub fn min_level(&self) -> u32 {
+        self.table
+            .iter()
+            .map(|row| row[self.n as usize])
+            .min()
+            .expect("at least one process")
+    }
+
+    /// The maximum final level across processes.
+    pub fn max_level(&self) -> u32 {
+        self.table
+            .iter()
+            .map(|row| row[self.n as usize])
+            .max()
+            .expect("at least one process")
+    }
+
+    /// All final levels, indexed by process.
+    pub fn final_levels(&self) -> Vec<u32> {
+        self.table.iter().map(|row| row[self.n as usize]).collect()
+    }
+
+    /// The horizon `N`.
+    pub fn horizon(&self) -> u32 {
+        self.n
+    }
+}
+
+/// Computes the level table `L_i^r(R)` for all `i, r`.
+///
+/// # Panics
+///
+/// Panics if the run has fewer than 2 processes (the definition degenerates
+/// for `m = 1`: the `h > 1` clause is vacuous and levels diverge).
+pub fn levels(run: &Run) -> LevelTable {
+    gossip_levels(run, false)
+}
+
+/// Computes the modified level table `ML_i^r(R)` for all `i, r`.
+///
+/// Identical to [`levels`] except that height 1 additionally requires the
+/// leader's round-0 state `(1, 0)` (code: `(ProcessId::LEADER, 0)`) to flow
+/// to the process.
+///
+/// # Panics
+///
+/// Panics if the run has fewer than 2 processes.
+pub fn modified_levels(run: &Run) -> LevelTable {
+    gossip_levels(run, true)
+}
+
+/// The gossip dynamic program shared by [`levels`] and [`modified_levels`].
+///
+/// Each process `j` carries a vector `heard[j][i]` = the highest level of `i`
+/// whose attainment has flowed to `j` so far, along with its own current
+/// level. A delivered message `(i, j, r)` merges `i`'s end-of-round-`(r-1)`
+/// vector into `j`'s. After merging a round's messages, `j`'s level rises to
+/// `1 + min_{i≠j} heard[j][i]` whenever that minimum is positive (the `h > 1`
+/// clause), and to 1 when the base condition holds.
+fn gossip_levels(run: &Run, modified: bool) -> LevelTable {
+    let m = run.process_count();
+    let n = run.horizon();
+    assert!(m >= 2, "levels are defined for m >= 2 (paper's model)");
+
+    // valid[j]: has the input flowed to j?  heard_leader[j]: has (leader, 0)
+    // flowed to j? (Only used for the modified measure.)
+    let mut valid: Vec<bool> = (0..m).map(|j| run.has_input(ProcessId::new(j as u32))).collect();
+    let mut heard_leader: Vec<bool> = (0..m).map(|j| j == ProcessId::LEADER.index()).collect();
+
+    // heard[j][i] = best level of i known (via flow) to j. heard[j][j] is j's own level.
+    let mut heard: Vec<Vec<u32>> = vec![vec![0; m]; m];
+    let mut table: Vec<Vec<u32>> = vec![vec![0; n as usize + 1]; m];
+
+    let base_holds = |valid_j: bool, heard_leader_j: bool| -> bool {
+        if modified {
+            valid_j && heard_leader_j
+        } else {
+            valid_j
+        }
+    };
+
+    // Round 0: inputs arrive; the leader's own round-0 state is at the leader.
+    for j in 0..m {
+        if base_holds(valid[j], heard_leader[j]) {
+            heard[j][j] = 1;
+        }
+        table[j][0] = heard[j][j];
+    }
+
+    // Rounds 1..=N: deliver messages, merge vectors, raise levels.
+    let mut snapshot = heard.clone();
+    let mut valid_snap = valid.clone();
+    let mut leader_snap = heard_leader.clone();
+    for r in Round::protocol_rounds(n) {
+        snapshot.clone_from(&heard);
+        valid_snap.clone_from(&valid);
+        leader_snap.clone_from(&heard_leader);
+        for slot in run.messages_in_round(r) {
+            let (i, j) = (slot.from.index(), slot.to.index());
+            for k in 0..m {
+                if snapshot[i][k] > heard[j][k] {
+                    heard[j][k] = snapshot[i][k];
+                }
+            }
+            valid[j] |= valid_snap[i];
+            heard_leader[j] |= leader_snap[i];
+        }
+        for j in 0..m {
+            // Base height 1.
+            if base_holds(valid[j], heard_leader[j]) && heard[j][j] == 0 {
+                heard[j][j] = 1;
+            }
+            // h > 1 clause: 1 + min over other processes of their known level.
+            let min_other = (0..m)
+                .filter(|&i| i != j)
+                .map(|i| heard[j][i])
+                .min()
+                .expect("m >= 2");
+            if min_other >= 1 && min_other + 1 > heard[j][j] {
+                heard[j][j] = min_other + 1;
+            }
+            table[j][r.index()] = heard[j][j];
+        }
+    }
+
+    LevelTable { table, n }
+}
+
+/// Computes `L_j^r(R)` straight from the recursive definition, memoized.
+///
+/// Exponentially slower than [`levels`] in the worst case but a faithful
+/// transcription; used as an oracle in tests.
+pub fn level_by_definition(run: &Run, j: ProcessId, r: Round) -> u32 {
+    definition_level(run, j, r, false)
+}
+
+/// Computes `ML_j^r(R)` straight from the recursive definition, memoized.
+pub fn modified_level_by_definition(run: &Run, j: ProcessId, r: Round) -> u32 {
+    definition_level(run, j, r, true)
+}
+
+fn definition_level(run: &Run, j: ProcessId, r: Round, modified: bool) -> u32 {
+    let m = run.process_count();
+    let n = run.horizon();
+    assert!(m >= 2, "levels are defined for m >= 2");
+    let flow = FlowGraph::new(run);
+
+    // Precompute forward cones from every (i, s) and from the environment.
+    let env = flow.env_reach();
+    let leader0 = flow.reach_from(ProcessId::LEADER, Round::INPUT);
+
+    // can_reach[h][i][s] = can i reach height h by round s? Computed level by level.
+    // Height 1:
+    let reach1 = |i: ProcessId, s: Round| -> bool {
+        let base = env.contains(i, s);
+        if modified {
+            base && leader0.contains(i, s)
+        } else {
+            base
+        }
+    };
+
+    let max_h = (n + 2) as usize;
+    // reach[h] for h >= 1; index 0 unused (height 0 always true).
+    let mut reach: Vec<Vec<Vec<bool>>> = Vec::with_capacity(max_h + 1);
+    reach.push(vec![vec![true; n as usize + 1]; m]); // height 0
+    let mut h1 = vec![vec![false; n as usize + 1]; m];
+    for (i, row) in h1.iter_mut().enumerate() {
+        for s in 0..=n {
+            row[s as usize] = reach1(ProcessId::new(i as u32), Round::new(s));
+        }
+    }
+    reach.push(h1);
+
+    for h in 2..=max_h {
+        let prev = &reach[h - 1];
+        let mut cur = vec![vec![false; n as usize + 1]; m];
+        let mut any = false;
+        #[allow(clippy::needless_range_loop)] // `jj` also parameterizes the flow query
+        for jj in 0..m {
+            // For each i ≠ jj, find whether some (i, r_i) flows to (jj, s) with
+            // i reaching h-1 by r_i.
+            for s in 0..=n {
+                let ok = (0..m).filter(|&i| i != jj).all(|i| {
+                    (0..=s).any(|ri| {
+                        prev[i][ri as usize]
+                            && flow.flows_to(
+                                ProcessId::new(i as u32),
+                                Round::new(ri),
+                                ProcessId::new(jj as u32),
+                                Round::new(s),
+                            )
+                    })
+                });
+                if ok {
+                    cur[jj][s as usize] = true;
+                    any = true;
+                }
+            }
+        }
+        reach.push(cur);
+        if !any {
+            break;
+        }
+    }
+
+    let mut best = 0;
+    for (h, table) in reach.iter().enumerate() {
+        if table[j.index()][r.index()] {
+            best = h as u32;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+    fn r(i: u32) -> Round {
+        Round::new(i)
+    }
+
+    /// A random run over the graph: each input/message kept with probability `keep`.
+    fn random_run<R: Rng>(g: &Graph, n: u32, keep: f64, rng: &mut R) -> Run {
+        let mut run = Run::good(g, n);
+        for i in g.vertices() {
+            if !rng.gen_bool(keep) {
+                run.remove_input(i);
+            }
+        }
+        let slots: Vec<_> = run.messages().collect();
+        for s in slots {
+            if !rng.gen_bool(keep) {
+                run.remove_message(s.from, s.to, s.round);
+            }
+        }
+        run
+    }
+
+    #[test]
+    fn empty_run_has_level_zero() {
+        let table = levels(&Run::empty(3, 4));
+        assert_eq!(table.min_level(), 0);
+        assert_eq!(table.max_level(), 0);
+    }
+
+    #[test]
+    fn input_without_messages_gives_level_one() {
+        let g = Graph::complete(2).unwrap();
+        let mut run = Run::empty(2, 3);
+        run.add_input(p(0));
+        let _ = g;
+        let table = levels(&run);
+        assert_eq!(table.level(p(0)), 1);
+        assert_eq!(table.level(p(1)), 0);
+        assert_eq!(table.min_level(), 0);
+    }
+
+    #[test]
+    fn good_run_levels_climb_one_per_round() {
+        // Two processes, all messages delivered: at end of round r the level
+        // is r+1 (hear input at round 0, then one exchange per round).
+        let g = Graph::complete(2).unwrap();
+        let run = Run::good(&g, 5);
+        let table = levels(&run);
+        for i in [p(0), p(1)] {
+            for rr in 0..=5u32 {
+                assert_eq!(table.level_at(i, r(rr)), rr + 1, "process {i} round {rr}");
+            }
+        }
+    }
+
+    #[test]
+    fn level_monotone_in_round() {
+        let g = Graph::ring(4).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let run = random_run(&g, 4, 0.6, &mut rng);
+            let table = levels(&run);
+            for i in g.vertices() {
+                for rr in 1..=4u32 {
+                    assert!(table.level_at(i, r(rr)) >= table.level_at(i, r(rr - 1)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gossip_matches_definition_small_random() {
+        let g = Graph::complete(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..30 {
+            let run = random_run(&g, 3, 0.5, &mut rng);
+            let fast = levels(&run);
+            let fast_m = modified_levels(&run);
+            for i in g.vertices() {
+                for rr in 0..=3u32 {
+                    assert_eq!(
+                        fast.level_at(i, r(rr)),
+                        level_by_definition(&run, i, r(rr)),
+                        "L mismatch at {i}, {rr} in {run:?}"
+                    );
+                    assert_eq!(
+                        fast_m.level_at(i, r(rr)),
+                        modified_level_by_definition(&run, i, r(rr)),
+                        "ML mismatch at {i}, {rr} in {run:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gossip_matches_definition_line_graph() {
+        let g = Graph::line(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..20 {
+            let run = random_run(&g, 4, 0.7, &mut rng);
+            let fast = levels(&run);
+            for i in g.vertices() {
+                assert_eq!(fast.level(i), level_by_definition(&run, i, r(4)));
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_6_1_ml_within_one_of_l() {
+        let g = Graph::complete(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..50 {
+            let run = random_run(&g, 4, 0.6, &mut rng);
+            let l = levels(&run);
+            let ml = modified_levels(&run);
+            for i in g.vertices() {
+                assert!(ml.level(i) <= l.level(i), "ML ≤ L");
+                assert!(l.level(i) <= ml.level(i) + 1, "L - 1 ≤ ML");
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_6_2_ml_spread_at_most_one() {
+        let g = Graph::ring(4).unwrap();
+        let mut rng = StdRng::seed_from_u64(33);
+        for _ in 0..50 {
+            let run = random_run(&g, 5, 0.6, &mut rng);
+            let ml = modified_levels(&run);
+            // |ML_i - ML_j| ≤ 1 — but only when both are positive: processes
+            // that never hear rfire stay at 0... The paper's Lemma 6.2 states
+            // ML_j ≥ ML_i - 1 unconditionally; verify exactly that.
+            let finals = ml.final_levels();
+            let max = *finals.iter().max().unwrap();
+            for &v in finals.iter() {
+                assert!(
+                    v + 1 >= max,
+                    "Lemma 6.2 violated: finals={finals:?} in {run:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn leader_cut_off_keeps_ml_low() {
+        // If nobody hears from the leader's round-0 state, ML stays 0 for
+        // everyone except possibly the leader itself.
+        let g = Graph::complete(3).unwrap();
+        let mut run = Run::good(&g, 3);
+        // Destroy everything the leader ever sends.
+        for rr in 1..=3u32 {
+            for j in [p(1), p(2)] {
+                run.remove_message(p(0), j, r(rr));
+            }
+        }
+        let ml = modified_levels(&run);
+        assert!(ml.level(p(0)) >= 1, "leader knows rfire and input");
+        assert_eq!(ml.level(p(1)), 0);
+        assert_eq!(ml.level(p(2)), 0);
+        // Lemma 6.2 still holds: max - min <= 1 requires leader level <= 1.
+        assert_eq!(ml.level(p(0)), 1);
+    }
+
+    #[test]
+    fn star_graph_levels_slower() {
+        // On a star, leaves only talk through the center: levels grow at
+        // roughly half the complete-graph rate.
+        let g = Graph::star(4).unwrap();
+        let run = Run::good(&g, 6);
+        let table = levels(&run);
+        let complete = levels(&Run::good(&Graph::complete(4).unwrap(), 6));
+        assert!(table.min_level() < complete.min_level());
+        assert!(table.min_level() >= 1);
+    }
+
+    #[test]
+    fn level_monotone_in_run_subset() {
+        // Adding messages can only increase levels.
+        let g = Graph::complete(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(55);
+        for _ in 0..20 {
+            let small = random_run(&g, 3, 0.4, &mut rng);
+            let mut big = small.clone();
+            // Add a few random extra deliveries.
+            for _ in 0..4 {
+                let a = rng.gen_range(0..3u32);
+                let b = (a + 1 + rng.gen_range(0..2u32)) % 3;
+                let rr = rng.gen_range(1..=3u32);
+                big.add_message(p(a), p(b), r(rr));
+            }
+            let ls = levels(&small);
+            let lb = levels(&big);
+            for i in g.vertices() {
+                assert!(lb.level(i) >= ls.level(i));
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_5_1_level_changes_have_message_witnesses() {
+        // If L_k(R) = l > 0, some delivered tuple (j, k, r) has L_k^r(R) = l:
+        // levels only move when a message arrives.
+        let g = Graph::complete(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut checked = 0;
+        for _ in 0..40 {
+            let run = random_run(&g, 4, 0.6, &mut rng);
+            let table = levels(&run);
+            for k in g.vertices() {
+                let l = table.level(k);
+                if l <= 1 {
+                    // l = 1 can arise from the input (round 0), which is not
+                    // a message tuple; the lemma's backward walk then ends at
+                    // the input round. Only check l > 1 here.
+                    continue;
+                }
+                checked += 1;
+                let witness = run
+                    .messages()
+                    .filter(|s| s.to == k)
+                    .any(|s| table.level_at(k, s.round) == l);
+                assert!(witness, "no message witness for L_{k} = {l} in {run:?}");
+            }
+        }
+        assert!(checked > 10, "exercised enough nontrivial cases");
+    }
+
+    #[test]
+    #[should_panic(expected = "m >= 2")]
+    fn single_process_panics() {
+        // Construct a degenerate 1-process run directly.
+        let run = Run::empty(1, 2);
+        let _ = levels(&run);
+    }
+}

@@ -1,0 +1,204 @@
+//! Execution outcomes: total attack, no attack, partial attack.
+//!
+//! `TA` is the event that every process outputs 1, `NA` that every process
+//! outputs 0, and `PA` (the disagreement event whose probability the paper
+//! bounds) is everything else.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Classification of one execution's output vector.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Outcome {
+    /// All processes attack (`TA`).
+    TotalAttack,
+    /// No process attacks (`NA`).
+    NoAttack,
+    /// Some pair of processes disagree (`PA`).
+    PartialAttack,
+}
+
+impl Outcome {
+    /// Classifies an output vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outputs` is empty.
+    pub fn classify(outputs: &[bool]) -> Outcome {
+        assert!(!outputs.is_empty(), "outcome of an empty output vector");
+        let attackers = outputs.iter().filter(|&&o| o).count();
+        if attackers == outputs.len() {
+            Outcome::TotalAttack
+        } else if attackers == 0 {
+            Outcome::NoAttack
+        } else {
+            Outcome::PartialAttack
+        }
+    }
+
+    /// Returns whether this is the disagreement event `PA`.
+    pub fn is_partial(self) -> bool {
+        self == Outcome::PartialAttack
+    }
+
+    /// Returns whether this is the all-attack event `TA`.
+    pub fn is_total(self) -> bool {
+        self == Outcome::TotalAttack
+    }
+
+    /// Returns whether this is the no-attack event `NA`.
+    pub fn is_none_attack(self) -> bool {
+        self == Outcome::NoAttack
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Outcome::TotalAttack => "TA",
+            Outcome::NoAttack => "NA",
+            Outcome::PartialAttack => "PA",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Tally of outcomes across many sampled executions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutcomeCounts {
+    /// Number of total-attack executions.
+    pub total_attack: u64,
+    /// Number of no-attack executions.
+    pub no_attack: u64,
+    /// Number of partial-attack executions.
+    pub partial_attack: u64,
+}
+
+impl OutcomeCounts {
+    /// An empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one outcome.
+    pub fn record(&mut self, o: Outcome) {
+        match o {
+            Outcome::TotalAttack => self.total_attack += 1,
+            Outcome::NoAttack => self.no_attack += 1,
+            Outcome::PartialAttack => self.partial_attack += 1,
+        }
+    }
+
+    /// Total number of recorded executions.
+    pub fn total(&self) -> u64 {
+        self.total_attack + self.no_attack + self.partial_attack
+    }
+
+    /// Empirical `Pr[TA]`.
+    pub fn ta_rate(&self) -> f64 {
+        self.rate(self.total_attack)
+    }
+
+    /// Empirical `Pr[NA]`.
+    pub fn na_rate(&self) -> f64 {
+        self.rate(self.no_attack)
+    }
+
+    /// Empirical `Pr[PA]`.
+    pub fn pa_rate(&self) -> f64 {
+        self.rate(self.partial_attack)
+    }
+
+    fn rate(&self, count: u64) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            count as f64 / t as f64
+        }
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &OutcomeCounts) {
+        self.total_attack += other.total_attack;
+        self.no_attack += other.no_attack;
+        self.partial_attack += other.partial_attack;
+    }
+}
+
+impl fmt::Display for OutcomeCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TA={} NA={} PA={} (n={})",
+            self.total_attack,
+            self.no_attack,
+            self.partial_attack,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_vectors() {
+        assert_eq!(Outcome::classify(&[true, true]), Outcome::TotalAttack);
+        assert_eq!(Outcome::classify(&[false, false, false]), Outcome::NoAttack);
+        assert_eq!(Outcome::classify(&[true, false]), Outcome::PartialAttack);
+        assert_eq!(Outcome::classify(&[false, true, true]), Outcome::PartialAttack);
+        assert_eq!(Outcome::classify(&[true]), Outcome::TotalAttack);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn classify_empty_panics() {
+        Outcome::classify(&[]);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Outcome::TotalAttack.is_total());
+        assert!(Outcome::NoAttack.is_none_attack());
+        assert!(Outcome::PartialAttack.is_partial());
+        assert!(!Outcome::TotalAttack.is_partial());
+    }
+
+    #[test]
+    fn counts_and_rates() {
+        let mut c = OutcomeCounts::new();
+        for _ in 0..6 {
+            c.record(Outcome::TotalAttack);
+        }
+        for _ in 0..3 {
+            c.record(Outcome::NoAttack);
+        }
+        c.record(Outcome::PartialAttack);
+        assert_eq!(c.total(), 10);
+        assert!((c.ta_rate() - 0.6).abs() < 1e-12);
+        assert!((c.na_rate() - 0.3).abs() < 1e-12);
+        assert!((c.pa_rate() - 0.1).abs() < 1e-12);
+        let mut d = OutcomeCounts::new();
+        d.merge(&c);
+        d.merge(&c);
+        assert_eq!(d.total(), 20);
+        assert_eq!(d.partial_attack, 2);
+    }
+
+    #[test]
+    fn empty_counts_rates_are_zero() {
+        let c = OutcomeCounts::new();
+        assert_eq!(c.ta_rate(), 0.0);
+        assert_eq!(c.pa_rate(), 0.0);
+        assert_eq!(format!("{c}"), "TA=0 NA=0 PA=0 (n=0)");
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Outcome::TotalAttack.to_string(), "TA");
+        assert_eq!(Outcome::NoAttack.to_string(), "NA");
+        assert_eq!(Outcome::PartialAttack.to_string(), "PA");
+    }
+}

@@ -1,0 +1,109 @@
+//! The protocol interface: per-process state machines.
+//!
+//! A protocol `F` is a vector of local protocols `F_i`, each a state machine
+//! with two start states (input received or not), a message-generation
+//! function `σ_i` (what to send to each neighbor, given the state at the end
+//! of the previous round), a transition function `δ_i` (new state from old
+//! state, round number, received messages, and the random tape `α_i`), and an
+//! output bit `O_i` computed from the final state.
+//!
+//! Determinism contract: given the same context, input bit, tape, and
+//! received messages, a local protocol must behave identically — all
+//! randomness must come from the tape. The execution engine
+//! ([`crate::exec`]) relies on this to realize the paper's probability space
+//! (uniform over tapes, per fixed run).
+
+use crate::graph::Graph;
+use crate::ids::{ProcessId, Round};
+use crate::tape::TapeReader;
+use std::fmt::Debug;
+
+/// Static context handed to every local-protocol callback.
+#[derive(Clone, Copy, Debug)]
+pub struct Ctx<'a> {
+    /// The communication graph.
+    pub graph: &'a Graph,
+    /// The horizon `N` (number of protocol rounds).
+    pub n: u32,
+    /// This process's id.
+    pub id: ProcessId,
+}
+
+impl<'a> Ctx<'a> {
+    /// Creates a context.
+    pub fn new(graph: &'a Graph, n: u32, id: ProcessId) -> Self {
+        Ctx { graph, n, id }
+    }
+
+    /// Number of processes `m`.
+    pub fn m(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// This process's neighbors.
+    pub fn neighbors(&self) -> &'a [ProcessId] {
+        self.graph.neighbors(self.id)
+    }
+}
+
+/// A synchronous randomized protocol, described by its local state machines.
+///
+/// Implementations must be deterministic functions of their arguments; all
+/// randomness is drawn from the provided tape reader.
+pub trait Protocol {
+    /// Per-process state (`q_i^r` in the paper).
+    type State: Clone + Debug + PartialEq;
+    /// Message payload. A `None` delivery never happens — processes send to
+    /// every neighbor every round, as the model requires; encode "null
+    /// messages" as a variant of this type if the protocol needs them.
+    type Msg: Clone + Debug + PartialEq;
+
+    /// Short human-readable protocol name (e.g. `"S"`).
+    fn name(&self) -> &'static str;
+
+    /// An upper bound `J` on the number of random bits any process consumes.
+    fn tape_bits(&self) -> usize;
+
+    /// The start state: `s_i^1` if `received_input`, else `s_i^0`, possibly
+    /// elaborated with coins drawn from the tape (equivalent to drawing them
+    /// in the first transition; the tape is independent of the run either
+    /// way).
+    fn init(&self, ctx: Ctx<'_>, received_input: bool, tape: &mut TapeReader<'_>) -> Self::State;
+
+    /// The message-generation function `σ_i(q_i^{r-1}, j)`: the message this
+    /// process sends to neighbor `to` in the coming round.
+    fn message(&self, ctx: Ctx<'_>, state: &Self::State, to: ProcessId) -> Self::Msg;
+
+    /// The transition function `δ_i(q_i^{r-1}, r, S_i^r, α_i)`.
+    ///
+    /// `received` lists the delivered messages of round `round`, sorted by
+    /// sender id.
+    fn transition(
+        &self,
+        ctx: Ctx<'_>,
+        state: &Self::State,
+        round: Round,
+        received: &[(ProcessId, Self::Msg)],
+        tape: &mut TapeReader<'_>,
+    ) -> Self::State;
+
+    /// The output bit `O_i(q_i^N)`: `true` means attack.
+    fn output(&self, ctx: Ctx<'_>, state: &Self::State) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    #[test]
+    fn ctx_accessors() {
+        let g = Graph::star(4).unwrap();
+        let ctx = Ctx::new(&g, 5, ProcessId::new(0));
+        assert_eq!(ctx.m(), 4);
+        assert_eq!(ctx.n, 5);
+        assert_eq!(ctx.neighbors().len(), 3);
+        let leaf = Ctx::new(&g, 5, ProcessId::new(2));
+        assert_eq!(leaf.neighbors(), &[ProcessId::new(0)]);
+    }
+}

@@ -1,0 +1,344 @@
+//! Exact rational arithmetic for probabilities.
+//!
+//! Protocol S's only randomness is `rfire`, a uniform real in `(0, 1/ε]`, so
+//! for a fixed run every outcome probability is an exact rational number
+//! (lengths of subintervals divided by the interval length). Computing those
+//! probabilities exactly — rather than by floating point — lets the test
+//! suite assert the paper's equalities (e.g. Theorem 6.8's
+//! `L(S,R) = min(1, ε·ML(R))`) with `==` instead of tolerances.
+//!
+//! This is a deliberately small substrate: signed `i128` numerator and
+//! denominator, always normalized (gcd 1, denominator positive). The
+//! quantities in this codebase are tiny (`ε = 1/t` for moderate `t`,
+//! information levels bounded by `N`), so `i128` gives enormous headroom;
+//! arithmetic uses checked operations and panics on overflow rather than
+//! silently degrading.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational number with `i128` numerator and denominator.
+///
+/// Always stored in lowest terms with a positive denominator.
+///
+/// # Examples
+///
+/// ```
+/// use ca_core::rational::Rational;
+/// let third = Rational::new(1, 3);
+/// let sixth = Rational::new(1, 6);
+/// assert_eq!(third + sixth, Rational::new(1, 2));
+/// assert_eq!(third * Rational::from(3i64), Rational::ONE);
+/// assert!(sixth < third);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+const fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rational {
+    /// The rational number 0.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational number 1.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates `num/den` in lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "rational with zero denominator");
+        let g = gcd(num, den);
+        let (mut num, mut den) = if g == 0 { (0, 1) } else { (num / g, den / g) };
+        if den < 0 {
+            num = -num;
+            den = -den;
+        }
+        Rational { num, den }
+    }
+
+    /// The numerator (in lowest terms; sign carried here).
+    pub const fn numerator(self) -> i128 {
+        self.num
+    }
+
+    /// The denominator (always positive).
+    pub const fn denominator(self) -> i128 {
+        self.den
+    }
+
+    /// Converts to the nearest `f64`.
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Returns `min(self, other)`.
+    pub fn min(self, other: Rational) -> Rational {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns `max(self, other)`.
+    pub fn max(self, other: Rational) -> Rational {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Clamps into `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn clamp(self, lo: Rational, hi: Rational) -> Rational {
+        assert!(lo <= hi, "clamp with lo > hi");
+        self.max(lo).min(hi)
+    }
+
+    /// Returns whether this is a probability, i.e. in `[0, 1]`.
+    pub fn is_probability(self) -> bool {
+        self >= Rational::ZERO && self <= Rational::ONE
+    }
+
+    /// The reciprocal `1/self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    pub fn recip(self) -> Rational {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rational::new(self.den, self.num)
+    }
+
+    /// The absolute value.
+    pub fn abs(self) -> Rational {
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    fn checked(num: Option<i128>, den: Option<i128>) -> Rational {
+        let num = num.expect("rational arithmetic overflow");
+        let den = den.expect("rational arithmetic overflow");
+        Rational::new(num, den)
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Self {
+        Rational {
+            num: v as i128,
+            den: 1,
+        }
+    }
+}
+
+impl From<u32> for Rational {
+    fn from(v: u32) -> Self {
+        Rational {
+            num: v as i128,
+            den: 1,
+        }
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        // Reduce by gcd of denominators first to delay overflow.
+        let g = gcd(self.den, rhs.den);
+        let (da, db) = (self.den / g, rhs.den / g);
+        Rational::checked(
+            self.num
+                .checked_mul(db)
+                .and_then(|a| rhs.num.checked_mul(da).and_then(|b| a.checked_add(b))),
+            self.den.checked_mul(db),
+        )
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self + (-rhs)
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        // Cross-reduce before multiplying.
+        let g1 = gcd(self.num, rhs.den);
+        let g2 = gcd(rhs.num, self.den);
+        let (n1, d2) = (self.num / g1.max(1), rhs.den / g1.max(1));
+        let (n2, d1) = (rhs.num / g2.max(1), self.den / g2.max(1));
+        Rational::checked(n1.checked_mul(n2), d1.checked_mul(d2))
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    // Division as multiplication by the reciprocal is the intended algebra.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, rhs: Rational) -> Rational {
+        self * rhs.recip()
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Rational) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Rational) -> Ordering {
+        // Compare a/b vs c/d by a*d vs c*b; reduce first to delay overflow.
+        let g = gcd(self.den, other.den);
+        let (da, db) = (self.den / g, other.den / g);
+        let lhs = self.num.checked_mul(db).expect("rational comparison overflow");
+        let rhs = other.num.checked_mul(da).expect("rational comparison overflow");
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(-2, -4), Rational::new(1, 2));
+        assert_eq!(Rational::new(2, -4), Rational::new(-1, 2));
+        assert_eq!(Rational::new(0, -5), Rational::ZERO);
+        assert_eq!(Rational::new(1, 2).denominator(), 2);
+        assert_eq!(Rational::new(-1, 2).numerator(), -1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        Rational::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rational::new(1, 6);
+        let b = Rational::new(1, 3);
+        assert_eq!(a + b, Rational::new(1, 2));
+        assert_eq!(b - a, a);
+        assert_eq!(a * b, Rational::new(1, 18));
+        assert_eq!(b / a, Rational::from(2i64));
+        assert_eq!(-a, Rational::new(-1, 6));
+        assert_eq!(a.recip(), Rational::from(6i64));
+        assert_eq!(Rational::new(-3, 4).abs(), Rational::new(3, 4));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::ZERO);
+        assert_eq!(Rational::new(2, 6).cmp(&Rational::new(1, 3)), Ordering::Equal);
+        assert_eq!(Rational::new(1, 3).min(Rational::new(1, 4)), Rational::new(1, 4));
+        assert_eq!(Rational::new(1, 3).max(Rational::new(1, 4)), Rational::new(1, 3));
+    }
+
+    #[test]
+    fn probability_helpers() {
+        assert!(Rational::new(1, 2).is_probability());
+        assert!(!Rational::new(3, 2).is_probability());
+        assert!(!Rational::new(-1, 2).is_probability());
+        assert_eq!(
+            Rational::new(5, 2).clamp(Rational::ZERO, Rational::ONE),
+            Rational::ONE
+        );
+    }
+
+    #[test]
+    fn f64_conversion() {
+        assert!((Rational::new(1, 4).to_f64() - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn large_values_reduce_before_overflowing() {
+        // (1/3^30) + (1/3^30) style operations stay exact thanks to gcd reduction.
+        let tiny = Rational::new(1, 3i128.pow(30));
+        let sum = tiny + tiny;
+        assert_eq!(sum, Rational::new(2, 3i128.pow(30)));
+        let prod = Rational::new(3i128.pow(30), 7) * Rational::new(7, 3i128.pow(30));
+        assert_eq!(prod, Rational::ONE);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rational::new(3, 6).to_string(), "1/2");
+        assert_eq!(Rational::from(5i64).to_string(), "5");
+    }
+
+    #[test]
+    #[should_panic(expected = "rational arithmetic overflow")]
+    fn overflow_panics_instead_of_wrapping() {
+        let huge = Rational::new(i128::MAX / 2, 1);
+        let _ = huge + huge + huge;
+    }
+
+    #[test]
+    #[should_panic(expected = "reciprocal of zero")]
+    fn zero_reciprocal_panics() {
+        Rational::ZERO.recip();
+    }
+}

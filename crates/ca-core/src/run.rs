@@ -1,0 +1,440 @@
+//! Runs: which inputs arrive and which messages are delivered.
+//!
+//! A run `R = I(R) ∪ M(R)` fully describes the adversary's choices for one
+//! execution: `I(R)` is the set of processes that receive the input signal
+//! (tuples `(v₀, i, 0)` in the paper), and `M(R)` is the set of delivered
+//! messages (tuples `(i, j, r)` with `(i,j) ∈ E` and `1 ≤ r ≤ N`). Every
+//! message *not* in `M(R)` is destroyed by the adversary.
+
+use crate::bitset::BitSet;
+use crate::error::ModelError;
+use crate::graph::Graph;
+use crate::ids::{ProcessId, Round};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A directed message slot `(from, to, round)`: the message sent by `from` to
+/// `to` in the given protocol round (`1..=N`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct MsgSlot {
+    /// Sending process.
+    pub from: ProcessId,
+    /// Receiving process.
+    pub to: ProcessId,
+    /// Protocol round in `1..=N`.
+    pub round: Round,
+}
+
+impl MsgSlot {
+    /// Creates a message slot.
+    pub const fn new(from: ProcessId, to: ProcessId, round: Round) -> Self {
+        MsgSlot { from, to, round }
+    }
+}
+
+impl fmt::Display for MsgSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.from, self.to, self.round.get())
+    }
+}
+
+/// A run: the adversary's complete delivery schedule for one execution.
+///
+/// A `Run` is parameterized by the process count `m` and horizon `n` (the
+/// paper's `N`): message rounds range over `1..=n`.
+///
+/// # Examples
+///
+/// ```
+/// use ca_core::graph::Graph;
+/// use ca_core::run::Run;
+/// use ca_core::ids::ProcessId;
+///
+/// let g = Graph::complete(2)?;
+/// // The "good" run: every input arrives and every message is delivered.
+/// let run = Run::good(&g, 4);
+/// assert!(run.has_input(ProcessId::new(0)));
+/// assert_eq!(run.message_count(), 2 * 4); // 2 directed edges × 4 rounds
+/// # Ok::<(), ca_core::error::ModelError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Run {
+    m: usize,
+    n: u32,
+    inputs: BitSet,
+    messages: BTreeSet<MsgSlot>,
+}
+
+impl Run {
+    /// The empty run over `m` processes and horizon `n`: no inputs, no
+    /// deliveries. (The paper's `R̃ = ∅`.)
+    pub fn empty(m: usize, n: u32) -> Self {
+        Run {
+            m,
+            n,
+            inputs: BitSet::new(m),
+            messages: BTreeSet::new(),
+        }
+    }
+
+    /// The "good" run: every process receives the input and every message on
+    /// every edge of `graph` is delivered in every round `1..=n`.
+    pub fn good(graph: &Graph, n: u32) -> Self {
+        let mut run = Run::empty(graph.len(), n);
+        for p in graph.vertices() {
+            run.inputs.insert(p.index());
+        }
+        for (a, b) in graph.directed_edges() {
+            for r in Round::protocol_rounds(n) {
+                run.messages.insert(MsgSlot::new(a, b, r));
+            }
+        }
+        run
+    }
+
+    /// A run delivering everything like [`Run::good`] but with inputs only at
+    /// the given processes.
+    pub fn good_with_inputs(graph: &Graph, n: u32, inputs: &[ProcessId]) -> Self {
+        let mut run = Run::good(graph, n);
+        run.inputs.clear();
+        for &p in inputs {
+            run.inputs.insert(p.index());
+        }
+        run
+    }
+
+    /// Number of processes `m`.
+    pub fn process_count(&self) -> usize {
+        self.m
+    }
+
+    /// The horizon `N` (last protocol round).
+    pub fn horizon(&self) -> u32 {
+        self.n
+    }
+
+    /// Returns whether process `i` receives the input signal (tuple `(v₀,i,0)`).
+    pub fn has_input(&self, i: ProcessId) -> bool {
+        self.inputs.contains(i.index())
+    }
+
+    /// Returns whether any process receives the input signal (`I(R) ≠ ∅`).
+    pub fn has_any_input(&self) -> bool {
+        !self.inputs.is_empty()
+    }
+
+    /// The set of processes receiving the input signal.
+    pub fn inputs(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.inputs.iter().map(|i| ProcessId::new(i as u32))
+    }
+
+    /// Adds the input tuple `(v₀, i, 0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn add_input(&mut self, i: ProcessId) -> &mut Self {
+        self.inputs.insert(i.index());
+        self
+    }
+
+    /// Removes the input tuple `(v₀, i, 0)`.
+    pub fn remove_input(&mut self, i: ProcessId) -> &mut Self {
+        self.inputs.remove(i.index());
+        self
+    }
+
+    /// Returns whether the message `(from, to, round)` is delivered.
+    pub fn delivers(&self, from: ProcessId, to: ProcessId, round: Round) -> bool {
+        self.messages.contains(&MsgSlot::new(from, to, round))
+    }
+
+    /// Returns whether the slot is delivered.
+    pub fn delivers_slot(&self, slot: MsgSlot) -> bool {
+        self.messages.contains(&slot)
+    }
+
+    /// Adds a delivered message `(from, to, round)`.
+    ///
+    /// The caller is responsible for only adding slots that correspond to
+    /// graph edges and rounds `1..=n`; [`Run::validate`] checks this.
+    pub fn add_message(&mut self, from: ProcessId, to: ProcessId, round: Round) -> &mut Self {
+        self.messages.insert(MsgSlot::new(from, to, round));
+        self
+    }
+
+    /// Removes (destroys) a delivered message, returning whether it was present.
+    pub fn remove_message(&mut self, from: ProcessId, to: ProcessId, round: Round) -> bool {
+        self.messages.remove(&MsgSlot::new(from, to, round))
+    }
+
+    /// Iterates over the delivered message slots in sorted order.
+    pub fn messages(&self) -> impl Iterator<Item = MsgSlot> + '_ {
+        self.messages.iter().copied()
+    }
+
+    /// Iterates over delivered messages of one round.
+    pub fn messages_in_round(&self, round: Round) -> impl Iterator<Item = MsgSlot> + '_ {
+        self.messages.iter().copied().filter(move |s| s.round == round)
+    }
+
+    /// Number of delivered messages `|M(R)|`.
+    pub fn message_count(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Number of input tuples `|I(R)|`.
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Destroys every message sent in rounds `>= round`, on every edge.
+    ///
+    /// This is the "cut at round `round`" adversary move that defeats chains
+    /// of acknowledgements (§3).
+    pub fn cut_from_round(&mut self, round: Round) -> &mut Self {
+        self.messages.retain(|s| s.round < round);
+        self
+    }
+
+    /// Destroys every message from `from` to `to` in rounds `>= round`.
+    pub fn cut_link_from_round(&mut self, from: ProcessId, to: ProcessId, round: Round) -> &mut Self {
+        self.messages
+            .retain(|s| !(s.from == from && s.to == to && s.round >= round));
+        self
+    }
+
+    /// Returns whether `self ⊆ other` (both inputs and messages).
+    pub fn is_subset(&self, other: &Run) -> bool {
+        self.m == other.m
+            && self.n == other.n
+            && self.inputs.is_subset(&other.inputs)
+            && self.messages.is_subset(&other.messages)
+    }
+
+    /// The union of two runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn union(&self, other: &Run) -> Run {
+        assert_eq!(self.m, other.m, "run process-count mismatch");
+        assert_eq!(self.n, other.n, "run horizon mismatch");
+        let mut out = self.clone();
+        out.inputs.union_with(&other.inputs);
+        out.messages.extend(other.messages.iter().copied());
+        out
+    }
+
+    /// Validates that every message slot corresponds to an edge of `graph`
+    /// and a round in `1..=n`, and that dimensions match.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the first violation found.
+    pub fn validate(&self, graph: &Graph) -> Result<(), ModelError> {
+        if graph.len() != self.m {
+            return Err(ModelError::InvalidParameter {
+                name: "graph",
+                reason: "graph size does not match run process count",
+            });
+        }
+        for s in &self.messages {
+            if s.round.get() < 1 || s.round.get() > self.n {
+                return Err(ModelError::InvalidMessageSlot {
+                    reason: "round outside 1..=N",
+                });
+            }
+            if !graph.has_edge(s.from, s.to) {
+                return Err(ModelError::InvalidMessageSlot {
+                    reason: "message slot on a non-edge",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Enumerates **all** runs over `graph` with horizon `n` — all subsets of
+    /// inputs × all subsets of message slots. Exponential; intended for
+    /// exhaustive checks on tiny instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of slots plus inputs exceeds 24 (≥ 16M runs), to
+    /// guard against accidental blow-ups.
+    pub fn enumerate_all(graph: &Graph, n: u32) -> Vec<Run> {
+        let slots: Vec<MsgSlot> = graph
+            .directed_edges()
+            .flat_map(|(a, b)| Round::protocol_rounds(n).map(move |r| MsgSlot::new(a, b, r)))
+            .collect();
+        let bits = slots.len() + graph.len();
+        assert!(bits <= 24, "enumerate_all over {bits} bits is too large");
+        let mut out = Vec::with_capacity(1usize << bits);
+        for mask in 0u64..(1u64 << bits) {
+            let mut run = Run::empty(graph.len(), n);
+            for (k, p) in graph.vertices().enumerate() {
+                if mask & (1 << k) != 0 {
+                    run.add_input(p);
+                }
+            }
+            for (k, s) in slots.iter().enumerate() {
+                if mask & (1 << (graph.len() + k)) != 0 {
+                    run.messages.insert(*s);
+                }
+            }
+            out.push(run);
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Run {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Run")
+            .field("m", &self.m)
+            .field("n", &self.n)
+            .field("inputs", &self.inputs)
+            .field("messages", &self.messages)
+            .finish()
+    }
+}
+
+impl fmt::Display for Run {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "run(inputs={{{}}}, |M|={})",
+            self.inputs()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            self.message_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+    fn r(i: u32) -> Round {
+        Round::new(i)
+    }
+
+    #[test]
+    fn paper_example_run() {
+        // The paper's example: {(v0,3,0), (1,2,6), (3,2,7)} — translated to
+        // 0-based ids: input at P2, messages (P0→P1, r6) and (P2→P1, r7).
+        let g = Graph::complete(3).unwrap();
+        let mut run = Run::empty(3, 8);
+        run.add_input(p(2));
+        run.add_message(p(0), p(1), r(6));
+        run.add_message(p(2), p(1), r(7));
+        assert!(run.has_input(p(2)));
+        assert!(!run.has_input(p(0)));
+        assert!(run.delivers(p(0), p(1), r(6)));
+        assert!(!run.delivers(p(1), p(0), r(6)));
+        assert_eq!(run.message_count(), 2);
+        run.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn good_run_counts() {
+        let g = Graph::line(3).unwrap();
+        let run = Run::good(&g, 5);
+        // 2 undirected edges → 4 directed slots per round × 5 rounds.
+        assert_eq!(run.message_count(), 20);
+        assert_eq!(run.input_count(), 3);
+        run.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn good_with_inputs_subset() {
+        let g = Graph::complete(3).unwrap();
+        let run = Run::good_with_inputs(&g, 2, &[p(1)]);
+        assert!(!run.has_input(p(0)));
+        assert!(run.has_input(p(1)));
+        assert_eq!(run.input_count(), 1);
+    }
+
+    #[test]
+    fn cut_from_round() {
+        let g = Graph::complete(2).unwrap();
+        let mut run = Run::good(&g, 4);
+        run.cut_from_round(r(3));
+        assert_eq!(run.message_count(), 4); // rounds 1,2 × 2 directions
+        assert!(run.delivers(p(0), p(1), r(2)));
+        assert!(!run.delivers(p(0), p(1), r(3)));
+    }
+
+    #[test]
+    fn cut_link_from_round() {
+        let g = Graph::complete(2).unwrap();
+        let mut run = Run::good(&g, 3);
+        run.cut_link_from_round(p(0), p(1), r(2));
+        assert!(run.delivers(p(0), p(1), r(1)));
+        assert!(!run.delivers(p(0), p(1), r(2)));
+        assert!(run.delivers(p(1), p(0), r(3)), "other direction untouched");
+    }
+
+    #[test]
+    fn subset_and_union() {
+        let g = Graph::complete(2).unwrap();
+        let empty = Run::empty(2, 3);
+        let good = Run::good(&g, 3);
+        assert!(empty.is_subset(&good));
+        assert!(!good.is_subset(&empty));
+        let u = empty.union(&good);
+        assert_eq!(u, good);
+    }
+
+    #[test]
+    fn validate_rejects_bad_slots() {
+        let g = Graph::line(3).unwrap();
+        let mut run = Run::empty(3, 3);
+        run.add_message(p(0), p(2), r(1)); // non-edge in the line graph
+        assert!(matches!(
+            run.validate(&g),
+            Err(ModelError::InvalidMessageSlot { .. })
+        ));
+        let mut run = Run::empty(3, 3);
+        run.add_message(p(0), p(1), r(4)); // round out of range
+        assert!(run.validate(&g).is_err());
+    }
+
+    #[test]
+    fn enumerate_all_tiny() {
+        let g = Graph::complete(2).unwrap();
+        // 2 inputs + 2 directed edges × 1 round = 4 bits → 16 runs.
+        let runs = Run::enumerate_all(&g, 1);
+        assert_eq!(runs.len(), 16);
+        // All must validate; exactly one is the good run.
+        let good = Run::good(&g, 1);
+        assert_eq!(runs.iter().filter(|r| **r == good).count(), 1);
+        for run in &runs {
+            run.validate(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let g = Graph::complete(2).unwrap();
+        let run = Run::good(&g, 1);
+        assert!(format!("{run}").contains("|M|=2"));
+        assert!(format!("{run:?}").contains("messages"));
+    }
+
+    #[test]
+    fn remove_message_and_input() {
+        let g = Graph::complete(2).unwrap();
+        let mut run = Run::good(&g, 2);
+        assert!(run.remove_message(p(0), p(1), r(1)));
+        assert!(!run.remove_message(p(0), p(1), r(1)));
+        run.remove_input(p(0));
+        assert!(!run.has_input(p(0)));
+    }
+}

@@ -1,0 +1,290 @@
+//! Random-input tapes `α_i`.
+//!
+//! Each process receives a private sequence of random bits before the run
+//! starts (the paper's `α_i ∈ {0,1}^J`, drawn uniformly). Crucially, the
+//! tapes are chosen **independently of the run** — the adversary controls
+//! delivery but not the coins. Representing the randomness as a pre-drawn
+//! tape (rather than an RNG handle shared with the environment) is what makes
+//! indistinguishability arguments exact: two runs indistinguishable to `i`
+//! consume identical tape prefixes, so `i` behaves identically
+//! (Lemma 2.1).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A finite tape of uniformly random bits, consumed left to right.
+///
+/// # Examples
+///
+/// ```
+/// use ca_core::tape::BitTape;
+/// let mut tape = BitTape::from_words(vec![0b1011]);
+/// let mut t = tape.reader();
+/// assert!(t.draw_bit());
+/// assert!(t.draw_bit());
+/// assert!(!t.draw_bit());
+/// assert!(t.draw_bit());
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitTape {
+    words: Vec<u64>,
+}
+
+impl BitTape {
+    /// Creates a tape from raw 64-bit words (bit 0 of word 0 first).
+    pub fn from_words(words: Vec<u64>) -> Self {
+        BitTape { words }
+    }
+
+    /// Samples a tape of `j_bits` uniform bits.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R, j_bits: usize) -> Self {
+        let words = (0..j_bits.div_ceil(64)).map(|_| rng.gen()).collect();
+        BitTape { words }
+    }
+
+    /// Length of the tape in bits.
+    pub fn len_bits(&self) -> usize {
+        self.words.len() * 64
+    }
+
+    /// Returns whether the tape holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Starts reading from the beginning.
+    pub fn reader(&self) -> TapeReader<'_> {
+        TapeReader { tape: self, pos: 0 }
+    }
+}
+
+impl fmt::Debug for BitTape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitTape({} bits)", self.len_bits())
+    }
+}
+
+/// A cursor over a [`BitTape`].
+///
+/// Draws beyond the end of the tape panic: protocols must declare a large
+/// enough `J` (the paper's upper bound on random bits used).
+#[derive(Clone, Debug)]
+pub struct TapeReader<'a> {
+    tape: &'a BitTape,
+    pos: usize,
+}
+
+impl TapeReader<'_> {
+    /// Draws one bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tape is exhausted.
+    pub fn draw_bit(&mut self) -> bool {
+        assert!(
+            self.pos < self.tape.len_bits(),
+            "random tape exhausted at bit {}",
+            self.pos
+        );
+        let bit = (self.tape.words[self.pos / 64] >> (self.pos % 64)) & 1 == 1;
+        self.pos += 1;
+        bit
+    }
+
+    /// Draws 64 bits as a `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tape is exhausted.
+    pub fn draw_u64(&mut self) -> u64 {
+        let mut v = 0u64;
+        for k in 0..64 {
+            if self.draw_bit() {
+                v |= 1 << k;
+            }
+        }
+        v
+    }
+
+    /// Draws exactly `n ≤ 64` bits as the low bits of a `u64` (LSB first).
+    ///
+    /// Unlike [`TapeReader::draw_below`], the consumption is fixed, which
+    /// makes the tape space exhaustively enumerable — used by the
+    /// enumeration-based exact analyses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64` or the tape is exhausted.
+    pub fn draw_bits(&mut self, n: u32) -> u64 {
+        assert!(n <= 64, "draw_bits supports at most 64 bits");
+        let mut v = 0u64;
+        for k in 0..n {
+            if self.draw_bit() {
+                v |= 1 << k;
+            }
+        }
+        v
+    }
+
+    /// Draws a uniform integer in `0..bound` by rejection sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0` or the tape is exhausted before acceptance
+    /// (the expected number of 64-bit draws is < 2).
+    pub fn draw_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "draw_below(0)");
+        // Rejection sampling for exact uniformity.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.draw_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Draws a uniform value in `(0, 1]` with 64-bit resolution:
+    /// `(k + 1) / 2^64` for uniform `k`.
+    ///
+    /// Used to realize the paper's "uniform real in `(0, t]`" as
+    /// `t * draw_unit()`. The discretization changes any single comparison
+    /// probability by at most `2⁻⁶⁴`.
+    pub fn draw_unit(&mut self) -> f64 {
+        (self.draw_u64() as f64 + 1.0) / 18_446_744_073_709_551_616.0 // 2^64
+    }
+
+    /// Number of bits consumed so far.
+    pub fn bits_consumed(&self) -> usize {
+        self.pos
+    }
+}
+
+/// The vector `α = (α_i)` of per-process tapes.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TapeSet {
+    tapes: Vec<BitTape>,
+}
+
+impl TapeSet {
+    /// Samples independent tapes of `j_bits` bits for `m` processes.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R, m: usize, j_bits: usize) -> Self {
+        TapeSet {
+            tapes: (0..m).map(|_| BitTape::random(rng, j_bits)).collect(),
+        }
+    }
+
+    /// Builds a tape set from explicit tapes.
+    pub fn from_tapes(tapes: Vec<BitTape>) -> Self {
+        TapeSet { tapes }
+    }
+
+    /// The tape of process `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn tape(&self, i: crate::ids::ProcessId) -> &BitTape {
+        &self.tapes[i.index()]
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.tapes.len()
+    }
+
+    /// Returns whether there are no tapes.
+    pub fn is_empty(&self) -> bool {
+        self.tapes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ProcessId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bit_order_is_lsb_first() {
+        let tape = BitTape::from_words(vec![0b0110]);
+        let mut t = tape.reader();
+        assert_eq!(
+            (t.draw_bit(), t.draw_bit(), t.draw_bit(), t.draw_bit()),
+            (false, true, true, false)
+        );
+    }
+
+    #[test]
+    fn draw_u64_roundtrip() {
+        let tape = BitTape::from_words(vec![0xDEAD_BEEF_CAFE_F00D]);
+        assert_eq!(tape.reader().draw_u64(), 0xDEAD_BEEF_CAFE_F00D);
+    }
+
+    #[test]
+    fn draw_bits_consumes_exactly_n() {
+        let tape = BitTape::from_words(vec![0b1011_0101]);
+        let mut t = tape.reader();
+        assert_eq!(t.draw_bits(4), 0b0101);
+        assert_eq!(t.bits_consumed(), 4);
+        assert_eq!(t.draw_bits(4), 0b1011);
+        assert_eq!(t.draw_bits(0), 0);
+        assert_eq!(t.bits_consumed(), 8);
+    }
+
+    #[test]
+    fn draw_below_is_in_range_and_uniformish() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let tape = BitTape::random(&mut rng, 64 * 4000);
+        let mut t = tape.reader();
+        let mut counts = [0u32; 7];
+        for _ in 0..3000 {
+            counts[t.draw_below(7) as usize] += 1;
+        }
+        for &c in &counts {
+            // Expect ~428 each; a loose sanity band.
+            assert!(c > 300 && c < 580, "counts={counts:?}");
+        }
+    }
+
+    #[test]
+    fn draw_unit_in_half_open_interval() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let tape = BitTape::random(&mut rng, 64 * 100);
+        let mut t = tape.reader();
+        for _ in 0..100 {
+            let u = t.draw_unit();
+            assert!(u > 0.0 && u <= 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tape exhausted")]
+    fn exhausted_tape_panics() {
+        let tape = BitTape::from_words(vec![]);
+        tape.reader().draw_bit();
+    }
+
+    #[test]
+    fn identical_tapes_give_identical_draws() {
+        // The determinism that underpins Lemma 2.1.
+        let mut rng = StdRng::seed_from_u64(7);
+        let tape = BitTape::random(&mut rng, 256);
+        let (mut a, mut b) = (tape.reader(), tape.reader());
+        for _ in 0..3 {
+            assert_eq!(a.draw_u64(), b.draw_u64());
+        }
+        assert_eq!(a.bits_consumed(), b.bits_consumed());
+    }
+
+    #[test]
+    fn tape_set_access() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let set = TapeSet::random(&mut rng, 3, 128);
+        assert_eq!(set.len(), 3);
+        assert!(!set.is_empty());
+        assert_eq!(set.tape(ProcessId::new(2)).len_bits(), 128);
+    }
+}

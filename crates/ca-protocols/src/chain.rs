@@ -1,0 +1,338 @@
+//! `ChainProtocol`: the natural m-general generalization of Protocol A.
+//!
+//! The paper's example Protocol A is defined for two generals; the obvious
+//! generalization sends the single acknowledgement token along a fixed
+//! Hamiltonian path `0 → 1 → … → m−1 → m−2 → … → 0 → …`, one hop per round,
+//! each hop contingent on the previous one arriving. The leader draws
+//! `rfire ∈ {2..N}`; a process attacks iff it knows an input arrived, knows
+//! `rfire`, and *held the token* at the end of some round `≥ rfire − 1`.
+//!
+//! Analysis (verified exactly by the tests): if the first destroyed packet
+//! is the one sent in round `d`, the attackers are exactly the processes
+//! that *held the token* at the end of some round in `rfire − 1 ..= d − 1`.
+//! Nobody attacks when that window is empty; everybody attacks when the
+//! window covers a full bounce (which needs up to `2(m−1)` rounds depending
+//! on phase); anything in between is **partial attack**. The adversary
+//! therefore gets a disagreement window of `Θ(m)` rfire values instead of
+//! Protocol A's single value: the chain's unsafety grows linearly in `m`
+//! (≈ `2(m−1)/N` at the worst cut), which is exactly why Protocol S gossips
+//! in parallel instead of serially — its unsafety is `ε`, independent of
+//! `m`. This is a designed baseline for the m-general experiments, not a
+//! protocol from the paper.
+
+use ca_core::ids::{ProcessId, Round};
+use ca_core::protocol::{Ctx, Protocol};
+use ca_core::tape::TapeReader;
+use serde::{Deserialize, Serialize};
+
+/// The chain-token generalization of Protocol A, over the line graph
+/// `0 − 1 − … − m−1`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChainProtocol {
+    n: u32,
+}
+
+/// A chain packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChainPacket {
+    /// The leader's firing round, if known to the sender.
+    pub rfire: Option<u32>,
+    /// Whether the sender knows an input arrived.
+    pub valid: bool,
+}
+
+/// Message: a packet or null.
+pub type ChainMsg = Option<ChainPacket>;
+
+/// Per-process state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChainState {
+    /// Last completed round.
+    pub round: u32,
+    /// The firing round, if known.
+    pub rfire: Option<u32>,
+    /// Whether an input is known to have arrived.
+    pub valid: bool,
+    /// Whether this process holds the token (received it last round, or is
+    /// the chain's origin before round 1).
+    pub holds_token: bool,
+    /// The latest round at the end of which this process held the token
+    /// (`0` = held before round 1 / never).
+    pub last_held: u32,
+}
+
+impl ChainProtocol {
+    /// Creates the chain protocol for an `N`-round horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: u32) -> Self {
+        assert!(n >= 2, "chain protocol needs N >= 2, got {n}");
+        ChainProtocol { n }
+    }
+
+    /// The token's intended holder at the end of round `r` on a path of `m`
+    /// vertices: bounce `0,1,…,m−1,m−2,…,1,0,1,…` (position after `r` hops).
+    pub fn holder_at(m: usize, r: u32) -> ProcessId {
+        let period = 2 * (m as u32 - 1);
+        let k = r % period;
+        let pos = if k < m as u32 { k } else { period - k };
+        ProcessId::new(pos)
+    }
+
+    /// The neighbor the round-`r` hop goes to, from the end-of-round-`(r−1)`
+    /// holder.
+    fn next_hop(m: usize, r: u32) -> (ProcessId, ProcessId) {
+        (Self::holder_at(m, r - 1), Self::holder_at(m, r))
+    }
+
+    /// The largest usable firing round for `m` generals: after `rfire` the
+    /// token must still complete a full bounce (any window of `2(m−1)`
+    /// consecutive rounds visits every vertex), so
+    /// `rfire ≤ N + 2 − 2(m−1) = N − 2m + 4`. For `m = 2` this is `N`,
+    /// recovering Protocol A's range.
+    pub fn max_rfire(m: usize, n: u32) -> u32 {
+        n + 4 - 2 * m as u32
+    }
+}
+
+impl Protocol for ChainProtocol {
+    type State = ChainState;
+    type Msg = ChainMsg;
+
+    fn name(&self) -> &'static str {
+        "chain"
+    }
+
+    fn tape_bits(&self) -> usize {
+        64 * 64
+    }
+
+    fn init(&self, ctx: Ctx<'_>, received_input: bool, tape: &mut TapeReader<'_>) -> ChainState {
+        assert_eq!(ctx.n, self.n, "run horizon differs from protocol horizon");
+        let hi = Self::max_rfire(ctx.m(), self.n);
+        assert!(
+            hi >= 2,
+            "horizon too short for {} generals: need N ≥ 2m − 2",
+            ctx.m()
+        );
+        let rfire = if ctx.id == ProcessId::LEADER {
+            Some(2 + tape.draw_below(u64::from(hi) - 1) as u32)
+        } else {
+            None
+        };
+        ChainState {
+            round: 0,
+            rfire,
+            valid: received_input,
+            holds_token: ctx.id == ProcessId::LEADER,
+            last_held: 0,
+        }
+    }
+
+    fn message(&self, ctx: Ctx<'_>, state: &ChainState, to: ProcessId) -> ChainMsg {
+        let r = state.round + 1;
+        if r > self.n {
+            return None;
+        }
+        let (from_expected, to_expected) = Self::next_hop(ctx.m(), r);
+        if ctx.id == from_expected && to == to_expected && state.holds_token {
+            Some(ChainPacket {
+                rfire: state.rfire,
+                valid: state.valid,
+            })
+        } else {
+            None
+        }
+    }
+
+    fn transition(
+        &self,
+        ctx: Ctx<'_>,
+        state: &ChainState,
+        round: Round,
+        received: &[(ProcessId, ChainMsg)],
+        _tape: &mut TapeReader<'_>,
+    ) -> ChainState {
+        let mut next = *state;
+        next.round = round.get();
+        // Sending the token relinquishes it (whether or not it arrives).
+        let (from_expected, to_expected) = Self::next_hop(ctx.m(), round.get());
+        if ctx.id == from_expected {
+            next.holds_token = false;
+        }
+        for (_, msg) in received {
+            if let Some(packet) = msg {
+                if ctx.id == to_expected {
+                    next.holds_token = true;
+                    next.last_held = round.get();
+                    if next.rfire.is_none() {
+                        next.rfire = packet.rfire;
+                    }
+                    next.valid |= packet.valid;
+                }
+            }
+        }
+        next
+    }
+
+    fn output(&self, _ctx: Ctx<'_>, state: &ChainState) -> bool {
+        match state.rfire {
+            Some(rfire) => state.valid && state.last_held + 1 >= rfire,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_core::exec::execute;
+    use ca_core::graph::Graph;
+    use ca_core::outcome::Outcome;
+    use ca_core::run::Run;
+    use ca_core::tape::{BitTape, TapeSet};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(m: usize, n: u32) -> (ChainProtocol, Graph) {
+        (ChainProtocol::new(n), Graph::line(m).expect("graph"))
+    }
+
+    /// Tapes that force a specific rfire on the leader.
+    fn forced_tapes(m: usize, n: u32, rfire: u32) -> TapeSet {
+        assert!((2..=ChainProtocol::max_rfire(m, n)).contains(&rfire));
+        let word = u64::from(rfire - 2);
+        TapeSet::from_tapes(
+            (0..m)
+                .map(|i| {
+                    BitTape::from_words(vec![if i == 0 { word } else { 0 }; 64])
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn holder_bounces_along_the_path() {
+        // m = 3, period 4: 0,1,2,1,0,1,2,…
+        let seq: Vec<u32> = (0..8).map(|r| ChainProtocol::holder_at(3, r).as_u32()).collect();
+        assert_eq!(seq, vec![0, 1, 2, 1, 0, 1, 2, 1]);
+        // m = 2, period 2: 0,1,0,1…
+        let seq: Vec<u32> = (0..4).map(|r| ChainProtocol::holder_at(2, r).as_u32()).collect();
+        assert_eq!(seq, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn good_run_total_attack() {
+        let (proto, g) = setup(3, 9);
+        let run = Run::good(&g, 9);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let t = TapeSet::random(&mut rng, 3, proto.tape_bits());
+            let ex = execute(&proto, &g, &run, &t);
+            assert_eq!(ex.outcome(), Outcome::TotalAttack, "good run must TA");
+        }
+    }
+
+    #[test]
+    fn validity_holds() {
+        let (proto, g) = setup(3, 6);
+        let run = Run::good_with_inputs(&g, 6, &[]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = TapeSet::random(&mut rng, 3, proto.tape_bits());
+        let ex = execute(&proto, &g, &run, &t);
+        assert_eq!(ex.outcome(), Outcome::NoAttack);
+    }
+
+    /// The model prediction: attackers under a cut at round `d` with firing
+    /// round `rfire` are the token holders of rounds `rfire−1 ..= d−1`
+    /// (holding via *receipt*, so round ≥ 1).
+    fn predicted_attackers(m: usize, d: u32, rfire: u32) -> Vec<bool> {
+        let mut attackers = vec![false; m];
+        let lo = (rfire - 1).max(1);
+        for r in lo..d {
+            attackers[ChainProtocol::holder_at(m, r).index()] = true;
+        }
+        attackers
+    }
+
+    #[test]
+    fn exact_case_analysis_of_cuts() {
+        // The executed protocol matches the attacker-window prediction,
+        // exhaustively over (d, rfire) for m = 3 and m = 4.
+        let n = 10u32;
+        for m in [2usize, 3, 4] {
+            let (proto, g) = setup(m, n);
+            for d in 2..=n {
+                for rfire in 2..=ChainProtocol::max_rfire(m, n) {
+                    let mut run = Run::good(&g, n);
+                    run.cut_from_round(Round::new(d));
+                    let t = forced_tapes(m, n, rfire);
+                    let ex = execute(&proto, &g, &run, &t);
+                    assert_eq!(
+                        ex.outputs(),
+                        predicted_attackers(m, d, rfire),
+                        "m={m}, d={d}, rfire={rfire}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unsafety_grows_linearly_with_m() {
+        // The chain gives the adversary Θ(m) disagreement-causing rfire
+        // values at its best cut, vs Protocol A's single one: compute the
+        // exact worst-case PA count over all cuts, per m.
+        let n = 16u32;
+        let mut last_worst = 0u32;
+        for m in [2usize, 3, 4, 5] {
+            let (proto, g) = setup(m, n);
+            let mut worst = 0u32;
+            for d in 2..=n {
+                let mut run = Run::good(&g, n);
+                run.cut_from_round(Round::new(d));
+                let mut pa = 0u32;
+                for rfire in 2..=ChainProtocol::max_rfire(m, n) {
+                    let t = forced_tapes(m, n, rfire);
+                    if execute(&proto, &g, &run, &t).outcome() == Outcome::PartialAttack {
+                        pa += 1;
+                    }
+                }
+                worst = worst.max(pa);
+            }
+            // m = 2 reduces to Protocol A: exactly one bad rfire per cut.
+            if m == 2 {
+                assert_eq!(worst, 1);
+            }
+            assert!(
+                worst >= last_worst && worst >= (m as u32 - 1),
+                "worst PA count must grow with m: m={m}, worst={worst}"
+            );
+            last_worst = worst;
+        }
+    }
+
+    #[test]
+    fn token_is_never_duplicated() {
+        let (proto, g) = setup(4, 12);
+        let run = Run::good(&g, 12);
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = TapeSet::random(&mut rng, 4, proto.tape_bits());
+        let ex = execute(&proto, &g, &run, &t);
+        for r in 0..=12usize {
+            let holders = g
+                .vertices()
+                .filter(|i| ex.local(*i).states[r].holds_token)
+                .count();
+            assert!(holders <= 1, "token duplicated at round {r}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "N >= 2")]
+    fn rejects_short_horizon() {
+        ChainProtocol::new(1);
+    }
+}

@@ -1,0 +1,203 @@
+//! Protocol combinators: running independent copies side by side.
+//!
+//! Section 3 raises the natural idea of beating Protocol A's `1/N` unsafety
+//! "by running A several times", and the lower bound of Section 5 says no
+//! combination rule can work. [`Repeat`] makes that testable: it runs `k`
+//! independent copies of any protocol in parallel (independent coins, shared
+//! run) and combines the copies' decisions with a [`CombineRule`]. The
+//! experiments show every rule either pushes liveness below 1 or pushes
+//! unsafety above `1/N` — exactly the tradeoff `L/U ≤ N` of Theorem 5.4.
+
+use ca_core::ids::{ProcessId, Round};
+use ca_core::protocol::{Ctx, Protocol};
+use ca_core::tape::TapeReader;
+use serde::{Deserialize, Serialize};
+
+/// How to combine the attack decisions of the `k` copies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CombineRule {
+    /// Attack iff **every** copy attacks.
+    All,
+    /// Attack iff **some** copy attacks.
+    Any,
+    /// Attack iff **more than half** of the copies attack.
+    Majority,
+}
+
+impl CombineRule {
+    /// Applies the rule to the copies' decisions.
+    pub fn combine(self, decisions: &[bool]) -> bool {
+        let yes = decisions.iter().filter(|&&d| d).count();
+        match self {
+            CombineRule::All => yes == decisions.len(),
+            CombineRule::Any => yes > 0,
+            CombineRule::Majority => 2 * yes > decisions.len(),
+        }
+    }
+}
+
+/// `k` independent copies of a protocol, combined by a [`CombineRule`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Repeat<P> {
+    inner: P,
+    k: usize,
+    rule: CombineRule,
+}
+
+impl<P: Protocol> Repeat<P> {
+    /// Creates the repeated protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(inner: P, k: usize, rule: CombineRule) -> Self {
+        assert!(k > 0, "repeat count must be positive");
+        Repeat { inner, k, rule }
+    }
+
+    /// The inner protocol.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Number of copies.
+    pub fn copies(&self) -> usize {
+        self.k
+    }
+
+    /// The combination rule.
+    pub fn rule(&self) -> CombineRule {
+        self.rule
+    }
+}
+
+impl<P: Protocol> Protocol for Repeat<P> {
+    type State = Vec<P::State>;
+    type Msg = Vec<P::Msg>;
+
+    fn name(&self) -> &'static str {
+        "repeat"
+    }
+
+    fn tape_bits(&self) -> usize {
+        self.inner.tape_bits() * self.k
+    }
+
+    fn init(&self, ctx: Ctx<'_>, received_input: bool, tape: &mut TapeReader<'_>) -> Self::State {
+        (0..self.k)
+            .map(|_| self.inner.init(ctx, received_input, tape))
+            .collect()
+    }
+
+    fn message(&self, ctx: Ctx<'_>, state: &Self::State, to: ProcessId) -> Self::Msg {
+        state.iter().map(|s| self.inner.message(ctx, s, to)).collect()
+    }
+
+    fn transition(
+        &self,
+        ctx: Ctx<'_>,
+        state: &Self::State,
+        round: Round,
+        received: &[(ProcessId, Self::Msg)],
+        tape: &mut TapeReader<'_>,
+    ) -> Self::State {
+        (0..self.k)
+            .map(|c| {
+                let per_copy: Vec<(ProcessId, P::Msg)> = received
+                    .iter()
+                    .map(|(from, bundle)| (*from, bundle[c].clone()))
+                    .collect();
+                self.inner.transition(ctx, &state[c], round, &per_copy, tape)
+            })
+            .collect()
+    }
+
+    fn output(&self, ctx: Ctx<'_>, state: &Self::State) -> bool {
+        let decisions: Vec<bool> = state.iter().map(|s| self.inner.output(ctx, s)).collect();
+        self.rule.combine(&decisions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol_a::ProtocolA;
+    use ca_core::exec::execute;
+    use ca_core::graph::Graph;
+    use ca_core::outcome::Outcome;
+    use ca_core::run::Run;
+    use ca_core::tape::TapeSet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn combine_rules() {
+        assert!(CombineRule::All.combine(&[true, true]));
+        assert!(!CombineRule::All.combine(&[true, false]));
+        assert!(CombineRule::Any.combine(&[false, true]));
+        assert!(!CombineRule::Any.combine(&[false, false]));
+        assert!(CombineRule::Majority.combine(&[true, true, false]));
+        assert!(!CombineRule::Majority.combine(&[true, false]));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_copies_rejected() {
+        Repeat::new(ProtocolA::new(4), 0, CombineRule::All);
+    }
+
+    #[test]
+    fn repeated_a_lives_on_good_run() {
+        let n = 6u32;
+        let proto = Repeat::new(ProtocolA::new(n), 3, CombineRule::All);
+        let g = Graph::complete(2).unwrap();
+        let run = Run::good(&g, n);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let t = TapeSet::random(&mut rng, 2, proto.tape_bits());
+            let ex = execute(&proto, &g, &run, &t);
+            assert_eq!(ex.outcome(), Outcome::TotalAttack);
+        }
+    }
+
+    #[test]
+    fn repeating_a_does_not_reduce_unsafety() {
+        // Section 3's strawman: k copies of A with the ALL rule. The cut at
+        // round N splits the processes iff *some* copy has rfire = N, which
+        // has probability 1 - (1 - 1/(N-1))^k > 1/(N-1): repetition makes
+        // unsafety WORSE, not better.
+        let n = 6u32;
+        let k = 3;
+        let proto = Repeat::new(ProtocolA::new(n), k, CombineRule::All);
+        let g = Graph::complete(2).unwrap();
+        let mut run = Run::good(&g, n);
+        run.cut_from_round(Round::new(n));
+        let mut rng = StdRng::seed_from_u64(2);
+        let trials = 4000;
+        let mut pa = 0;
+        for _ in 0..trials {
+            let t = TapeSet::random(&mut rng, 2, proto.tape_bits());
+            let ex = execute(&proto, &g, &run, &t);
+            if ex.outcome() == Outcome::PartialAttack {
+                pa += 1;
+            }
+        }
+        let rate = pa as f64 / trials as f64;
+        let single = 1.0 / (n as f64 - 1.0);
+        let expect = 1.0 - (1.0 - single).powi(k as i32);
+        assert!(
+            (rate - expect).abs() < 0.03,
+            "PA rate {rate}, expected ≈ {expect}"
+        );
+        assert!(rate > single, "repetition must not beat a single copy");
+    }
+
+    #[test]
+    fn accessors() {
+        let proto = Repeat::new(ProtocolA::new(4), 2, CombineRule::Majority);
+        assert_eq!(proto.copies(), 2);
+        assert_eq!(proto.rule(), CombineRule::Majority);
+        assert_eq!(proto.inner().horizon(), 4);
+        assert_eq!(proto.tape_bits(), 2 * 64 * 64);
+    }
+}

@@ -1,0 +1,235 @@
+//! The level-counting automaton of Protocol S (Figure 1 of the paper).
+//!
+//! Protocol S's central mechanism is a distributed counter: each process `i`
+//! maintains `count_i`, which Lemma 6.4 proves equals the modified level
+//! `ML_i^r(R)` at every round. The same automaton, minus the randomized
+//! firing threshold, is reused by the deterministic threshold baseline for
+//! the weak adversary, so it lives here as a generic component.
+//!
+//! The automaton is generic over a *token* `T` carried from the leader: in
+//! Protocol S the token is the value of `rfire`; in the threshold baseline it
+//! is `()`. A process holds the token iff the leader's round-0 state has
+//! flowed to it (the paper's condition "(1, 0) flows to (i, r)"), because the
+//! leader attaches the token to every message and every process forwards it.
+
+use ca_core::bitset::BitSet;
+use ca_core::ids::ProcessId;
+use serde::{Deserialize, Serialize};
+
+/// Counting state: the variables of Figure 1.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CountingState<T> {
+    /// `count_i`: counts `ML_i^r(R)` in the current run.
+    pub count: u32,
+    /// `seen_i`: processes known to have reached `count_i`.
+    pub seen: BitSet,
+    /// `valid_i`: whether the input has flowed to this process.
+    pub valid: bool,
+    /// The leader's token (`rfire_i` in Protocol S); `None` is the paper's
+    /// `undefined`.
+    pub token: Option<T>,
+}
+
+/// The counting fields carried on every message.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CountingMsg<T> {
+    /// Sender's `count`.
+    pub count: u32,
+    /// Sender's `seen`.
+    pub seen: BitSet,
+    /// Sender's `valid`.
+    pub valid: bool,
+    /// Sender's token.
+    pub token: Option<T>,
+}
+
+impl<T: Clone> CountingState<T> {
+    /// The initial state: the leader starts with the token; a process whose
+    /// input arrived starts valid. `count_1 = 1` iff `valid_1` (the leader
+    /// both has the token and heard the input); everyone else starts at 0.
+    pub fn initial(m: usize, id: ProcessId, received_input: bool, token: Option<T>) -> Self {
+        let mut state = CountingState {
+            count: 0,
+            seen: BitSet::new(m),
+            valid: received_input,
+            token,
+        };
+        if state.valid && state.token.is_some() {
+            state.count = 1;
+            state.seen.insert(id.index());
+        }
+        state
+    }
+
+    /// The message this process attaches to everything it sends
+    /// (`σ_i`: the full counting state).
+    pub fn to_msg(&self) -> CountingMsg<T> {
+        CountingMsg {
+            count: self.count,
+            seen: self.seen.clone(),
+            valid: self.valid,
+            token: self.token.clone(),
+        }
+    }
+
+    /// `PROCESS-MESSAGE(S_i, i)` from Figure 1, applied at the end of a round.
+    ///
+    /// `m` is the total number of processes (`|V|`); `id` is this process.
+    pub fn process_messages(&mut self, m: usize, id: ProcessId, received: &[CountingMsg<T>]) {
+        // Line 1: adopt the token from any message that carries one.
+        if self.token.is_none() {
+            if let Some(msg) = received.iter().find(|msg| msg.token.is_some()) {
+                self.token = msg.token.clone();
+            }
+        }
+        // Line 2: adopt validity.
+        if !self.valid && received.iter().any(|msg| msg.valid) {
+            self.valid = true;
+        }
+        // Line 3: start counting.
+        if self.valid && self.token.is_some() && self.count == 0 {
+            self.count = 1;
+            self.seen.clear();
+            self.seen.insert(id.index());
+        }
+        // Main block: merge counts and seen-sets.
+        if self.count >= 1 && !received.is_empty() {
+            let highcount = received.iter().map(|msg| msg.count).max().expect("nonempty");
+            let mut highseen = BitSet::new(m);
+            for msg in received.iter().filter(|msg| msg.count == highcount) {
+                highseen.union_with(&msg.seen);
+            }
+            if highcount == self.count {
+                self.seen.union_with(&highseen);
+                self.seen.insert(id.index());
+            } else if highcount > self.count {
+                self.seen = highseen;
+                self.seen.insert(id.index());
+                self.count = highcount;
+            }
+            if self.seen.is_full() {
+                self.count += 1;
+                self.seen.clear();
+                self.seen.insert(id.index());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn msg_of(state: &CountingState<u8>) -> CountingMsg<u8> {
+        state.to_msg()
+    }
+
+    #[test]
+    fn leader_with_input_starts_at_one() {
+        let s = CountingState::initial(3, p(0), true, Some(7u8));
+        assert_eq!(s.count, 1);
+        assert!(s.seen.contains(0));
+        assert_eq!(s.seen.len(), 1);
+    }
+
+    #[test]
+    fn leader_without_input_starts_at_zero() {
+        let s = CountingState::<u8>::initial(3, p(0), false, Some(7));
+        assert_eq!(s.count, 0);
+        assert!(s.seen.is_empty());
+    }
+
+    #[test]
+    fn follower_never_starts_counting_alone() {
+        let s = CountingState::<u8>::initial(3, p(1), true, None);
+        assert_eq!(s.count, 0, "valid but no token");
+    }
+
+    #[test]
+    fn token_and_validity_adoption() {
+        let leader = CountingState::initial(2, p(0), true, Some(9u8));
+        let mut follower = CountingState::<u8>::initial(2, p(1), false, None);
+        follower.process_messages(2, p(1), &[msg_of(&leader)]);
+        assert_eq!(follower.token, Some(9));
+        assert!(follower.valid);
+        assert!(follower.count >= 1, "starts counting after hearing leader");
+    }
+
+    #[test]
+    fn two_process_counts_leapfrog_and_min_tracks_round() {
+        // Full bidirectional exchange every round. Hand-tracing Figure 1 (and
+        // the ML definition): the two counts leapfrog — the leader bumps on
+        // even rounds, the follower on odd rounds — and min(counts) at the
+        // end of round r is exactly r, i.e. ML(R) = N on the good run.
+        let mut a = CountingState::initial(2, p(0), true, Some(1u8));
+        let mut b = CountingState::<u8>::initial(2, p(1), true, None);
+        assert_eq!((a.count, b.count), (1, 0));
+        for round in 1..=6u32 {
+            let (ma, mb) = (msg_of(&a), msg_of(&b));
+            a.process_messages(2, p(0), &[mb]);
+            b.process_messages(2, p(1), &[ma]);
+            let expect_a = if round % 2 == 1 { round } else { round + 1 };
+            let expect_b = if round % 2 == 1 { round + 1 } else { round };
+            assert_eq!(a.count, expect_a, "leader at round {round}");
+            assert_eq!(b.count, expect_b, "follower at round {round}");
+            assert_eq!(a.count.min(b.count), round, "Mincount = round");
+        }
+    }
+
+    #[test]
+    fn seen_never_full_after_processing() {
+        // Invariant 7 of Lemma 6.3: seen_i ≠ V (the bump fires immediately).
+        let mut a = CountingState::initial(2, p(0), true, Some(1u8));
+        let b = CountingState::<u8>::initial(2, p(1), true, None);
+        for _ in 0..4 {
+            let mb = msg_of(&b);
+            a.process_messages(2, p(0), &[mb]);
+            assert!(!a.seen.is_full());
+            assert!(a.count == 0 || a.seen.contains(0), "i ∈ seen_i when counting");
+        }
+    }
+
+    #[test]
+    fn catch_up_to_higher_count() {
+        // A process two levels behind adopts the higher count directly.
+        let mut behind = CountingState::initial(3, p(2), true, Some(1u8));
+        let ahead = CountingMsg {
+            count: 5,
+            seen: BitSet::from_iter_with_capacity(3, [0, 1]),
+            valid: true,
+            token: Some(1u8),
+        };
+        behind.process_messages(3, p(2), &[ahead]);
+        // Adopts count 5, seen = {0,1} ∪ {2} = V → bump to 6, seen = {2}.
+        assert_eq!(behind.count, 6);
+        assert_eq!(behind.seen.iter().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn no_messages_no_change() {
+        let mut s = CountingState::initial(2, p(0), true, Some(3u8));
+        let before = s.clone();
+        s.process_messages(2, p(0), &[]);
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn stale_lower_counts_are_ignored() {
+        let mut s = CountingState::initial(3, p(0), true, Some(3u8));
+        s.count = 4;
+        s.seen = BitSet::from_iter_with_capacity(3, [0]);
+        let stale = CountingMsg {
+            count: 2,
+            seen: BitSet::from_iter_with_capacity(3, [1, 2]),
+            valid: true,
+            token: Some(3u8),
+        };
+        s.process_messages(3, p(0), &[stale]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.seen.iter().collect::<Vec<_>>(), vec![0]);
+    }
+}

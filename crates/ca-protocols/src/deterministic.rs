@@ -1,0 +1,143 @@
+//! A deterministic baseline, exhibiting the classic impossibility.
+//!
+//! No deterministic protocol can satisfy validity, (certain) agreement, and
+//! nontriviality against a strong adversary ([Gray 78], [Halpern–Moses 84]).
+//! This baseline — "attack iff I heard the input and my view of the run is
+//! complete" — makes the failure concrete and measurable: liveness on the
+//! good run is 1 and validity holds, but a single destroyed message in the
+//! last round makes disagreement *certain* (`U_s = 1`), which is the point
+//! the paper's randomized protocols improve on.
+
+use ca_core::ids::{ProcessId, Round};
+use ca_core::protocol::{Ctx, Protocol};
+use ca_core::tape::TapeReader;
+use serde::{Deserialize, Serialize};
+
+/// The deterministic flood-and-confirm baseline.
+///
+/// Each process floods the input bit and tracks whether it has received a
+/// message from **every** neighbor in **every** round so far ("complete
+/// view"). It attacks iff it knows an input arrived and its view is complete.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeterministicFlood;
+
+impl DeterministicFlood {
+    /// Creates the baseline protocol.
+    pub fn new() -> Self {
+        DeterministicFlood
+    }
+}
+
+/// State: validity plus view-completeness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FloodState {
+    /// Whether an input signal is known to have arrived somewhere.
+    pub valid: bool,
+    /// Whether every expected message has arrived so far.
+    pub complete_view: bool,
+}
+
+/// Message: the sender's validity bit.
+pub type FloodMsg = bool;
+
+impl Protocol for DeterministicFlood {
+    type State = FloodState;
+    type Msg = FloodMsg;
+
+    fn name(&self) -> &'static str {
+        "det-flood"
+    }
+
+    fn tape_bits(&self) -> usize {
+        0
+    }
+
+    fn init(&self, _ctx: Ctx<'_>, received_input: bool, _tape: &mut TapeReader<'_>) -> FloodState {
+        FloodState {
+            valid: received_input,
+            complete_view: true,
+        }
+    }
+
+    fn message(&self, _ctx: Ctx<'_>, state: &FloodState, _to: ProcessId) -> FloodMsg {
+        state.valid
+    }
+
+    fn transition(
+        &self,
+        ctx: Ctx<'_>,
+        state: &FloodState,
+        _round: Round,
+        received: &[(ProcessId, FloodMsg)],
+        _tape: &mut TapeReader<'_>,
+    ) -> FloodState {
+        FloodState {
+            valid: state.valid || received.iter().any(|(_, v)| *v),
+            complete_view: state.complete_view && received.len() == ctx.neighbors().len(),
+        }
+    }
+
+    fn output(&self, _ctx: Ctx<'_>, state: &FloodState) -> bool {
+        state.valid && state.complete_view
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_core::exec::execute;
+    use ca_core::graph::Graph;
+    use ca_core::outcome::Outcome;
+    use ca_core::run::Run;
+    use ca_core::tape::TapeSet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn tapes(m: usize) -> TapeSet {
+        let mut rng = StdRng::seed_from_u64(1);
+        TapeSet::random(&mut rng, m, 64)
+    }
+
+    #[test]
+    fn liveness_one_on_good_run() {
+        let g = Graph::complete(3).unwrap();
+        let run = Run::good(&g, 4);
+        let ex = execute(&DeterministicFlood::new(), &g, &run, &tapes(3));
+        assert_eq!(ex.outcome(), Outcome::TotalAttack);
+    }
+
+    #[test]
+    fn validity_holds() {
+        let g = Graph::complete(3).unwrap();
+        let run = Run::good_with_inputs(&g, 4, &[]);
+        let ex = execute(&DeterministicFlood::new(), &g, &run, &tapes(3));
+        assert_eq!(ex.outcome(), Outcome::NoAttack);
+    }
+
+    #[test]
+    fn single_last_round_drop_causes_certain_disagreement() {
+        // The impossibility made concrete: U_s(det-flood) = 1.
+        let g = Graph::complete(2).unwrap();
+        let mut run = Run::good(&g, 4);
+        run.remove_message(p(0), p(1), Round::new(4));
+        let ex = execute(&DeterministicFlood::new(), &g, &run, &tapes(2));
+        assert_eq!(ex.outcome(), Outcome::PartialAttack);
+        assert!(ex.local(p(0)).output, "sender's view is still complete");
+        assert!(!ex.local(p(1)).output, "receiver's view is broken");
+    }
+
+    #[test]
+    fn deterministic_output_ignores_tapes() {
+        let g = Graph::complete(2).unwrap();
+        let run = Run::good(&g, 3);
+        let a = execute(&DeterministicFlood::new(), &g, &run, &tapes(2));
+        let mut rng = StdRng::seed_from_u64(99);
+        let other = TapeSet::random(&mut rng, 2, 64);
+        let b = execute(&DeterministicFlood::new(), &g, &run, &other);
+        assert_eq!(a.outputs(), b.outputs());
+    }
+}

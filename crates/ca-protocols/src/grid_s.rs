@@ -1,0 +1,165 @@
+//! `GridS`: Protocol S with a discrete, exhaustively enumerable `rfire`.
+//!
+//! The paper draws `rfire` as a uniform *real* in `(0, 1/ε]` — an idealized
+//! object. `GridS` replaces it with the uniform grid
+//! `{(j+1)·(1/ε)/2^b : j = 0..2^b}`, drawn with exactly `b` tape bits. Two
+//! consequences:
+//!
+//! * the entire probability space is `2^b` equally likely tapes, so outcome
+//!   probabilities can be computed by **exhaustive enumeration of real
+//!   executions** (`ca-analysis`'s `enumeration` module) — no analytic
+//!   shortcut, no Monte Carlo error;
+//! * the discretization changes each threshold comparison by at most one
+//!   grid cell, so `U_s(GridS) ≤ ε + ε/2^b·…` converges to the ideal bound
+//!   as `b` grows — quantified by the enumeration tests.
+//!
+//! Everything else (counting automaton, decision rule) is identical to
+//! [`crate::ProtocolS`].
+
+use crate::counting::{CountingMsg, CountingState};
+use ca_core::ids::{ProcessId, Round};
+use ca_core::protocol::{Ctx, Protocol};
+use ca_core::tape::TapeReader;
+
+/// Protocol S over a `2^b`-point firing grid.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GridS {
+    epsilon: f64,
+    bits: u32,
+}
+
+/// State of a [`GridS`] process (identical to Protocol S's).
+pub type GridSState = CountingState<f64>;
+
+/// Message of a [`GridS`] process.
+pub type GridSMsg = CountingMsg<f64>;
+
+impl GridS {
+    /// Creates the protocol with agreement parameter `epsilon` and a
+    /// `2^bits`-point grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon ∉ (0, 1]` or `bits` is 0 or exceeds 32.
+    pub fn new(epsilon: f64, bits: u32) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon <= 1.0,
+            "epsilon must be in (0, 1], got {epsilon}"
+        );
+        assert!((1..=32).contains(&bits), "bits must be in 1..=32");
+        GridS { epsilon, bits }
+    }
+
+    /// The agreement parameter `ε`.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of tape bits the leader consumes (`b`; grid size `2^b`).
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The `rfire` value for grid index `j ∈ 0..2^bits`.
+    pub fn rfire_for(&self, j: u64) -> f64 {
+        let k = 1u64 << self.bits;
+        (1.0 / self.epsilon) * ((j + 1) as f64 / k as f64)
+    }
+}
+
+impl Protocol for GridS {
+    type State = GridSState;
+    type Msg = GridSMsg;
+
+    fn name(&self) -> &'static str {
+        "grid-S"
+    }
+
+    fn tape_bits(&self) -> usize {
+        self.bits as usize
+    }
+
+    fn init(&self, ctx: Ctx<'_>, received_input: bool, tape: &mut TapeReader<'_>) -> GridSState {
+        let token = if ctx.id == ProcessId::LEADER {
+            Some(self.rfire_for(tape.draw_bits(self.bits)))
+        } else {
+            None
+        };
+        CountingState::initial(ctx.m(), ctx.id, received_input, token)
+    }
+
+    fn message(&self, _ctx: Ctx<'_>, state: &GridSState, _to: ProcessId) -> GridSMsg {
+        state.to_msg()
+    }
+
+    fn transition(
+        &self,
+        ctx: Ctx<'_>,
+        state: &GridSState,
+        _round: Round,
+        received: &[(ProcessId, GridSMsg)],
+        _tape: &mut TapeReader<'_>,
+    ) -> GridSState {
+        let mut next = state.clone();
+        let msgs: Vec<GridSMsg> = received.iter().map(|(_, msg)| msg.clone()).collect();
+        next.process_messages(ctx.m(), ctx.id, &msgs);
+        next
+    }
+
+    fn output(&self, _ctx: Ctx<'_>, state: &GridSState) -> bool {
+        match state.token {
+            Some(rfire) => state.count as f64 >= rfire,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_core::exec::execute;
+    use ca_core::graph::Graph;
+    use ca_core::outcome::Outcome;
+    use ca_core::run::Run;
+    use ca_core::tape::{BitTape, TapeSet};
+
+    #[test]
+    fn grid_points_cover_the_interval() {
+        let g = GridS::new(0.25, 3); // t = 4, 8 points
+        assert_eq!(g.rfire_for(0), 0.5);
+        assert_eq!(g.rfire_for(7), 4.0);
+        assert!(g.rfire_for(0) > 0.0);
+        assert_eq!(g.bits(), 3);
+        assert_eq!(g.epsilon(), 0.25);
+    }
+
+    #[test]
+    fn enumerable_outcomes_on_good_run() {
+        // t = 4, b = 2 → rfire ∈ {1, 2, 3, 4}. Good run N = 2 on K2:
+        // counts (3, 2): attack iff rfire ≤ count. TA iff rfire ≤ 2 (2/4),
+        // PA iff rfire = 3 (1/4), NA iff rfire = 4 (1/4).
+        let proto = GridS::new(0.25, 2);
+        let graph = Graph::complete(2).unwrap();
+        let run = Run::good(&graph, 2);
+        let mut tallies = [0u32; 3];
+        for j in 0..4u64 {
+            let tapes = TapeSet::from_tapes(vec![
+                BitTape::from_words(vec![j]),
+                BitTape::from_words(vec![0]),
+            ]);
+            let ex = execute(&proto, &graph, &run, &tapes);
+            match ex.outcome() {
+                Outcome::TotalAttack => tallies[0] += 1,
+                Outcome::PartialAttack => tallies[1] += 1,
+                Outcome::NoAttack => tallies[2] += 1,
+            }
+        }
+        assert_eq!(tallies, [2, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in 1..=32")]
+    fn rejects_zero_bits() {
+        GridS::new(0.5, 0);
+    }
+}

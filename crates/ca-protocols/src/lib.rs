@@ -1,0 +1,44 @@
+//! Coordinated-attack protocols.
+//!
+//! Every protocol the paper describes, plus the baselines its arguments
+//! compare against:
+//!
+//! * [`protocol_s::ProtocolS`] — the optimal protocol against a strong
+//!   adversary (Section 6): randomized firing level, `U_s ≤ ε`,
+//!   `L(S,R) ≥ min(1, ε·ML(R))`.
+//! * [`protocol_a::ProtocolA`] — the simple two-general example (Section 3):
+//!   `U_s ≈ 1/N`, liveness 1 on the good run but 0 once the chain breaks.
+//! * [`counting`] — the level-counting automaton of Figure 1, shared by
+//!   Protocol S and the threshold baseline.
+//! * [`deterministic::DeterministicFlood`] — a deterministic baseline
+//!   realizing the classic impossibility (`U_s = 1`).
+//! * [`trivial`] — the degenerate corners (`never`, `attack-on-input`).
+//! * [`combinators::Repeat`] — run `k` independent copies of a protocol
+//!   (Section 3's "just run A several times" strawman).
+//! * [`weak::FixedThreshold`] — deterministic threshold variant for the weak
+//!   (probabilistic) adversary of Section 8.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chain;
+pub mod combinators;
+pub mod counting;
+pub mod deterministic;
+pub mod grid_s;
+pub mod protocol_a;
+pub mod protocol_s;
+pub mod trivial;
+pub mod vector_s;
+pub mod weak;
+
+pub use chain::ChainProtocol;
+pub use combinators::{CombineRule, Repeat};
+pub use counting::{CountingMsg, CountingState};
+pub use deterministic::DeterministicFlood;
+pub use grid_s::GridS;
+pub use protocol_a::ProtocolA;
+pub use protocol_s::{ProtocolS, ValidityMode};
+pub use trivial::{AttackOnInput, NeverAttack};
+pub use vector_s::VectorS;
+pub use weak::FixedThreshold;

@@ -1,0 +1,403 @@
+//! Protocol A: the simple two-general example protocol (Section 3).
+//!
+//! Process 1 (code: [`ProcessId::LEADER`], id 0) draws `rfire` uniformly in
+//! `{2, …, N}` and includes it in every packet. The two processes bounce a
+//! single chain of packets: process 2 (code: id 1) sends in odd rounds
+//! starting with round 1, process 1 in even rounds, and after round 1 a
+//! process sends a packet only if it received one in the previous round. If
+//! the adversary destroys a packet, the chain — and all packet traffic —
+//! stops.
+//!
+//! A process attacks iff it knows an input arrived, knows `rfire`, and
+//! received the chain packet of round `rfire - 1` or later. If the first
+//! destroyed packet is the one sent in round `d`, then
+//!
+//! * `d > rfire`: both attack,
+//! * `d = rfire`: exactly one attacks — the adversary wins,
+//! * `d < rfire`: neither attacks.
+//!
+//! Since the adversary cannot see `rfire`, its best strategy hits
+//! `d = rfire` with probability `1/(N-1)`, so `U_s(A) = 1/(N-1) ≈ 1/N`,
+//! while liveness on the good run is 1. The two questions this protocol
+//! raises (§3) — can `U` be pushed below `1/N` while keeping `L = 1`? can
+//! liveness degrade gracefully instead of collapsing to 0 when one mid-chain
+//! packet dies? — are answered by Theorem 5.4 (no) and Protocol S
+//! (gracefully, yes).
+//!
+//! Validity is implemented as in the paper: packets carry an input bit, and
+//! process 1 refuses to send its round-2 packet unless it knows (from its own
+//! signal or process 2's packet) that an input arrived.
+
+use ca_core::ids::{ProcessId, Round};
+use ca_core::protocol::{Ctx, Protocol};
+use ca_core::tape::TapeReader;
+use serde::{Deserialize, Serialize};
+
+/// Protocol A for two generals and horizon `N ≥ 2`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtocolA {
+    n: u32,
+}
+
+impl ProtocolA {
+    /// Creates Protocol A for an `N`-round horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` (the `rfire` range `{2..=N}` would be empty).
+    pub fn new(n: u32) -> Self {
+        assert!(n >= 2, "protocol A needs N >= 2, got {n}");
+        ProtocolA { n }
+    }
+
+    /// The horizon this instance was built for.
+    pub fn horizon(&self) -> u32 {
+        self.n
+    }
+}
+
+/// A (non-null) packet: the chain token plus piggybacked metadata.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// The leader's firing round, if the sender knows it.
+    pub rfire: Option<u32>,
+    /// Whether the sender knows an input signal arrived.
+    pub valid: bool,
+}
+
+/// Protocol A message: a packet or a null message.
+pub type AMsg = Option<Packet>;
+
+/// Per-process state of Protocol A.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AState {
+    /// The last completed round (0 after init).
+    pub round: u32,
+    /// The firing round: the leader knows it from the start, the other
+    /// process learns it from packets.
+    pub rfire: Option<u32>,
+    /// Whether this process knows an input signal arrived.
+    pub valid: bool,
+    /// Whether the expected chain packet arrived in the round just completed.
+    pub got_packet_last_round: bool,
+    /// The highest round whose chain packet this process received (0 = none).
+    pub best_received_round: u32,
+}
+
+impl ProtocolA {
+    /// Whether `who` is scheduled to send a packet in `round`, ignoring the
+    /// chain/validity conditions: process 2 (id 1) sends odd rounds, process
+    /// 1 (id 0) sends even rounds.
+    fn is_senders_turn(who: ProcessId, round: u32) -> bool {
+        if who == ProcessId::LEADER {
+            round.is_multiple_of(2)
+        } else {
+            round % 2 == 1
+        }
+    }
+
+    /// The send decision for the round after `state.round`.
+    fn will_send_packet(&self, id: ProcessId, state: &AState) -> bool {
+        let r = state.round + 1;
+        if r > self.n || !Self::is_senders_turn(id, r) {
+            return false;
+        }
+        if r == 1 {
+            // Process 2 opens the chain unconditionally.
+            return true;
+        }
+        if !state.got_packet_last_round {
+            return false;
+        }
+        // The validity gate: process 1 does not send its round-2 packet
+        // unless it knows an input arrived.
+        if r == 2 && !state.valid {
+            return false;
+        }
+        true
+    }
+}
+
+impl Protocol for ProtocolA {
+    type State = AState;
+    type Msg = AMsg;
+
+    fn name(&self) -> &'static str {
+        "A"
+    }
+
+    fn tape_bits(&self) -> usize {
+        // Rejection sampling draws 64 bits per attempt; 64 attempts make the
+        // failure probability astronomically small.
+        64 * 64
+    }
+
+    fn init(&self, ctx: Ctx<'_>, received_input: bool, tape: &mut TapeReader<'_>) -> AState {
+        assert_eq!(ctx.m(), 2, "protocol A is defined for exactly 2 generals");
+        assert_eq!(ctx.n, self.n, "run horizon differs from protocol horizon");
+        let rfire = if ctx.id == ProcessId::LEADER {
+            Some(2 + tape.draw_below(u64::from(self.n) - 1) as u32)
+        } else {
+            None
+        };
+        AState {
+            round: 0,
+            rfire,
+            valid: received_input,
+            got_packet_last_round: false,
+            best_received_round: 0,
+        }
+    }
+
+    fn message(&self, ctx: Ctx<'_>, state: &AState, _to: ProcessId) -> AMsg {
+        if self.will_send_packet(ctx.id, state) {
+            Some(Packet {
+                rfire: state.rfire,
+                valid: state.valid,
+            })
+        } else {
+            None
+        }
+    }
+
+    fn transition(
+        &self,
+        _ctx: Ctx<'_>,
+        state: &AState,
+        round: Round,
+        received: &[(ProcessId, AMsg)],
+        _tape: &mut TapeReader<'_>,
+    ) -> AState {
+        let mut next = *state;
+        next.round = round.get();
+        next.got_packet_last_round = false;
+        for (_, msg) in received {
+            if let Some(packet) = msg {
+                next.got_packet_last_round = true;
+                next.best_received_round = next.best_received_round.max(round.get());
+                if next.rfire.is_none() {
+                    next.rfire = packet.rfire;
+                }
+                next.valid |= packet.valid;
+            }
+        }
+        next
+    }
+
+    fn output(&self, _ctx: Ctx<'_>, state: &AState) -> bool {
+        match state.rfire {
+            Some(rfire) => state.valid && state.best_received_round + 1 >= rfire,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_core::exec::execute;
+    use ca_core::graph::Graph;
+    use ca_core::outcome::Outcome;
+    use ca_core::run::Run;
+    use ca_core::tape::TapeSet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn setup(n: u32) -> (ProtocolA, Graph) {
+        (ProtocolA::new(n), Graph::complete(2).unwrap())
+    }
+
+    fn tapes(rng: &mut StdRng) -> TapeSet {
+        TapeSet::random(rng, 2, 64 * 64)
+    }
+
+    #[test]
+    #[should_panic(expected = "N >= 2")]
+    fn rejects_short_horizon() {
+        ProtocolA::new(1);
+    }
+
+    #[test]
+    fn good_run_both_attack() {
+        // L(A, R_g) = 1: on the good run both always attack.
+        let (proto, g) = setup(6);
+        let run = Run::good(&g, 6);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let ex = execute(&proto, &g, &run, &tapes(&mut rng));
+            assert_eq!(ex.outcome(), Outcome::TotalAttack);
+        }
+    }
+
+    #[test]
+    fn validity_no_input_no_attack() {
+        let (proto, g) = setup(5);
+        let run = Run::good_with_inputs(&g, 5, &[]);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let ex = execute(&proto, &g, &run, &tapes(&mut rng));
+            assert_eq!(ex.outcome(), Outcome::NoAttack);
+        }
+    }
+
+    #[test]
+    fn input_only_at_leader_still_lives() {
+        // Process 2's round-1 packet carries valid=false, but process 1 has
+        // its own signal; the chain proceeds and process 2 learns validity
+        // from the round-2 packet.
+        let (proto, g) = setup(6);
+        let run = Run::good_with_inputs(&g, 6, &[p(0)]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let ex = execute(&proto, &g, &run, &tapes(&mut rng));
+            assert_eq!(ex.outcome(), Outcome::TotalAttack);
+        }
+    }
+
+    #[test]
+    fn input_only_at_follower_still_lives() {
+        // Process 1 learns validity from process 2's round-1 packet.
+        let (proto, g) = setup(6);
+        let run = Run::good_with_inputs(&g, 6, &[p(1)]);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let ex = execute(&proto, &g, &run, &tapes(&mut rng));
+            assert_eq!(ex.outcome(), Outcome::TotalAttack);
+        }
+    }
+
+    #[test]
+    fn dropped_round_one_packet_kills_everything() {
+        // d = 1 < rfire: chain never starts, nobody attacks.
+        let (proto, g) = setup(5);
+        let mut run = Run::good(&g, 5);
+        run.remove_message(p(1), p(0), Round::new(1));
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let ex = execute(&proto, &g, &run, &tapes(&mut rng));
+            assert_eq!(ex.outcome(), Outcome::NoAttack);
+        }
+    }
+
+    #[test]
+    fn dropped_round_two_packet_gives_zero_liveness() {
+        // The §3 example: all messages delivered except process 1's round-2
+        // packet. rfire ≥ 2 ⟹ Pr[TA] = 0; PA happens iff rfire = 2.
+        let (proto, g) = setup(6);
+        let mut run = Run::good(&g, 6);
+        run.remove_message(p(0), p(1), Round::new(2));
+        let mut rng = StdRng::seed_from_u64(6);
+        let trials = 3000;
+        let mut pa = 0;
+        for _ in 0..trials {
+            let ex = execute(&proto, &g, &run, &tapes(&mut rng));
+            match ex.outcome() {
+                Outcome::TotalAttack => panic!("TA impossible when the chain dies at round 2"),
+                Outcome::PartialAttack => pa += 1,
+                Outcome::NoAttack => {}
+            }
+        }
+        // Pr[PA] = Pr[rfire = 2] = 1/(N-1) = 1/5.
+        let rate = pa as f64 / trials as f64;
+        assert!((rate - 0.2).abs() < 0.03, "PA rate {rate} should be ≈ 1/5");
+    }
+
+    #[test]
+    fn cut_at_round_d_splits_iff_rfire_equals_d() {
+        // Exhaustively check the d-vs-rfire case analysis by fixing rfire via
+        // the tape: tape word w gives rfire = 2 + (w mod (N-1)).
+        let n = 7u32;
+        let (proto, g) = setup(n);
+        for d in 2..=n {
+            for rfire in 2..=n {
+                // Find a tape word that produces this rfire (w = rfire - 2
+                // works because w < zone for small w).
+                let word = u64::from(rfire - 2);
+                let t = TapeSet::from_tapes(vec![
+                    ca_core::tape::BitTape::from_words(vec![word; 64]),
+                    ca_core::tape::BitTape::from_words(vec![0; 64]),
+                ]);
+                let mut run = Run::good(&g, n);
+                run.cut_from_round(Round::new(d));
+                let ex = execute(&proto, &g, &run, &t);
+                let expected = if d > rfire {
+                    Outcome::TotalAttack
+                } else if d == rfire {
+                    Outcome::PartialAttack
+                } else {
+                    Outcome::NoAttack
+                };
+                assert_eq!(ex.outcome(), expected, "d={d}, rfire={rfire}");
+            }
+        }
+    }
+
+    #[test]
+    fn chain_stops_after_first_destroyed_packet() {
+        // After a cut, no packets are sent in later rounds (the model still
+        // delivers null messages, which must be ignored).
+        let n = 6u32;
+        let (proto, g) = setup(n);
+        let mut run = Run::good(&g, n);
+        run.remove_message(p(1), p(0), Round::new(3));
+        let mut rng = StdRng::seed_from_u64(8);
+        let ex = execute(&proto, &g, &run, &tapes(&mut rng));
+        // Process 1 never sends a packet in round 4 (it got nothing in 3).
+        let sent = &ex.local(p(0)).sent[4];
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].1, None, "round-4 message must be null");
+        // And process 2 sends nothing in round 5 either.
+        assert_eq!(ex.local(p(1)).sent[5][0].1, None);
+    }
+
+    #[test]
+    fn no_input_means_leader_stops_at_round_two() {
+        let (proto, g) = setup(5);
+        let run = Run::good_with_inputs(&g, 5, &[]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let ex = execute(&proto, &g, &run, &tapes(&mut rng));
+        assert_eq!(ex.local(p(0)).sent[2][0].1, None, "validity gate blocks round 2");
+    }
+
+    #[test]
+    fn unsafety_close_to_one_over_n() {
+        // The adversary's best move: cut at a fixed round d ∈ {2..N}. The
+        // disagreement probability is exactly 1/(N-1) at every such d.
+        let n = 9u32;
+        let (proto, g) = setup(n);
+        let mut rng = StdRng::seed_from_u64(10);
+        let trials = 2000;
+        for d in [2u32, 5, 9] {
+            let mut run = Run::good(&g, n);
+            run.cut_from_round(Round::new(d));
+            let mut pa = 0;
+            for _ in 0..trials {
+                let ex = execute(&proto, &g, &run, &tapes(&mut rng));
+                if ex.outcome() == Outcome::PartialAttack {
+                    pa += 1;
+                }
+            }
+            let rate = pa as f64 / trials as f64;
+            let expect = 1.0 / (n as f64 - 1.0);
+            assert!(
+                (rate - expect).abs() < 0.025,
+                "PA rate {rate} at cut {d}, expected ≈ {expect}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly 2 generals")]
+    fn rejects_more_than_two_generals() {
+        let proto = ProtocolA::new(4);
+        let g = Graph::complete(3).unwrap();
+        let run = Run::good(&g, 4);
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = TapeSet::random(&mut rng, 3, 64 * 64);
+        execute(&proto, &g, &run, &t);
+    }
+}

@@ -1,0 +1,459 @@
+//! Protocol S: the optimal protocol against a strong adversary (Section 6).
+//!
+//! The leader (the paper's process 1) draws `rfire`, a uniform real in
+//! `(0, 1/ε]`, and attaches it to every message. Every process runs the
+//! level-counting automaton of Figure 1, so `count_i` tracks the modified
+//! level `ML_i^r(R)` exactly (Lemma 6.4). After `N` rounds, process `i`
+//! attacks iff it has heard `rfire` and `count_i ≥ rfire`.
+//!
+//! Guarantees proved in the paper and re-verified by this workspace's tests
+//! and experiments:
+//!
+//! * **Validity** (Theorem 6.5): no input ⟹ nobody attacks.
+//! * **Agreement** (Theorem 6.7): `U_s(S) ≤ ε` — the counts of any two
+//!   processes differ by at most 1 (Lemma 6.2), so only an adversary lucky
+//!   enough to have `rfire` land in a unit-length interval causes
+//!   disagreement.
+//! * **Liveness** (Theorem 6.8): `L(S, R) ≥ min(1, ε·ML(R))` on *every* run
+//!   `R` — liveness degrades gracefully with the information the adversary
+//!   lets through, matching the lower bound of Theorem 5.4 up to one level.
+//!
+//! The uniform real is realized from the tape with 64-bit resolution
+//! (`rfire = (k+1)/2^64 · 1/ε` for uniform `k`), which perturbs any single
+//! probability by at most `2⁻⁶⁴`; the exact analysis in `ca-analysis`
+//! treats `rfire` as an ideal uniform real instead.
+
+use crate::counting::{CountingMsg, CountingState};
+use ca_core::ids::{ProcessId, Round};
+use ca_core::protocol::{Ctx, Protocol};
+use ca_core::tape::TapeReader;
+
+/// Which validity condition the protocol enforces (footnote 1 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ValidityMode {
+    /// The paper's preferred condition: if no *input* arrives, nobody
+    /// attacks. (The default.)
+    InputBased,
+    /// The alternative condition: if no *messages* are delivered, nobody
+    /// attacks. Realized by drawing `rfire` from `(1, 1/ε + 1]` instead of
+    /// `(0, 1/ε]`: attacking then requires `count ≥ 2`, which requires
+    /// having received at least one message. The paper notes its results
+    /// "can be modified to fit the other validity condition" — this is the
+    /// modification, at the cost of one count level of liveness.
+    MessageBased,
+}
+
+/// Protocol S, parameterized by the agreement parameter `ε`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProtocolS {
+    epsilon: f64,
+    validity: ValidityMode,
+    slack: u32,
+}
+
+/// State of one Protocol S process: the counting automaton with the `rfire`
+/// value as the leader token.
+pub type SState = CountingState<f64>;
+
+/// Protocol S message: the full counting state (Figure 1's
+/// `m(rfire, count, seen, valid)`).
+pub type SMsg = CountingMsg<f64>;
+
+impl ProtocolS {
+    /// Creates Protocol S with agreement parameter `epsilon` (`U_s ≤ ε`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not in `(0, 1]`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon <= 1.0,
+            "epsilon must be in (0, 1], got {epsilon}"
+        );
+        ProtocolS {
+            epsilon,
+            validity: ValidityMode::InputBased,
+            slack: 0,
+        }
+    }
+
+    /// Creates Protocol S satisfying the footnote-1 **message-based**
+    /// validity condition: if no messages are delivered, nobody attacks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not in `(0, 1]`.
+    pub fn with_message_validity(epsilon: f64) -> Self {
+        let mut s = ProtocolS::new(epsilon);
+        s.validity = ValidityMode::MessageBased;
+        s
+    }
+
+    /// Creates the **eager** variant: attack iff `count ≥ 1` and
+    /// `count + 1 ≥ rfire` — one count level of extra liveness
+    /// (`L = min(1, ε·(ML(R)+1))` on runs with `ML ≥ 1`).
+    ///
+    /// This variant exists to realize Theorem A.1's dichotomy: its liveness
+    /// beats `ε·ML(R)` on low-information runs, and the theorem's price is
+    /// real — its worst-case unsafety is `2ε` (attained on the run
+    /// `R₁ = {(v₀,1,0)}`, where the leader attacks alone whenever
+    /// `rfire ≤ 2`). See experiment X5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not in `(0, 1]`.
+    pub fn eager(epsilon: f64) -> Self {
+        let mut s = ProtocolS::new(epsilon);
+        s.slack = 1;
+        s
+    }
+
+    /// The decision slack: attack iff `count ≥ 1 ∧ count + slack ≥ rfire`
+    /// (0 for standard Protocol S).
+    pub fn slack(&self) -> u32 {
+        self.slack
+    }
+
+    /// The agreement parameter `ε`.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The validity condition this instance enforces.
+    pub fn validity(&self) -> ValidityMode {
+        self.validity
+    }
+
+    /// The firing range upper bound `t = 1/ε`: `rfire` is uniform in
+    /// `(offset, t + offset]` where the offset is 0 (input-based validity)
+    /// or 1 (message-based).
+    pub fn t(&self) -> f64 {
+        1.0 / self.epsilon
+    }
+
+    fn rfire_offset(&self) -> f64 {
+        match self.validity {
+            ValidityMode::InputBased => 0.0,
+            ValidityMode::MessageBased => 1.0,
+        }
+    }
+}
+
+impl Protocol for ProtocolS {
+    type State = SState;
+    type Msg = SMsg;
+
+    fn name(&self) -> &'static str {
+        "S"
+    }
+
+    fn tape_bits(&self) -> usize {
+        64
+    }
+
+    fn init(&self, ctx: Ctx<'_>, received_input: bool, tape: &mut TapeReader<'_>) -> SState {
+        let token = if ctx.id == ProcessId::LEADER {
+            Some(self.rfire_offset() + self.t() * tape.draw_unit())
+        } else {
+            None
+        };
+        CountingState::initial(ctx.m(), ctx.id, received_input, token)
+    }
+
+    fn message(&self, _ctx: Ctx<'_>, state: &SState, _to: ProcessId) -> SMsg {
+        state.to_msg()
+    }
+
+    fn transition(
+        &self,
+        ctx: Ctx<'_>,
+        state: &SState,
+        _round: Round,
+        received: &[(ProcessId, SMsg)],
+        _tape: &mut TapeReader<'_>,
+    ) -> SState {
+        let mut next = state.clone();
+        let msgs: Vec<SMsg> = received.iter().map(|(_, msg)| msg.clone()).collect();
+        next.process_messages(ctx.m(), ctx.id, &msgs);
+        next
+    }
+
+    fn output(&self, _ctx: Ctx<'_>, state: &SState) -> bool {
+        match state.token {
+            Some(rfire) => state.count >= 1 && (state.count + self.slack) as f64 >= rfire,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_core::exec::execute;
+    use ca_core::graph::Graph;
+    use ca_core::level::modified_levels;
+    use ca_core::outcome::Outcome;
+    use ca_core::run::Run;
+    use ca_core::tape::TapeSet;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn tapes(rng: &mut StdRng, m: usize) -> TapeSet {
+        TapeSet::random(rng, m, 64)
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in (0, 1]")]
+    fn rejects_bad_epsilon() {
+        ProtocolS::new(0.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let s = ProtocolS::new(0.25);
+        assert_eq!(s.epsilon(), 0.25);
+        assert_eq!(s.t(), 4.0);
+        assert_eq!(s.name(), "S");
+        assert_eq!(s.tape_bits(), 64);
+    }
+
+    #[test]
+    fn validity_no_input_no_attack() {
+        // Theorem 6.5 on concrete executions: deliver everything but no input.
+        let g = Graph::complete(3).unwrap();
+        let run = Run::good_with_inputs(&g, 5, &[]);
+        let proto = ProtocolS::new(0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let ex = execute(&proto, &g, &run, &tapes(&mut rng, 3));
+            assert_eq!(ex.outcome(), Outcome::NoAttack);
+        }
+    }
+
+    #[test]
+    fn lemma_6_4_count_equals_modified_level() {
+        // count_i^r == ML_i^r(R) on random runs, every process, every round.
+        let g = Graph::complete(3).unwrap();
+        let proto = ProtocolS::new(0.25);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..40 {
+            let mut run = Run::good(&g, 4);
+            for i in g.vertices() {
+                if rng.gen_bool(0.4) {
+                    run.remove_input(i);
+                }
+            }
+            let slots: Vec<_> = run.messages().collect();
+            for s in slots {
+                if rng.gen_bool(0.45) {
+                    run.remove_message(s.from, s.to, s.round);
+                }
+            }
+            let ml = modified_levels(&run);
+            let ex = execute(&proto, &g, &run, &tapes(&mut rng, 3));
+            for i in g.vertices() {
+                for r in 0..=4u32 {
+                    assert_eq!(
+                        ex.local(i).states[r as usize].count,
+                        ml.level_at(i, Round::new(r)),
+                        "count != ML at {i} round {r} in {run:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn good_run_with_large_epsilon_always_attacks() {
+        // ε = 1 ⟹ t = 1 ⟹ rfire ∈ (0,1] ⟹ attack as soon as ML ≥ 1.
+        let g = Graph::complete(2).unwrap();
+        let run = Run::good(&g, 3);
+        let proto = ProtocolS::new(1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let ex = execute(&proto, &g, &run, &tapes(&mut rng, 2));
+            assert_eq!(ex.outcome(), Outcome::TotalAttack);
+        }
+    }
+
+    #[test]
+    fn liveness_matches_ml_threshold() {
+        // On the good run over 2 processes with N rounds, ML(R) = N, so
+        // Pr[TA] should be ~ min(1, ε·N). With ε = 1/8, N = 4: 1/2.
+        let g = Graph::complete(2).unwrap();
+        let run = Run::good(&g, 4);
+        let proto = ProtocolS::new(1.0 / 8.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let trials = 4000;
+        let (mut ta, mut pa) = (0, 0);
+        for _ in 0..trials {
+            let ex = execute(&proto, &g, &run, &tapes(&mut rng, 2));
+            match ex.outcome() {
+                Outcome::TotalAttack => ta += 1,
+                // Even on the good run the counts leapfrog (Maxcount =
+                // Mincount + 1), so rfire ∈ (Mincount, Maxcount] splits the
+                // processes with probability exactly ε.
+                Outcome::PartialAttack => pa += 1,
+                Outcome::NoAttack => {}
+            }
+        }
+        let ta_rate = ta as f64 / trials as f64;
+        let pa_rate = pa as f64 / trials as f64;
+        assert!((ta_rate - 0.5).abs() < 0.03, "TA rate {ta_rate} should be ≈ 0.5");
+        assert!(
+            (pa_rate - 1.0 / 8.0).abs() < 0.03,
+            "PA rate {pa_rate} should be ≈ ε = 1/8"
+        );
+    }
+
+    #[test]
+    fn cut_run_disagreement_is_rare() {
+        // Theorem 6.7: Pr[PA|R] ≤ ε for the worst prefix cut we can pick.
+        let g = Graph::complete(2).unwrap();
+        let proto = ProtocolS::new(1.0 / 4.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        for cut in 1..=5u32 {
+            let mut run = Run::good(&g, 5);
+            run.cut_from_round(Round::new(cut));
+            let trials = 2000;
+            let mut pa = 0;
+            for _ in 0..trials {
+                let ex = execute(&proto, &g, &run, &tapes(&mut rng, 2));
+                if ex.outcome() == Outcome::PartialAttack {
+                    pa += 1;
+                }
+            }
+            let rate = pa as f64 / trials as f64;
+            assert!(
+                rate <= 0.25 + 0.03,
+                "PA rate {rate} exceeds ε at cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_token_never_attacks() {
+        // Cut the leader off entirely: followers cannot hear rfire and must
+        // never attack, whatever their validity.
+        let g = Graph::complete(3).unwrap();
+        let mut run = Run::good(&g, 4);
+        for r in 1..=4u32 {
+            run.remove_message(p(0), p(1), Round::new(r));
+            run.remove_message(p(0), p(2), Round::new(r));
+        }
+        let proto = ProtocolS::new(0.9);
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..30 {
+            let ex = execute(&proto, &g, &run, &tapes(&mut rng, 3));
+            assert!(!ex.local(p(1)).output);
+            assert!(!ex.local(p(2)).output);
+        }
+    }
+
+    #[test]
+    fn lemma_6_6_mincount_brackets_the_outcome() {
+        // Fix rfire via the tape; Lemma 6.6: Mincount ≥ rfire ⟹ TA, and
+        // Mincount < rfire − 1 ⟹ NA. (The unit gap in between is where PA
+        // can live.)
+        use ca_core::tape::BitTape;
+        let g = Graph::complete(2).unwrap();
+        let t = 8.0f64;
+        let proto = ProtocolS::new(1.0 / t);
+        for cut in 1..=7u32 {
+            let mut run = Run::good(&g, 7);
+            run.cut_from_round(Round::new(cut));
+            // rfire = t·(k+1)/2^64 ≈ chosen value: pick words giving rfire
+            // near 2.5 and near 6.5 via k = round(r/t·2^64) − 1.
+            for target in [2.5f64, 4.5, 6.5] {
+                let k = ((target / t) * (2f64.powi(64))) as u64 - 1;
+                let tapes = TapeSet::from_tapes(vec![
+                    BitTape::from_words(vec![k]),
+                    BitTape::from_words(vec![0]),
+                ]);
+                let ex = execute(&proto, &g, &run, &tapes);
+                let mincount = (0..2)
+                    .map(|i| ex.local(p(i)).states.last().unwrap().count)
+                    .min()
+                    .unwrap() as f64;
+                if mincount >= target {
+                    assert_eq!(ex.outcome(), Outcome::TotalAttack, "cut={cut}, rfire≈{target}");
+                } else if mincount < target - 1.0 {
+                    assert_eq!(ex.outcome(), Outcome::NoAttack, "cut={cut}, rfire≈{target}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn message_validity_variant_never_attacks_without_messages() {
+        // Footnote 1's alternative condition, satisfied surely: with inputs
+        // delivered but every message destroyed, nobody attacks — whereas
+        // the input-based variant's leader attacks with probability ε.
+        let g = Graph::complete(2).unwrap();
+        let run = {
+            let mut r = Run::good(&g, 6);
+            r.cut_from_round(Round::new(1));
+            r
+        };
+        let msg_valid = ProtocolS::with_message_validity(0.5);
+        assert_eq!(msg_valid.validity(), super::ValidityMode::MessageBased);
+        let input_valid = ProtocolS::new(0.5);
+        let mut rng = StdRng::seed_from_u64(12);
+        let trials = 1200;
+        let mut input_based_attacks = 0;
+        for _ in 0..trials {
+            let t = tapes(&mut rng, 2);
+            let a = execute(&msg_valid, &g, &run, &t);
+            assert_eq!(a.outcome(), Outcome::NoAttack, "message-based validity is sure");
+            let b = execute(&input_valid, &g, &run, &t);
+            if b.local(p(0)).output {
+                input_based_attacks += 1;
+            }
+        }
+        let rate = input_based_attacks as f64 / trials as f64;
+        assert!(
+            (rate - 0.5).abs() < 0.05,
+            "input-based leader attacks alone with probability ε: {rate}"
+        );
+    }
+
+    #[test]
+    fn message_validity_costs_one_count_level_of_liveness() {
+        // L(S_msg, R) = min(1, ε·(ML(R) − 1)) — one level pays for the
+        // stronger validity. Good run, ML = N = 6, ε = 1/4: 5/4 → 1 vs the
+        // cut-at-4 run with ML = 3: (3−1)/4 = 1/2.
+        let g = Graph::complete(2).unwrap();
+        let proto = ProtocolS::with_message_validity(0.25);
+        let mut run = Run::good(&g, 6);
+        run.cut_from_round(Round::new(4));
+        let mut rng = StdRng::seed_from_u64(13);
+        let trials = 3000;
+        let mut ta = 0;
+        for _ in 0..trials {
+            let t = tapes(&mut rng, 2);
+            if execute(&proto, &g, &run, &t).outcome() == Outcome::TotalAttack {
+                ta += 1;
+            }
+        }
+        let rate = ta as f64 / trials as f64;
+        assert!((rate - 0.5).abs() < 0.04, "liveness ≈ ε(ML−1) = 1/2: {rate}");
+    }
+
+    #[test]
+    fn deterministic_given_tape() {
+        let g = Graph::complete(3).unwrap();
+        let run = Run::good(&g, 3);
+        let proto = ProtocolS::new(0.3);
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = tapes(&mut rng, 3);
+        let a = execute(&proto, &g, &run, &t);
+        let b = execute(&proto, &g, &run, &t);
+        for i in g.vertices() {
+            assert!(a.identical_to(&b, i));
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Trivial corner-of-the-tradeoff protocols.
+//!
+//! The tradeoff space has two degenerate corners: **never attack** (perfectly
+//! safe, `U = 0`, but `L(R) = 0` on every run — it violates only
+//! nontriviality) and **attack on your own input** (maximally live but with
+//! `U = 1`: the adversary delivers the input to one general only). They
+//! anchor the experiment tables.
+
+use ca_core::ids::{ProcessId, Round};
+use ca_core::protocol::{Ctx, Protocol};
+use ca_core::tape::TapeReader;
+
+/// Never attacks. `U = 0`, `L(R) = 0` for all runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NeverAttack;
+
+impl NeverAttack {
+    /// Creates the protocol.
+    pub fn new() -> Self {
+        NeverAttack
+    }
+}
+
+impl Protocol for NeverAttack {
+    type State = ();
+    type Msg = ();
+
+    fn name(&self) -> &'static str {
+        "never"
+    }
+    fn tape_bits(&self) -> usize {
+        0
+    }
+    fn init(&self, _ctx: Ctx<'_>, _received_input: bool, _tape: &mut TapeReader<'_>) {}
+    fn message(&self, _ctx: Ctx<'_>, _state: &(), _to: ProcessId) {}
+    fn transition(
+        &self,
+        _ctx: Ctx<'_>,
+        _state: &(),
+        _round: Round,
+        _received: &[(ProcessId, ())],
+        _tape: &mut TapeReader<'_>,
+    ) {
+    }
+    fn output(&self, _ctx: Ctx<'_>, _state: &()) -> bool {
+        false
+    }
+}
+
+/// Attacks iff the input signal flowed to this process (flooded maximally).
+/// Satisfies validity and has `L = 1` whenever every process hears the input,
+/// but `U = 1`: delivering the input to exactly one general and destroying
+/// every message forces certain disagreement.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AttackOnInput;
+
+impl AttackOnInput {
+    /// Creates the protocol.
+    pub fn new() -> Self {
+        AttackOnInput
+    }
+}
+
+impl Protocol for AttackOnInput {
+    type State = bool;
+    type Msg = bool;
+
+    fn name(&self) -> &'static str {
+        "attack-on-input"
+    }
+    fn tape_bits(&self) -> usize {
+        0
+    }
+    fn init(&self, _ctx: Ctx<'_>, received_input: bool, _tape: &mut TapeReader<'_>) -> bool {
+        received_input
+    }
+    fn message(&self, _ctx: Ctx<'_>, state: &bool, _to: ProcessId) -> bool {
+        *state
+    }
+    fn transition(
+        &self,
+        _ctx: Ctx<'_>,
+        state: &bool,
+        _round: Round,
+        received: &[(ProcessId, bool)],
+        _tape: &mut TapeReader<'_>,
+    ) -> bool {
+        *state || received.iter().any(|(_, v)| *v)
+    }
+    fn output(&self, _ctx: Ctx<'_>, state: &bool) -> bool {
+        *state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_core::exec::execute;
+    use ca_core::graph::Graph;
+    use ca_core::outcome::Outcome;
+    use ca_core::run::Run;
+    use ca_core::tape::TapeSet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tapes(m: usize) -> TapeSet {
+        let mut rng = StdRng::seed_from_u64(1);
+        TapeSet::random(&mut rng, m, 64)
+    }
+
+    #[test]
+    fn never_attack_is_perfectly_safe_and_dead() {
+        let g = Graph::complete(2).unwrap();
+        for run in [Run::good(&g, 2), Run::empty(2, 2)] {
+            let ex = execute(&NeverAttack::new(), &g, &run, &tapes(2));
+            assert_eq!(ex.outcome(), Outcome::NoAttack);
+        }
+    }
+
+    #[test]
+    fn attack_on_input_lives_on_good_run() {
+        let g = Graph::complete(2).unwrap();
+        let ex = execute(&AttackOnInput::new(), &g, &Run::good(&g, 2), &tapes(2));
+        assert_eq!(ex.outcome(), Outcome::TotalAttack);
+    }
+
+    #[test]
+    fn attack_on_input_is_maximally_unsafe() {
+        // Input to one general, all messages destroyed: certain disagreement.
+        let g = Graph::complete(2).unwrap();
+        let mut run = Run::empty(2, 2);
+        run.add_input(ProcessId::new(0));
+        let ex = execute(&AttackOnInput::new(), &g, &run, &tapes(2));
+        assert_eq!(ex.outcome(), Outcome::PartialAttack);
+    }
+
+    #[test]
+    fn attack_on_input_satisfies_validity() {
+        let g = Graph::complete(2).unwrap();
+        let run = Run::good_with_inputs(&g, 2, &[]);
+        let ex = execute(&AttackOnInput::new(), &g, &run, &tapes(2));
+        assert_eq!(ex.outcome(), Outcome::NoAttack);
+    }
+}

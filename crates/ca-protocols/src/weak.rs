@@ -1,0 +1,181 @@
+//! Protocols for the **weak adversary** study (Section 8).
+//!
+//! The paper closes by noting that against a *probabilistic* adversary —
+//! each message destroyed independently with unknown probability `p` — there
+//! are "preliminary results that show vastly improved performance". Those
+//! results never appeared, so this module provides the natural candidates the
+//! experiments compare:
+//!
+//! * Protocol S itself (its `U_s ≤ ε` guarantee is worst-case, so it holds a
+//!   fortiori; its liveness grows with `ML(R)`, which under random drops
+//!   grows linearly in `N`).
+//! * [`FixedThreshold`] — the same level-counting automaton with a
+//!   *deterministic* firing threshold `θ` instead of a random `rfire`.
+//!   Against a strong adversary this is hopeless (`U_s = 1`: the adversary
+//!   cuts exactly at level `θ`), but against random drops the level spread is
+//!   at most 1 (Lemma 6.2) and the counts race past `θ` quickly, so
+//!   disagreement requires the run's minimum level to land exactly on
+//!   `θ - 1` or `θ` — a single-point event whose probability shrinks as `N`
+//!   grows. This is the "vastly improved performance" made concrete.
+
+use crate::counting::{CountingMsg, CountingState};
+use ca_core::ids::{ProcessId, Round};
+use ca_core::protocol::{Ctx, Protocol};
+use ca_core::tape::TapeReader;
+
+/// The deterministic-threshold variant of the counting protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FixedThreshold {
+    theta: u32,
+}
+
+/// State of a [`FixedThreshold`] process (counting automaton, unit token).
+pub type ThresholdState = CountingState<()>;
+
+/// Message of a [`FixedThreshold`] process.
+pub type ThresholdMsg = CountingMsg<()>;
+
+impl FixedThreshold {
+    /// Creates the protocol with firing threshold `theta ≥ 1`: attack iff
+    /// the counted level reaches `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta == 0` (every process with a token would attack
+    /// unconditionally, violating validity).
+    pub fn new(theta: u32) -> Self {
+        assert!(theta >= 1, "threshold must be at least 1");
+        FixedThreshold { theta }
+    }
+
+    /// The firing threshold `θ`.
+    pub fn theta(&self) -> u32 {
+        self.theta
+    }
+}
+
+impl Protocol for FixedThreshold {
+    type State = ThresholdState;
+    type Msg = ThresholdMsg;
+
+    fn name(&self) -> &'static str {
+        "fixed-threshold"
+    }
+
+    fn tape_bits(&self) -> usize {
+        0
+    }
+
+    fn init(&self, ctx: Ctx<'_>, received_input: bool, _tape: &mut TapeReader<'_>) -> ThresholdState {
+        let token = if ctx.id == ProcessId::LEADER {
+            Some(())
+        } else {
+            None
+        };
+        CountingState::initial(ctx.m(), ctx.id, received_input, token)
+    }
+
+    fn message(&self, _ctx: Ctx<'_>, state: &ThresholdState, _to: ProcessId) -> ThresholdMsg {
+        state.to_msg()
+    }
+
+    fn transition(
+        &self,
+        ctx: Ctx<'_>,
+        state: &ThresholdState,
+        _round: Round,
+        received: &[(ProcessId, ThresholdMsg)],
+        _tape: &mut TapeReader<'_>,
+    ) -> ThresholdState {
+        let mut next = state.clone();
+        let msgs: Vec<ThresholdMsg> = received.iter().map(|(_, msg)| msg.clone()).collect();
+        next.process_messages(ctx.m(), ctx.id, &msgs);
+        next
+    }
+
+    fn output(&self, _ctx: Ctx<'_>, state: &ThresholdState) -> bool {
+        state.token.is_some() && state.count >= self.theta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_core::exec::execute;
+    use ca_core::graph::Graph;
+    use ca_core::level::modified_levels;
+    use ca_core::outcome::Outcome;
+    use ca_core::run::Run;
+    use ca_core::tape::TapeSet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tapes(m: usize) -> TapeSet {
+        let mut rng = StdRng::seed_from_u64(1);
+        TapeSet::random(&mut rng, m, 64)
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn rejects_zero_threshold() {
+        FixedThreshold::new(0);
+    }
+
+    #[test]
+    fn validity_holds() {
+        let g = Graph::complete(3).unwrap();
+        let run = Run::good_with_inputs(&g, 5, &[]);
+        let ex = execute(&FixedThreshold::new(2), &g, &run, &tapes(3));
+        assert_eq!(ex.outcome(), Outcome::NoAttack);
+    }
+
+    #[test]
+    fn good_run_total_attack_when_threshold_reached() {
+        // m = 2, N = 6: ML(R) = 6 ≥ θ = 3 for both processes.
+        let g = Graph::complete(2).unwrap();
+        let run = Run::good(&g, 6);
+        let ex = execute(&FixedThreshold::new(3), &g, &run, &tapes(2));
+        assert_eq!(ex.outcome(), Outcome::TotalAttack);
+    }
+
+    #[test]
+    fn unreachable_threshold_means_no_attack() {
+        let g = Graph::complete(2).unwrap();
+        let run = Run::good(&g, 4);
+        // Counts reach at most 5 (leader) / 4 — θ = 9 never fires.
+        let ex = execute(&FixedThreshold::new(9), &g, &run, &tapes(2));
+        assert_eq!(ex.outcome(), Outcome::NoAttack);
+    }
+
+    #[test]
+    fn strong_adversary_splits_threshold_deterministically() {
+        // U_s(FixedThreshold) = 1: cut exactly when the leader's count
+        // reaches θ but the follower's lags at θ - 1. With the leapfrog
+        // pattern (leader count = r+1 on even rounds), cutting from round
+        // θ on a 2-clique does it whenever θ is odd.
+        let theta = 3u32;
+        let g = Graph::complete(2).unwrap();
+        let mut run = Run::good(&g, 6);
+        run.cut_from_round(Round::new(theta));
+        let ex = execute(&FixedThreshold::new(theta), &g, &run, &tapes(2));
+        assert_eq!(
+            ex.outcome(),
+            Outcome::PartialAttack,
+            "adversary forces disagreement with certainty"
+        );
+    }
+
+    #[test]
+    fn counts_still_track_ml() {
+        // The () token does not disturb the counting automaton.
+        let g = Graph::ring(4).unwrap();
+        let mut run = Run::good(&g, 5);
+        run.remove_message(ProcessId::new(0), ProcessId::new(1), Round::new(2));
+        run.remove_message(ProcessId::new(2), ProcessId::new(3), Round::new(4));
+        let ml = modified_levels(&run);
+        let ex = execute(&FixedThreshold::new(2), &g, &run, &tapes(4));
+        for i in g.vertices() {
+            assert_eq!(ex.local(i).states[5].count, ml.level(i));
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Property-based tests of the protocols, centered on the paper's Lemma 6.3:
+//! the eight invariants of Protocol S, checked on random runs at every
+//! process and round, plus the validity/agreement contracts of every
+//! protocol in the crate.
+
+use ca_core::exec::execute;
+use ca_core::flow::FlowGraph;
+use ca_core::graph::Graph;
+use ca_core::ids::{ProcessId, Round};
+use ca_core::level::modified_levels;
+use ca_core::outcome::Outcome;
+use ca_core::run::Run;
+use ca_core::tape::TapeSet;
+use ca_protocols::{
+    AttackOnInput, CombineRule, DeterministicFlood, FixedThreshold, NeverAttack, ProtocolA,
+    ProtocolS, Repeat,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: u32 = 4;
+
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    (2usize..=4, 0u8..3).prop_map(|(m, kind)| match kind {
+        0 => Graph::complete(m).expect("graph"),
+        1 => Graph::star(m.max(2)).expect("graph"),
+        _ => Graph::line(m).expect("graph"),
+    })
+}
+
+fn run_strategy() -> impl Strategy<Value = (Graph, Run)> {
+    graph_strategy().prop_flat_map(|g| {
+        let slots: Vec<_> = Run::good(&g, N).messages().collect();
+        let slot_count = slots.len();
+        let m = g.len();
+        (
+            Just(g),
+            proptest::collection::vec(any::<bool>(), m),
+            proptest::collection::vec(any::<bool>(), slot_count),
+        )
+            .prop_map(move |(g, inputs, keeps)| {
+                let mut run = Run::empty(g.len(), N);
+                for (i, keep) in inputs.iter().enumerate() {
+                    if *keep {
+                        run.add_input(ProcessId::new(i as u32));
+                    }
+                }
+                for (s, keep) in slots.iter().zip(&keeps) {
+                    if *keep {
+                        run.add_message(s.from, s.to, s.round);
+                    }
+                }
+                (g, run)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lemma 6.3, all eight invariants, on every (process, round) pair.
+    #[test]
+    fn lemma_6_3_invariants((g, run) in run_strategy(), seed in any::<u64>()) {
+        let proto = ProtocolS::new(0.25);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tapes = TapeSet::random(&mut rng, g.len(), 64);
+        let ex = execute(&proto, &g, &run, &tapes);
+        let flow = FlowGraph::new(&run);
+        let ml = modified_levels(&run);
+
+        // The leader's rfire, from its initial state.
+        let rfire = ex.local(ProcessId::LEADER).states[0]
+            .token
+            .expect("leader always has rfire");
+        let m = g.len();
+
+        for i in g.vertices() {
+            for r in 0..=N {
+                let st = &ex.local(i).states[r as usize];
+                // (1) rfire_i is rfire or undefined.
+                if let Some(tok) = st.token {
+                    prop_assert_eq!(tok, rfire, "invariant 1");
+                }
+                // (2) count ≥ 1 iff token = rfire and valid.
+                prop_assert_eq!(st.count >= 1, st.token.is_some() && st.valid, "invariant 2");
+                // (3) (1,0) flows to (i,r) iff token set.
+                prop_assert_eq!(
+                    flow.flows_to(ProcessId::LEADER, Round::new(0), i, Round::new(r)),
+                    st.token.is_some(),
+                    "invariant 3"
+                );
+                // (4) input flows to (i,r) iff valid.
+                prop_assert_eq!(flow.input_flows_to(i, Round::new(r)), st.valid, "invariant 4");
+                // (5) flow (j,s) → (i,r) orders counts.
+                for j in g.vertices() {
+                    for s in 0..=r {
+                        if flow.flows_to(j, Round::new(s), i, Round::new(r)) {
+                            let cj = ex.local(j).states[s as usize].count;
+                            let ok = st.count > cj
+                                || (st.seen.contains(j.index()) && st.count == cj)
+                                || (st.count == 0 && cj == 0);
+                            prop_assert!(ok, "invariant 5: ({j},{s})→({i},{r}), cj={cj}, ci={}", st.count);
+                        }
+                    }
+                }
+                // (6) j ∈ seen_i ⟹ some (j,s) with equal count flows in.
+                for j_idx in st.seen.iter() {
+                    let j = ProcessId::new(j_idx as u32);
+                    let witness = (0..=r).any(|s| {
+                        ex.local(j).states[s as usize].count == st.count
+                            && flow.flows_to(j, Round::new(s), i, Round::new(r))
+                    });
+                    prop_assert!(witness, "invariant 6: {j} in seen of {i} at {r}");
+                }
+                // (7) seen ≠ V, seen ≠ V−{i}; count ≥ 1 ⟹ i ∈ seen.
+                prop_assert!(st.seen.len() < m, "invariant 7a");
+                let is_v_minus_i = st.seen.len() == m - 1 && !st.seen.contains(i.index());
+                prop_assert!(!is_v_minus_i, "invariant 7b");
+                if st.count >= 1 {
+                    prop_assert!(st.seen.contains(i.index()), "invariant 7c");
+                }
+                // (8) ML_i^r ≥ count_i^r — and by Lemma 6.4, equality.
+                prop_assert_eq!(ml.level_at(i, Round::new(r)), st.count, "Lemma 6.4");
+            }
+        }
+    }
+
+    /// Validity for every protocol: no input anywhere ⟹ nobody attacks.
+    #[test]
+    fn validity_universal((g, run) in run_strategy(), seed in any::<u64>()) {
+        let mut no_input = run.clone();
+        for i in g.vertices() {
+            no_input.remove_input(i);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        macro_rules! check {
+            ($proto:expr) => {{
+                let proto = $proto;
+                let tapes = TapeSet::random(
+                    &mut rng,
+                    g.len(),
+                    ca_core::protocol::Protocol::tape_bits(&proto).max(1),
+                );
+                let ex = execute(&proto, &g, &no_input, &tapes);
+                prop_assert_eq!(ex.outcome(), Outcome::NoAttack);
+            }};
+        }
+        check!(ProtocolS::new(0.5));
+        check!(FixedThreshold::new(1));
+        check!(DeterministicFlood::new());
+        check!(NeverAttack::new());
+        check!(AttackOnInput::new());
+        if g.len() == 2 {
+            check!(ProtocolA::new(N));
+            check!(Repeat::new(ProtocolA::new(N), 2, CombineRule::All));
+        }
+    }
+
+    /// Agreement for Protocol S sampled over random runs: the *empirical*
+    /// disagreement rate on any single run stays consistent with ≤ ε.
+    #[test]
+    fn agreement_epsilon_bound((g, run) in run_strategy(), seed in any::<u64>()) {
+        let eps = 0.25;
+        let proto = ProtocolS::new(eps);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trials = 200;
+        let mut pa = 0u32;
+        for _ in 0..trials {
+            let tapes = TapeSet::random(&mut rng, g.len(), 64);
+            let ex = execute(&proto, &g, &run, &tapes);
+            if ex.outcome() == Outcome::PartialAttack {
+                pa += 1;
+            }
+        }
+        // 200 trials of a Bernoulli(≤ 0.25): observing > 80 would be a
+        // > 6-sigma event; treat it as a violation.
+        prop_assert!(pa <= 80, "observed PA rate {} far above ε", pa as f64 / trials as f64);
+    }
+
+    /// Determinism: executions are a function of (run, tapes).
+    #[test]
+    fn executions_are_deterministic((g, run) in run_strategy(), seed in any::<u64>()) {
+        let proto = ProtocolS::new(0.3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tapes = TapeSet::random(&mut rng, g.len(), 64);
+        let a = execute(&proto, &g, &run, &tapes);
+        let b = execute(&proto, &g, &run, &tapes);
+        for i in g.vertices() {
+            prop_assert!(a.identical_to(&b, i));
+        }
+    }
+
+    /// Lemma 2.1 (indistinguishability): deliveries after the last round that
+    /// can influence process i do not change i's behavior. Concretely,
+    /// adding a message INTO a process other than i in the final round
+    /// cannot change i's local execution.
+    #[test]
+    fn last_round_messages_to_others_are_invisible((g, run) in run_strategy(), seed in any::<u64>()) {
+        let proto = ProtocolS::new(0.3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tapes = TapeSet::random(&mut rng, g.len(), 64);
+        let base = execute(&proto, &g, &run, &tapes);
+        for (a, b) in g.directed_edges() {
+            let mut bigger = run.clone();
+            bigger.add_message(a, b, Round::new(N));
+            let ex = execute(&proto, &g, &bigger, &tapes);
+            for i in g.vertices() {
+                if i != b {
+                    prop_assert!(
+                        base.identical_to(&ex, i),
+                        "final-round message {a}→{b} changed {i}'s view"
+                    );
+                }
+            }
+        }
+    }
+}

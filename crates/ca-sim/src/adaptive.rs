@@ -1,0 +1,301 @@
+//! Adaptive adversaries — and why they don't help.
+//!
+//! The paper's strong adversary picks a run up front. A seemingly stronger
+//! adversary decides round by round which messages to destroy, *adaptively*.
+//! But the model hides message contents (footnote 3: the adversary "has no
+//! access to message bits", and some form of encryption justifies this), and
+//! in the model every process sends to every neighbor every round — so the
+//! only observable history is the adversary's **own past choices**. An
+//! adaptive metadata-only adversary is therefore just a (possibly
+//! randomized) way of choosing a run, and the worst-case bound
+//! `U_s(F) = max_R Pr[PA|R]` already covers it:
+//!
+//! `Pr[PA, adaptive 𝒜] = Σ_R Pr[𝒜 picks R]·Pr[PA|R] ≤ max_R Pr[PA|R]`.
+//!
+//! [`materialize`] implements the collapse constructively (adaptive strategy
+//! → run), and the X2 extension experiment measures several adaptive
+//! strategies against Protocol S — none beats `ε`.
+
+use crate::strategy::RunSampler;
+use ca_core::graph::Graph;
+use ca_core::ids::{ProcessId, Round};
+use ca_core::run::Run;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A round-by-round adaptive adversary over message metadata.
+///
+/// `decide_inputs` is called once (round 0); `decide_round` once per protocol
+/// round, in order. Implementations may carry state between calls — that
+/// state can only depend on their own earlier decisions, which is exactly
+/// the point.
+pub trait AdaptiveAdversary {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Which processes receive the input signal.
+    fn decide_inputs(&mut self, m: usize) -> Vec<bool>;
+
+    /// For each directed slot of this round (in the given order), whether it
+    /// is delivered.
+    fn decide_round(&mut self, round: Round, slots: &[(ProcessId, ProcessId)]) -> Vec<bool>;
+}
+
+/// Collapses an adaptive adversary into the run it chooses — the
+/// constructive form of "adaptivity without bit access adds nothing".
+///
+/// # Panics
+///
+/// Panics if the adversary returns decision vectors of the wrong length.
+pub fn materialize<A: AdaptiveAdversary + ?Sized>(
+    adversary: &mut A,
+    graph: &Graph,
+    n: u32,
+) -> Run {
+    let mut run = Run::empty(graph.len(), n);
+    let inputs = adversary.decide_inputs(graph.len());
+    assert_eq!(inputs.len(), graph.len(), "input decision length mismatch");
+    for (i, deliver) in graph.vertices().zip(&inputs) {
+        if *deliver {
+            run.add_input(i);
+        }
+    }
+    let slots: Vec<(ProcessId, ProcessId)> = graph.directed_edges().collect();
+    for r in Round::protocol_rounds(n) {
+        let decisions = adversary.decide_round(r, &slots);
+        assert_eq!(decisions.len(), slots.len(), "round decision length mismatch");
+        for ((from, to), deliver) in slots.iter().zip(&decisions) {
+            if *deliver {
+                run.add_message(*from, *to, r);
+            }
+        }
+    }
+    run
+}
+
+/// Wraps an adaptive adversary (plus a seed schedule) as a [`RunSampler`]:
+/// each trial materializes a fresh copy — the distribution-over-runs view.
+#[derive(Clone, Debug)]
+pub struct AdaptiveSampler<F> {
+    graph: Graph,
+    n: u32,
+    make: F,
+    label: &'static str,
+}
+
+impl<F, A> AdaptiveSampler<F>
+where
+    F: Fn(u64) -> A + Sync,
+    A: AdaptiveAdversary,
+{
+    /// Creates a sampler that builds a fresh adversary per trial from a seed.
+    pub fn new(graph: Graph, n: u32, label: &'static str, make: F) -> Self {
+        AdaptiveSampler {
+            graph,
+            n,
+            make,
+            label,
+        }
+    }
+}
+
+impl<F, A> RunSampler for AdaptiveSampler<F>
+where
+    F: Fn(u64) -> A + Sync,
+    A: AdaptiveAdversary,
+{
+    fn describe(&self) -> String {
+        format!("adaptive({})", self.label)
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Run {
+        let mut adversary = (self.make)(rng.gen());
+        materialize(&mut adversary, &self.graph, self.n)
+    }
+}
+
+/// Adaptive strategy: deliver everything until a *randomly drawn* cut round,
+/// then destroy everything — the randomized version of the prefix cut.
+#[derive(Clone, Debug)]
+pub struct RandomizedCut {
+    cut: u32,
+}
+
+impl RandomizedCut {
+    /// Draws the cut uniformly from `1..=n+1` (`n+1` = never cut).
+    pub fn new(n: u32, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        RandomizedCut {
+            cut: rng.gen_range(1..=n + 1),
+        }
+    }
+}
+
+impl AdaptiveAdversary for RandomizedCut {
+    fn name(&self) -> &'static str {
+        "randomized-cut"
+    }
+
+    fn decide_inputs(&mut self, m: usize) -> Vec<bool> {
+        vec![true; m]
+    }
+
+    fn decide_round(&mut self, round: Round, slots: &[(ProcessId, ProcessId)]) -> Vec<bool> {
+        vec![round.get() < self.cut; slots.len()]
+    }
+}
+
+/// Adaptive strategy: a "gambler" that delivers rounds until it has let `k`
+/// full rounds through, then flips increasingly biased coins to decide when
+/// to strike, destroying everything afterwards. Its state is its own history
+/// — the most an adaptive metadata-only adversary can use.
+#[derive(Clone, Debug)]
+pub struct Gambler {
+    rng: StdRng,
+    free_rounds: u32,
+    struck: bool,
+}
+
+impl Gambler {
+    /// Creates the gambler; it never strikes during the first `free_rounds`.
+    pub fn new(free_rounds: u32, seed: u64) -> Self {
+        Gambler {
+            rng: StdRng::seed_from_u64(seed),
+            free_rounds,
+            struck: false,
+        }
+    }
+}
+
+impl AdaptiveAdversary for Gambler {
+    fn name(&self) -> &'static str {
+        "gambler"
+    }
+
+    fn decide_inputs(&mut self, m: usize) -> Vec<bool> {
+        vec![true; m]
+    }
+
+    fn decide_round(&mut self, round: Round, slots: &[(ProcessId, ProcessId)]) -> Vec<bool> {
+        if self.struck {
+            return vec![false; slots.len()];
+        }
+        if round.get() > self.free_rounds {
+            // Strike probability grows with how long it has already waited.
+            let p = (f64::from(round.get() - self.free_rounds) * 0.15).min(0.9);
+            if self.rng.gen_bool(p) {
+                self.struck = true;
+                return vec![false; slots.len()];
+            }
+        }
+        vec![true; slots.len()]
+    }
+}
+
+/// Adaptive strategy: destroys exactly one *random link direction* per round
+/// after a grace period, rotating targets based on its own history.
+#[derive(Clone, Debug)]
+pub struct LinkChopper {
+    rng: StdRng,
+    grace: u32,
+}
+
+impl LinkChopper {
+    /// Creates the chopper with a grace period of delivered rounds.
+    pub fn new(grace: u32, seed: u64) -> Self {
+        LinkChopper {
+            rng: StdRng::seed_from_u64(seed),
+            grace,
+        }
+    }
+}
+
+impl AdaptiveAdversary for LinkChopper {
+    fn name(&self) -> &'static str {
+        "link-chopper"
+    }
+
+    fn decide_inputs(&mut self, m: usize) -> Vec<bool> {
+        vec![true; m]
+    }
+
+    fn decide_round(&mut self, round: Round, slots: &[(ProcessId, ProcessId)]) -> Vec<bool> {
+        if round.get() <= self.grace || slots.is_empty() {
+            return vec![true; slots.len()];
+        }
+        let victim = self.rng.gen_range(0..slots.len());
+        (0..slots.len()).map(|k| k != victim).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn materialize_randomized_cut_is_a_prefix_cut() {
+        let g = Graph::complete(2).unwrap();
+        let n = 5;
+        for seed in 0..20u64 {
+            let mut adv = RandomizedCut::new(n, seed);
+            let run = materialize(&mut adv, &g, n);
+            run.validate(&g).unwrap();
+            // Prefix structure: if round r has any delivery, all rounds < r are full.
+            let full_round = |r: u32| run.messages_in_round(Round::new(r)).count() == 2;
+            let mut seen_empty = false;
+            for r in 1..=n {
+                if full_round(r) {
+                    assert!(!seen_empty, "non-prefix delivery pattern (seed {seed})");
+                } else {
+                    assert_eq!(run.messages_in_round(Round::new(r)).count(), 0);
+                    seen_empty = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gambler_eventually_strikes_and_stays_struck() {
+        let g = Graph::complete(2).unwrap();
+        let mut adv = Gambler::new(2, 7);
+        let run = materialize(&mut adv, &g, 30);
+        // Find the strike point; everything after must be destroyed.
+        let mut dead = false;
+        for r in 1..=30u32 {
+            let count = run.messages_in_round(Round::new(r)).count();
+            if dead {
+                assert_eq!(count, 0, "gambler resurrected at round {r}");
+            } else if count == 0 {
+                dead = true;
+            }
+        }
+        assert!(dead, "the gambler should strike within 30 rounds");
+    }
+
+    #[test]
+    fn link_chopper_removes_one_slot_per_round_after_grace() {
+        let g = Graph::complete(3).unwrap();
+        let mut adv = LinkChopper::new(2, 3);
+        let run = materialize(&mut adv, &g, 6);
+        for r in 1..=2u32 {
+            assert_eq!(run.messages_in_round(Round::new(r)).count(), 6);
+        }
+        for r in 3..=6u32 {
+            assert_eq!(run.messages_in_round(Round::new(r)).count(), 5);
+        }
+    }
+
+    #[test]
+    fn adaptive_sampler_produces_valid_runs() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let g = Graph::complete(2).unwrap();
+        let sampler =
+            AdaptiveSampler::new(g.clone(), 4, "gambler", |seed| Gambler::new(1, seed));
+        assert!(sampler.describe().contains("gambler"));
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            sampler.sample(&mut rng).validate(&g).unwrap();
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Parallel Monte Carlo estimation of protocol behavior.
+//!
+//! The probability space of the paper is: fix a run `R`, draw the tapes `α`
+//! uniformly. [`simulate`] estimates `Pr[TA|R]`, `Pr[NA|R]`, `Pr[PA|R]` and
+//! the per-process decision probabilities `Pr[D_i|R]` by sampling tapes; the
+//! run itself may also be resampled per trial (for the weak adversary) by
+//! using a non-constant [`RunSampler`].
+//!
+//! Sampling is deterministic given the seed: trial `t` uses an RNG seeded by
+//! `splitmix(seed, t)`, independent of thread scheduling, so every experiment
+//! in EXPERIMENTS.md is exactly reproducible.
+
+use crate::stats::{BernoulliEstimate, RunningStats};
+use crate::strategy::RunSampler;
+use ca_core::exec::execute_outputs;
+use ca_core::graph::Graph;
+use ca_core::level::modified_levels;
+use ca_core::outcome::{Outcome, OutcomeCounts};
+use ca_core::protocol::Protocol;
+use ca_core::tape::TapeSet;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Results of a Monte Carlo simulation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Outcome tallies.
+    pub counts: OutcomeCounts,
+    /// Per-process attack tallies (`D_i` counts).
+    pub attacks: Vec<u64>,
+    /// Number of trials.
+    pub trials: u64,
+    /// Distribution of the run's modified level `ML(R)` across trials
+    /// (interesting when the sampler is random; constant for a fixed run).
+    pub ml: RunningStats,
+}
+
+impl SimReport {
+    /// Empirical liveness `Pr[TA]`.
+    pub fn liveness(&self) -> BernoulliEstimate {
+        BernoulliEstimate::new(self.counts.total_attack, self.trials)
+    }
+
+    /// Empirical disagreement `Pr[PA]`.
+    pub fn disagreement(&self) -> BernoulliEstimate {
+        BernoulliEstimate::new(self.counts.partial_attack, self.trials)
+    }
+
+    /// Empirical decision probability `Pr[D_i]` of process `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn attack_rate(&self, i: ca_core::ids::ProcessId) -> BernoulliEstimate {
+        BernoulliEstimate::new(self.attacks[i.index()], self.trials)
+    }
+
+    fn merge(&mut self, other: &SimReport) {
+        self.counts.merge(&other.counts);
+        for (a, b) in self.attacks.iter_mut().zip(&other.attacks) {
+            *a += b;
+        }
+        self.trials += other.trials;
+        self.ml.merge(&other.ml);
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} | L={} U={}",
+            self.counts,
+            self.liveness(),
+            self.disagreement()
+        )
+    }
+}
+
+/// Configuration for a simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of Monte Carlo trials.
+    pub trials: u64,
+    /// Base seed; the whole simulation is a deterministic function of it.
+    pub seed: u64,
+    /// Number of worker threads (0 = use available parallelism).
+    pub threads: usize,
+}
+
+impl SimConfig {
+    /// A configuration with the given number of trials and seed, using all
+    /// available cores.
+    pub fn new(trials: u64, seed: u64) -> Self {
+        SimConfig {
+            trials,
+            seed,
+            threads: 0,
+        }
+    }
+
+    fn worker_count(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// SplitMix64: decorrelates per-trial seeds from the base seed.
+fn splitmix(seed: u64, index: u64) -> u64 {
+    let mut z = seed.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `config.trials` independent executions of `protocol` on runs drawn
+/// from `sampler`, with fresh tapes per trial, in parallel.
+///
+/// # Panics
+///
+/// Panics if the sampler produces runs whose dimensions do not match `graph`.
+pub fn simulate<P, S>(protocol: &P, graph: &Graph, sampler: &S, config: SimConfig) -> SimReport
+where
+    P: Protocol + Sync,
+    S: RunSampler,
+{
+    let m = graph.len();
+    let workers = config.worker_count().max(1);
+    let report = Mutex::new(SimReport {
+        counts: OutcomeCounts::new(),
+        attacks: vec![0; m],
+        trials: 0,
+        ml: RunningStats::new(),
+    });
+
+    // Static partition of the trial indices across workers; per-trial RNGs
+    // keep the result independent of the partitioning.
+    crossbeam::thread::scope(|scope| {
+        for w in 0..workers {
+            let report = &report;
+            scope.spawn(move |_| {
+                let mut local = SimReport {
+                    counts: OutcomeCounts::new(),
+                    attacks: vec![0; m],
+                    trials: 0,
+                    ml: RunningStats::new(),
+                };
+                let mut t = w as u64;
+                while t < config.trials {
+                    let mut rng = StdRng::seed_from_u64(splitmix(config.seed, t));
+                    let run = sampler.sample(&mut rng);
+                    let tapes = TapeSet::random(&mut rng, m, protocol.tape_bits().max(1));
+                    let outputs = execute_outputs(protocol, graph, &run, &tapes);
+                    let outcome = Outcome::classify(&outputs);
+                    local.counts.record(outcome);
+                    for (i, &o) in outputs.iter().enumerate() {
+                        if o {
+                            local.attacks[i] += 1;
+                        }
+                    }
+                    local.ml.record(modified_levels(&run).min_level() as f64);
+                    local.trials += 1;
+                    t += workers as u64;
+                }
+                report.lock().merge(&local);
+            });
+        }
+    })
+    .expect("simulation worker panicked");
+
+    report.into_inner()
+}
+
+/// Estimates the worst-case disagreement probability of `protocol` over a
+/// family of candidate runs, simulating each and returning
+/// `(worst_index, reports)`.
+///
+/// # Panics
+///
+/// Panics if `family` is empty.
+pub fn worst_disagreement<P>(
+    protocol: &P,
+    graph: &Graph,
+    family: &[ca_core::run::Run],
+    config: SimConfig,
+) -> (usize, Vec<SimReport>)
+where
+    P: Protocol + Sync,
+{
+    assert!(!family.is_empty(), "empty run family");
+    let reports: Vec<SimReport> = family
+        .iter()
+        .enumerate()
+        .map(|(k, run)| {
+            let sampler = crate::strategy::FixedRun::new(run.clone());
+            let cfg = SimConfig {
+                seed: splitmix(config.seed, k as u64 + 0x5EED),
+                ..config
+            };
+            simulate(protocol, graph, &sampler, cfg)
+        })
+        .collect();
+    let worst = reports
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| {
+            a.disagreement()
+                .point()
+                .partial_cmp(&b.disagreement().point())
+                .expect("rates are finite")
+        })
+        .map(|(k, _)| k)
+        .expect("nonempty family");
+    (worst, reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{FixedRun, RandomDrop};
+    use ca_core::ids::{ProcessId, Round};
+    use ca_core::run::Run;
+    use ca_protocols::{ProtocolA, ProtocolS};
+
+    #[test]
+    fn splitmix_spreads_seeds() {
+        let a = splitmix(42, 0);
+        let b = splitmix(42, 1);
+        let c = splitmix(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn simulation_is_deterministic_given_seed() {
+        let g = Graph::complete(2).unwrap();
+        let proto = ProtocolS::new(0.25);
+        let sampler = FixedRun::new(Run::good(&g, 4));
+        let cfg = SimConfig::new(500, 7);
+        let a = simulate(&proto, &g, &sampler, cfg);
+        let b = simulate(&proto, &g, &sampler, cfg);
+        assert_eq!(a, b);
+        // And independent of the thread count.
+        let serial = SimConfig {
+            threads: 1,
+            ..cfg
+        };
+        let c = simulate(&proto, &g, &sampler, serial);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn liveness_on_good_run_matches_theory() {
+        // ε = 1/8, N = 4 on a 2-clique: ML(R) = 4, L = 1/2.
+        let g = Graph::complete(2).unwrap();
+        let proto = ProtocolS::new(0.125);
+        let sampler = FixedRun::new(Run::good(&g, 4));
+        let report = simulate(&proto, &g, &sampler, SimConfig::new(4000, 11));
+        assert!(report.liveness().consistent_with(0.5), "{report}");
+        assert_eq!(report.ml.mean(), 4.0);
+        assert_eq!(report.trials, 4000);
+    }
+
+    #[test]
+    fn per_process_attack_rates() {
+        // On the good run the leader's count is Mincount+1, so it attacks
+        // with probability ε(ML+1), the follower with ε·ML.
+        let g = Graph::complete(2).unwrap();
+        let proto = ProtocolS::new(0.125);
+        let sampler = FixedRun::new(Run::good(&g, 4));
+        let report = simulate(&proto, &g, &sampler, SimConfig::new(6000, 13));
+        let leader = report.attack_rate(ProcessId::new(0));
+        let follower = report.attack_rate(ProcessId::new(1));
+        assert!(leader.consistent_with(0.625), "leader {leader}");
+        assert!(follower.consistent_with(0.5), "follower {follower}");
+    }
+
+    #[test]
+    fn worst_disagreement_finds_the_planted_cut() {
+        // Protocol A with a small cut family: every mid-chain cut has
+        // PA probability 1/(N-1); cut at round 1 and the good run have 0.
+        let n = 5u32;
+        let g = Graph::complete(2).unwrap();
+        let proto = ProtocolA::new(n);
+        let family = vec![
+            Run::good(&g, n),
+            {
+                let mut r = Run::good(&g, n);
+                r.cut_from_round(Round::new(1));
+                r
+            },
+            {
+                let mut r = Run::good(&g, n);
+                r.cut_from_round(Round::new(3));
+                r
+            },
+        ];
+        let (worst, reports) = worst_disagreement(&proto, &g, &family, SimConfig::new(1500, 17));
+        assert_eq!(worst, 2, "the mid-chain cut must be worst");
+        assert!(reports[0].disagreement().point() < 1e-9);
+        assert!(reports[1].disagreement().point() < 1e-9);
+        assert!(reports[2].disagreement().consistent_with(0.25));
+    }
+
+    #[test]
+    fn weak_adversary_sampler_integration() {
+        let g = Graph::complete(2).unwrap();
+        let proto = ProtocolS::new(0.25);
+        let sampler = RandomDrop::new(&g, 8, 0.2);
+        let report = simulate(&proto, &g, &sampler, SimConfig::new(800, 19));
+        // Liveness should be substantial and disagreement far below ε.
+        assert!(report.liveness().point() > 0.5, "{report}");
+        assert!(report.disagreement().point() < 0.25, "{report}");
+        // ML varies across sampled runs.
+        assert!(report.ml.std_dev() > 0.0);
+    }
+}

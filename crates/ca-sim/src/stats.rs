@@ -1,0 +1,319 @@
+//! Statistics for Monte Carlo estimates.
+//!
+//! The experiments estimate Bernoulli probabilities (disagreement rates,
+//! attack rates). [`BernoulliEstimate`] carries the raw tallies and produces
+//! point estimates with Wilson score confidence intervals, which behave well
+//! at the extreme rates this paper lives at (probabilities like `ε = 10⁻³`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A Bernoulli proportion estimate: `successes / trials`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BernoulliEstimate {
+    /// Number of successes observed.
+    pub successes: u64,
+    /// Number of trials performed.
+    pub trials: u64,
+}
+
+impl BernoulliEstimate {
+    /// Creates an estimate from raw counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `successes > trials`.
+    pub fn new(successes: u64, trials: u64) -> Self {
+        assert!(successes <= trials, "more successes than trials");
+        BernoulliEstimate { successes, trials }
+    }
+
+    /// The point estimate `successes / trials` (0 if no trials).
+    pub fn point(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    /// The Wilson score interval at `z` standard deviations
+    /// (`z = 1.96` ≈ 95%).
+    ///
+    /// Returns `(lo, hi)`, both in `[0, 1]`. With zero trials returns
+    /// `(0, 1)` (no information).
+    pub fn wilson_interval(&self, z: f64) -> (f64, f64) {
+        if self.trials == 0 {
+            return (0.0, 1.0);
+        }
+        let n = self.trials as f64;
+        let p = self.point();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        // At the boundary tallies the analytic endpoint is exactly 0 (or 1);
+        // pin it so floating-point residue can't exclude the true value.
+        let lo = if self.successes == 0 { 0.0 } else { (center - half).max(0.0) };
+        let hi = if self.successes == self.trials {
+            1.0
+        } else {
+            (center + half).min(1.0)
+        };
+        (lo, hi)
+    }
+
+    /// The 95% Wilson interval.
+    pub fn interval95(&self) -> (f64, f64) {
+        self.wilson_interval(1.96)
+    }
+
+    /// The standard error of the point estimate.
+    pub fn std_error(&self) -> f64 {
+        if self.trials == 0 {
+            return f64::INFINITY;
+        }
+        let n = self.trials as f64;
+        let p = self.point();
+        (p * (1.0 - p) / n).sqrt()
+    }
+
+    /// Merges another estimate over the same Bernoulli variable.
+    pub fn merge(&mut self, other: &BernoulliEstimate) {
+        self.successes += other.successes;
+        self.trials += other.trials;
+    }
+
+    /// Records one trial.
+    pub fn record(&mut self, success: bool) {
+        self.trials += 1;
+        if success {
+            self.successes += 1;
+        }
+    }
+
+    /// Returns whether `value` lies inside the 95% interval.
+    pub fn consistent_with(&self, value: f64) -> bool {
+        let (lo, hi) = self.interval95();
+        value >= lo && value <= hi
+    }
+
+    /// Returns whether `value` lies inside the Wilson interval at `z`
+    /// standard deviations.
+    ///
+    /// Pass/fail verdicts aggregated over many independent checks should use
+    /// a wide `z` (e.g. 4.0) so the familywise false-positive rate stays
+    /// negligible; 95% intervals are for *display*, and with dozens of
+    /// checks a few 95% misses are expected by chance.
+    pub fn consistent_with_z(&self, value: f64, z: f64) -> bool {
+        let (lo, hi) = self.wilson_interval(z);
+        value >= lo && value <= hi
+    }
+}
+
+impl fmt::Display for BernoulliEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (lo, hi) = self.interval95();
+        write!(
+            f,
+            "{:.4} [{:.4}, {:.4}] ({}/{})",
+            self.point(),
+            lo,
+            hi,
+            self.successes,
+            self.trials
+        )
+    }
+}
+
+/// A running mean/min/max accumulator for real-valued observations
+/// (e.g. final information levels under random drops).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        self.sum_sq += x * x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// The sample variance (unbiased; 0 if fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        ((self.sum_sq - self.sum * self.sum / n) / (n - 1.0)).max(0.0)
+    }
+
+    /// The sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+∞` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-∞` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator.
+    pub fn merge(&mut self, other: &RunningStats) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for RunningStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mean={:.4} sd={:.4} min={:.4} max={:.4} (n={})",
+            self.mean(),
+            self.std_dev(),
+            self.min,
+            self.max,
+            self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_estimate() {
+        let e = BernoulliEstimate::new(25, 100);
+        assert!((e.point() - 0.25).abs() < 1e-12);
+        assert_eq!(BernoulliEstimate::default().point(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more successes than trials")]
+    fn invalid_counts_panic() {
+        BernoulliEstimate::new(5, 4);
+    }
+
+    #[test]
+    fn wilson_interval_contains_point_and_shrinks() {
+        let small = BernoulliEstimate::new(5, 20);
+        let big = BernoulliEstimate::new(500, 2000);
+        let (lo_s, hi_s) = small.interval95();
+        let (lo_b, hi_b) = big.interval95();
+        assert!(lo_s <= 0.25 && 0.25 <= hi_s);
+        assert!(lo_b <= 0.25 && 0.25 <= hi_b);
+        assert!(hi_b - lo_b < hi_s - lo_s, "more data, tighter interval");
+    }
+
+    #[test]
+    fn wilson_interval_extremes_stay_in_unit_range() {
+        let zero = BernoulliEstimate::new(0, 50);
+        let one = BernoulliEstimate::new(50, 50);
+        let (lo, hi) = zero.interval95();
+        assert!(lo >= 0.0 && hi > 0.0 && hi < 0.2);
+        let (lo, hi) = one.interval95();
+        assert!(hi <= 1.0 && lo < 1.0 && lo > 0.8);
+        assert_eq!(BernoulliEstimate::default().interval95(), (0.0, 1.0));
+    }
+
+    #[test]
+    fn record_and_merge() {
+        let mut a = BernoulliEstimate::default();
+        a.record(true);
+        a.record(false);
+        let mut b = BernoulliEstimate::new(3, 8);
+        b.merge(&a);
+        assert_eq!(b, BernoulliEstimate::new(4, 10));
+    }
+
+    #[test]
+    fn consistency_check() {
+        let e = BernoulliEstimate::new(100, 1000);
+        assert!(e.consistent_with(0.1));
+        assert!(!e.consistent_with(0.5));
+    }
+
+    #[test]
+    fn std_error() {
+        let e = BernoulliEstimate::new(50, 100);
+        assert!((e.std_error() - 0.05).abs() < 1e-12);
+        assert!(BernoulliEstimate::default().std_error().is_infinite());
+    }
+
+    #[test]
+    fn running_stats_basics() {
+        let mut s = RunningStats::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        assert!((s.variance() - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+    }
+
+    #[test]
+    fn running_stats_merge() {
+        let mut a = RunningStats::new();
+        a.record(1.0);
+        a.record(2.0);
+        let mut b = RunningStats::new();
+        b.record(3.0);
+        b.record(4.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert!((a.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = BernoulliEstimate::new(1, 4);
+        assert!(e.to_string().contains("(1/4)"));
+        let s = RunningStats::new();
+        assert!(s.to_string().contains("n=0"));
+    }
+}

@@ -1,0 +1,339 @@
+//! Adversary strategies: run samplers and structured run families.
+//!
+//! The strong adversary chooses a single worst-case run; the weak adversary
+//! of Section 8 *samples* runs (each message destroyed independently with
+//! probability `p`). Both fit one abstraction: a [`RunSampler`] produces the
+//! run for each Monte Carlo trial. Deterministic strategies are samplers
+//! that ignore the RNG; families of candidate worst-case runs are provided
+//! for exhaustive search ([`cut_family`], [`single_drop_family`]).
+
+use ca_core::adversary::prefix_cut_runs;
+use ca_core::graph::Graph;
+use ca_core::ids::Round;
+use ca_core::run::Run;
+use rand::Rng;
+use std::fmt::Debug;
+
+/// A source of runs, one per Monte Carlo trial.
+pub trait RunSampler: Sync {
+    /// A short description for reports.
+    fn describe(&self) -> String;
+
+    /// Produces the run for one trial.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Run;
+}
+
+/// Always the same run (a deterministic, oblivious adversary).
+#[derive(Clone, Debug)]
+pub struct FixedRun {
+    run: Run,
+}
+
+impl FixedRun {
+    /// Wraps a fixed run.
+    pub fn new(run: Run) -> Self {
+        FixedRun { run }
+    }
+
+    /// The wrapped run.
+    pub fn run(&self) -> &Run {
+        &self.run
+    }
+}
+
+impl RunSampler for FixedRun {
+    fn describe(&self) -> String {
+        format!("fixed({})", self.run)
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, _rng: &mut R) -> Run {
+        self.run.clone()
+    }
+}
+
+/// The weak adversary of Section 8: starting from a base run (default: the
+/// good run), each delivered message is destroyed independently with
+/// probability `p`. Inputs are left untouched.
+#[derive(Clone, Debug)]
+pub struct RandomDrop {
+    base: Run,
+    p: f64,
+}
+
+impl RandomDrop {
+    /// Weak adversary over the good run of `graph` with horizon `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn new(graph: &Graph, n: u32, p: f64) -> Self {
+        Self::over(Run::good(graph, n), p)
+    }
+
+    /// Weak adversary over an arbitrary base run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn over(base: Run, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop probability must be in [0,1]");
+        RandomDrop { base, p }
+    }
+
+    /// The drop probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl RunSampler for RandomDrop {
+    fn describe(&self) -> String {
+        format!("random-drop(p={})", self.p)
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Run {
+        let mut run = self.base.clone();
+        let slots: Vec<_> = run.messages().collect();
+        for s in slots {
+            if rng.gen_bool(self.p) {
+                run.remove_message(s.from, s.to, s.round);
+            }
+        }
+        run
+    }
+}
+
+/// A fully random adversary: inputs kept with probability `input_keep`,
+/// messages kept with probability `msg_keep`. Used for randomized search
+/// over the whole run space.
+#[derive(Clone, Debug)]
+pub struct RandomRun {
+    graph: Graph,
+    n: u32,
+    input_keep: f64,
+    msg_keep: f64,
+}
+
+impl RandomRun {
+    /// Creates the sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 1]`.
+    pub fn new(graph: Graph, n: u32, input_keep: f64, msg_keep: f64) -> Self {
+        assert!((0.0..=1.0).contains(&input_keep), "input_keep must be in [0,1]");
+        assert!((0.0..=1.0).contains(&msg_keep), "msg_keep must be in [0,1]");
+        RandomRun {
+            graph,
+            n,
+            input_keep,
+            msg_keep,
+        }
+    }
+}
+
+impl RunSampler for RandomRun {
+    fn describe(&self) -> String {
+        format!(
+            "random-run(inputs~{}, msgs~{})",
+            self.input_keep, self.msg_keep
+        )
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Run {
+        let mut run = Run::good(&self.graph, self.n);
+        for i in self.graph.vertices() {
+            if !rng.gen_bool(self.input_keep) {
+                run.remove_input(i);
+            }
+        }
+        let slots: Vec<_> = run.messages().collect();
+        for s in slots {
+            if !rng.gen_bool(self.msg_keep) {
+                run.remove_message(s.from, s.to, s.round);
+            }
+        }
+        run
+    }
+}
+
+/// The prefix-cut family (full delivery until round `c`, nothing after),
+/// `c ∈ 1..=n+1`, plus per-link cut variants: for every directed edge and
+/// every round, deliver everything except that link from that round on.
+///
+/// For the protocols in this paper the worst run is always in this family
+/// (the tests cross-check with randomized search).
+pub fn cut_family(graph: &Graph, n: u32) -> Vec<Run> {
+    let mut runs = prefix_cut_runs(graph, n);
+    for (a, b) in graph.directed_edges() {
+        for c in 1..=n {
+            let mut run = Run::good(graph, n);
+            run.cut_link_from_round(a, b, Round::new(c));
+            runs.push(run);
+        }
+    }
+    runs
+}
+
+/// Crash-stop failure injection: runs where a chosen process "crashes" at a
+/// round (all its outgoing messages from that round on are destroyed; it
+/// still receives). One run per `(process, crash_round)` pair, plus the good
+/// run. Link-failure adversaries subsume crashes, so the paper's bounds must
+/// hold here too — the tests and the families in E4 use this to check.
+pub fn crash_family(graph: &Graph, n: u32) -> Vec<Run> {
+    let mut runs = vec![Run::good(graph, n)];
+    for victim in graph.vertices() {
+        for crash_at in 1..=n {
+            let mut run = Run::good(graph, n);
+            for &peer in graph.neighbors(victim) {
+                run.cut_link_from_round(victim, peer, Round::new(crash_at));
+            }
+            runs.push(run);
+        }
+    }
+    runs
+}
+
+/// Every run obtained from the good run by destroying exactly one message.
+pub fn single_drop_family(graph: &Graph, n: u32) -> Vec<Run> {
+    let good = Run::good(graph, n);
+    good.messages()
+        .map(|s| {
+            let mut run = good.clone();
+            run.remove_message(s.from, s.to, s.round);
+            run
+        })
+        .collect()
+}
+
+/// Runs with inputs restricted to every nonempty subset of a small vertex
+/// set, everything delivered. Exercises validity/liveness structure.
+pub fn input_subset_family(graph: &Graph, n: u32) -> Vec<Run> {
+    let m = graph.len();
+    assert!(m <= 16, "input_subset_family over {m} processes is too large");
+    (0u32..(1 << m))
+        .map(|mask| {
+            let inputs: Vec<_> = graph
+                .vertices()
+                .filter(|p| mask & (1 << p.index()) != 0)
+                .collect();
+            Run::good_with_inputs(graph, n, &inputs)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_core::ids::ProcessId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_run_ignores_rng() {
+        let g = Graph::complete(2).unwrap();
+        let run = Run::good(&g, 2);
+        let sampler = FixedRun::new(run.clone());
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sampler.sample(&mut rng), run);
+        assert_eq!(sampler.run(), &run);
+        assert!(sampler.describe().starts_with("fixed"));
+    }
+
+    #[test]
+    fn random_drop_rates() {
+        let g = Graph::complete(3).unwrap();
+        let sampler = RandomDrop::new(&g, 10, 0.3);
+        assert_eq!(sampler.p(), 0.3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let total_slots = Run::good(&g, 10).message_count();
+        let mut kept = 0usize;
+        let trials = 200;
+        for _ in 0..trials {
+            kept += sampler.sample(&mut rng).message_count();
+        }
+        let keep_rate = kept as f64 / (trials * total_slots) as f64;
+        assert!((keep_rate - 0.7).abs() < 0.02, "keep rate {keep_rate}");
+    }
+
+    #[test]
+    fn random_drop_extremes() {
+        let g = Graph::complete(2).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(
+            RandomDrop::new(&g, 3, 0.0).sample(&mut rng),
+            Run::good(&g, 3)
+        );
+        assert_eq!(
+            RandomDrop::new(&g, 3, 1.0).sample(&mut rng).message_count(),
+            0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1]")]
+    fn random_drop_rejects_bad_p() {
+        RandomDrop::new(&Graph::complete(2).unwrap(), 2, 1.5);
+    }
+
+    #[test]
+    fn random_run_respects_probabilities() {
+        let g = Graph::complete(2).unwrap();
+        let sampler = RandomRun::new(g, 4, 1.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let run = sampler.sample(&mut rng);
+        assert_eq!(run.input_count(), 2);
+        assert_eq!(run.message_count(), 0);
+    }
+
+    #[test]
+    fn cut_family_contains_prefix_cuts_and_link_cuts() {
+        let g = Graph::complete(2).unwrap();
+        let n = 3;
+        let family = cut_family(&g, n);
+        // n+1 prefix cuts + 2 directed edges × n link cuts.
+        assert_eq!(family.len(), (n as usize + 1) + 2 * n as usize);
+        assert!(family.contains(&Run::good(&g, n)));
+    }
+
+    #[test]
+    fn crash_family_shape() {
+        let g = Graph::complete(3).unwrap();
+        let n = 4;
+        let family = crash_family(&g, n);
+        // good run + 3 processes × 4 crash rounds.
+        assert_eq!(family.len(), 1 + 3 * 4);
+        // A crash at round 1 silences the victim entirely.
+        let victim_silent = &family[1]; // (P0, crash at 1)
+        assert!(victim_silent
+            .messages()
+            .all(|s| s.from != ProcessId::new(0)));
+        // The victim still receives.
+        assert!(victim_silent
+            .messages()
+            .any(|s| s.to == ProcessId::new(0)));
+    }
+
+    #[test]
+    fn single_drop_family_size() {
+        let g = Graph::line(3).unwrap();
+        let family = single_drop_family(&g, 2);
+        // 4 directed slots per round × 2 rounds = 8 runs, each missing one.
+        assert_eq!(family.len(), 8);
+        let good_count = Run::good(&g, 2).message_count();
+        for run in family {
+            assert_eq!(run.message_count(), good_count - 1);
+        }
+    }
+
+    #[test]
+    fn input_subset_family_enumerates_all_masks() {
+        let g = Graph::complete(3).unwrap();
+        let family = input_subset_family(&g, 2);
+        assert_eq!(family.len(), 8);
+        assert!(family.iter().any(|r| !r.has_any_input()));
+        assert!(family
+            .iter()
+            .any(|r| r.has_input(ProcessId::new(0)) && r.input_count() == 1));
+    }
+}

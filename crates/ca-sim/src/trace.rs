@@ -1,0 +1,167 @@
+//! Human-readable execution traces.
+//!
+//! Renders an [`Execution`] round by round — who received what, how states
+//! evolved, who attacked — for the examples and for debugging protocol
+//! implementations.
+
+use ca_core::exec::Execution;
+use ca_core::graph::Graph;
+use ca_core::ids::ProcessId;
+use ca_core::protocol::Protocol;
+use ca_core::run::Run;
+use std::fmt::Write as _;
+
+/// Renders a full execution trace as text.
+///
+/// The trace lists, per round, each process's received messages and
+/// end-of-round state, followed by the output vector and outcome.
+pub fn render_trace<P: Protocol>(graph: &Graph, run: &Run, execution: &Execution<P>) -> String {
+    let mut out = String::new();
+    let n = run.horizon();
+    let _ = writeln!(
+        out,
+        "=== execution: {} processes, N = {n}, |M(R)| = {} ===",
+        graph.len(),
+        run.message_count()
+    );
+    let inputs: Vec<String> = run.inputs().map(|p| p.to_string()).collect();
+    let _ = writeln!(out, "inputs: [{}]", inputs.join(", "));
+    for i in graph.vertices() {
+        let _ = writeln!(
+            out,
+            "round 0  {i}: state = {:?}",
+            execution.local(i).states[0]
+        );
+    }
+    for r in 1..=n as usize {
+        let _ = writeln!(out, "--- round {r} ---");
+        for i in graph.vertices() {
+            let local = execution.local(i);
+            let rx: Vec<String> = local.received[r]
+                .iter()
+                .map(|(from, msg)| format!("{from}:{msg:?}"))
+                .collect();
+            let _ = writeln!(
+                out,
+                "  {i}: recv [{}] -> state = {:?}",
+                rx.join(", "),
+                local.states[r]
+            );
+        }
+    }
+    let outputs: Vec<String> = graph
+        .vertices()
+        .map(|i| {
+            format!(
+                "{i}={}",
+                if execution.local(i).output { "ATTACK" } else { "hold" }
+            )
+        })
+        .collect();
+    let _ = writeln!(out, "outputs: {}  =>  {}", outputs.join(" "), execution.outcome());
+    out
+}
+
+/// Renders just the decision line (one-line summary).
+pub fn render_decisions<P: Protocol>(execution: &Execution<P>) -> String {
+    let marks: String = execution
+        .outputs()
+        .iter()
+        .map(|&o| if o { '1' } else { '0' })
+        .collect();
+    format!("{} [{}]", execution.outcome(), marks)
+}
+
+/// Renders a run as an ASCII space-time diagram: one row per round, one
+/// column per process, with the delivered messages of that round listed.
+/// Useful for eyeballing adversary strategies.
+pub fn render_run(run: &Run) -> String {
+    let mut out = String::new();
+    let inputs: Vec<String> = run.inputs().map(|p| p.to_string()).collect();
+    let _ = writeln!(
+        out,
+        "run over {} processes, N = {}; inputs -> [{}]",
+        run.process_count(),
+        run.horizon(),
+        inputs.join(", ")
+    );
+    for r in 1..=run.horizon() {
+        let msgs: Vec<String> = run
+            .messages_in_round(ca_core::ids::Round::new(r))
+            .map(|s| format!("{}→{}", s.from, s.to))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  r{r:<3} {}",
+            if msgs.is_empty() {
+                "(silence)".to_owned()
+            } else {
+                msgs.join("  ")
+            }
+        );
+    }
+    out
+}
+
+/// Convenience: which processes attacked.
+pub fn attackers<P: Protocol>(execution: &Execution<P>) -> Vec<ProcessId> {
+    execution
+        .outputs()
+        .iter()
+        .enumerate()
+        .filter(|&(_i, &o)| o).map(|(i, &_o)| ProcessId::new(i as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_core::exec::execute;
+    use ca_core::run::Run;
+    use ca_core::tape::TapeSet;
+    use ca_protocols::ProtocolS;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trace_contains_rounds_and_outcome() {
+        let g = Graph::complete(2).unwrap();
+        let run = Run::good(&g, 3);
+        let proto = ProtocolS::new(1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let tapes = TapeSet::random(&mut rng, 2, 64);
+        let ex = execute(&proto, &g, &run, &tapes);
+        let trace = render_trace(&g, &run, &ex);
+        assert!(trace.contains("--- round 1 ---"));
+        assert!(trace.contains("--- round 3 ---"));
+        assert!(trace.contains("outputs:"));
+        assert!(trace.contains("TA"), "ε = 1 always attacks on the good run");
+    }
+
+    #[test]
+    fn run_diagram_lists_messages_and_silence() {
+        let g = Graph::complete(2).unwrap();
+        let mut run = Run::good(&g, 3);
+        run.cut_from_round(ca_core::ids::Round::new(3));
+        let s = render_run(&run);
+        assert!(s.contains("r1"));
+        assert!(s.contains("P0→P1"));
+        assert!(s.contains("(silence)"), "cut round renders as silence");
+        assert!(s.contains("inputs -> [P0, P1]"));
+    }
+
+    #[test]
+    fn decision_line_and_attackers() {
+        let g = Graph::complete(2).unwrap();
+        let run = Run::good(&g, 2);
+        let proto = ProtocolS::new(1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let tapes = TapeSet::random(&mut rng, 2, 64);
+        let ex = execute(&proto, &g, &run, &tapes);
+        assert_eq!(render_decisions(&ex), "TA [11]");
+        assert_eq!(
+            attackers(&ex),
+            vec![ProcessId::new(0), ProcessId::new(1)]
+        );
+    }
+}

@@ -1,0 +1,360 @@
+//! Wire-size accounting: how many bytes does a protocol put on each link?
+//!
+//! The paper measures protocols by rounds and probabilities; a systems
+//! implementation also cares about message size. This module computes the
+//! serialized size of any `Serialize` message under a simple, deterministic
+//! wire format (fixed-width integers, one tag byte per option/variant,
+//! 4-byte length prefixes for sequences), without allocating the encoding —
+//! a counting `serde` serializer.
+//!
+//! Used by the bandwidth ablation bench comparing Protocol S's compressed
+//! `(count, seen)` messages against the naive full-vector gossip variant.
+
+use serde::ser::{self, Serialize};
+use std::fmt;
+
+/// Computes the wire size in bytes of a serializable value.
+///
+/// # Examples
+///
+/// ```
+/// use ca_sim::wire::wire_size;
+/// assert_eq!(wire_size(&42u32).unwrap(), 4);
+/// assert_eq!(wire_size(&(1u8, true)).unwrap(), 2);
+/// assert_eq!(wire_size(&Some(7u64)).unwrap(), 9); // tag + payload
+/// assert_eq!(wire_size(&vec![1u16, 2, 3]).unwrap(), 4 + 6); // len prefix + items
+/// ```
+///
+/// # Errors
+///
+/// Returns an error only for values whose `Serialize` impl itself fails.
+pub fn wire_size<T: Serialize + ?Sized>(value: &T) -> Result<usize, WireError> {
+    let mut counter = SizeCounter { bytes: 0 };
+    value.serialize(&mut counter)?;
+    Ok(counter.bytes)
+}
+
+/// Error from size computation (only produced by failing `Serialize` impls).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError(String);
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire size error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl ser::Error for WireError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        WireError(msg.to_string())
+    }
+}
+
+struct SizeCounter {
+    bytes: usize,
+}
+
+impl SizeCounter {
+    fn add(&mut self, n: usize) {
+        self.bytes += n;
+    }
+}
+
+macro_rules! fixed {
+    ($method:ident, $ty:ty, $size:expr) => {
+        fn $method(self, _v: $ty) -> Result<(), WireError> {
+            self.add($size);
+            Ok(())
+        }
+    };
+}
+
+impl ser::Serializer for &mut SizeCounter {
+    type Ok = ();
+    type Error = WireError;
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = Self;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    fixed!(serialize_bool, bool, 1);
+    fixed!(serialize_i8, i8, 1);
+    fixed!(serialize_i16, i16, 2);
+    fixed!(serialize_i32, i32, 4);
+    fixed!(serialize_i64, i64, 8);
+    fixed!(serialize_i128, i128, 16);
+    fixed!(serialize_u8, u8, 1);
+    fixed!(serialize_u16, u16, 2);
+    fixed!(serialize_u32, u32, 4);
+    fixed!(serialize_u64, u64, 8);
+    fixed!(serialize_u128, u128, 16);
+    fixed!(serialize_f32, f32, 4);
+    fixed!(serialize_f64, f64, 8);
+    fixed!(serialize_char, char, 4);
+
+    fn serialize_str(self, v: &str) -> Result<(), WireError> {
+        self.add(4 + v.len());
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), WireError> {
+        self.add(4 + v.len());
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), WireError> {
+        self.add(1);
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), WireError> {
+        self.add(1);
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), WireError> {
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), WireError> {
+        Ok(())
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), WireError> {
+        self.add(1);
+        Ok(())
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), WireError> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<(), WireError> {
+        self.add(1);
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Self, WireError> {
+        self.add(4);
+        Ok(self)
+    }
+
+    fn serialize_tuple(self, _len: usize) -> Result<Self, WireError> {
+        Ok(self)
+    }
+
+    fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Self, WireError> {
+        Ok(self)
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, WireError> {
+        self.add(1);
+        Ok(self)
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<Self, WireError> {
+        self.add(4);
+        Ok(self)
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self, WireError> {
+        Ok(self)
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, WireError> {
+        self.add(1);
+        Ok(self)
+    }
+}
+
+macro_rules! compound {
+    ($trait:path { $($method:ident ( $($arg:tt)* );)* }) => {
+        impl $trait for &mut SizeCounter {
+            type Ok = ();
+            type Error = WireError;
+            $(compound!(@method $method ($($arg)*));)*
+            fn end(self) -> Result<(), WireError> {
+                Ok(())
+            }
+        }
+    };
+    (@method $method:ident (value)) => {
+        fn $method<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), WireError> {
+            value.serialize(&mut **self)
+        }
+    };
+    (@method $method:ident (key value)) => {
+        fn $method<T: Serialize + ?Sized>(&mut self, _key: &'static str, value: &T) -> Result<(), WireError> {
+            value.serialize(&mut **self)
+        }
+    };
+}
+
+compound!(ser::SerializeSeq {
+    serialize_element(value);
+});
+compound!(ser::SerializeTuple {
+    serialize_element(value);
+});
+compound!(ser::SerializeTupleStruct {
+    serialize_field(value);
+});
+compound!(ser::SerializeTupleVariant {
+    serialize_field(value);
+});
+compound!(ser::SerializeStruct {
+    serialize_field(key value);
+});
+compound!(ser::SerializeStructVariant {
+    serialize_field(key value);
+});
+
+impl ser::SerializeMap for &mut SizeCounter {
+    type Ok = ();
+    type Error = WireError;
+
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), WireError> {
+        key.serialize(&mut **self)
+    }
+
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), WireError> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Msg {
+        count: u32,
+        valid: bool,
+        rfire: Option<f64>,
+        seen: Vec<u8>,
+    }
+
+    #[test]
+    fn primitive_sizes() {
+        assert_eq!(wire_size(&true).unwrap(), 1);
+        assert_eq!(wire_size(&1u8).unwrap(), 1);
+        assert_eq!(wire_size(&1u64).unwrap(), 8);
+        assert_eq!(wire_size(&1i128).unwrap(), 16);
+        assert_eq!(wire_size(&1.5f64).unwrap(), 8);
+        assert_eq!(wire_size(&'x').unwrap(), 4);
+        assert_eq!(wire_size("abc").unwrap(), 7);
+        assert_eq!(wire_size(&()).unwrap(), 0);
+    }
+
+    #[test]
+    fn option_and_seq_sizes() {
+        assert_eq!(wire_size(&None::<u64>).unwrap(), 1);
+        assert_eq!(wire_size(&Some(1u64)).unwrap(), 9);
+        assert_eq!(wire_size(&Vec::<u32>::new()).unwrap(), 4);
+        assert_eq!(wire_size(&vec![1u32, 2]).unwrap(), 12);
+    }
+
+    #[test]
+    fn struct_size_is_sum_of_fields() {
+        let m = Msg {
+            count: 3,
+            valid: true,
+            rfire: Some(0.5),
+            seen: vec![1, 2, 3],
+        };
+        // 4 + 1 + (1 + 8) + (4 + 3)
+        assert_eq!(wire_size(&m).unwrap(), 21);
+    }
+
+    #[test]
+    fn enum_variants_cost_a_tag() {
+        #[derive(Serialize)]
+        enum E {
+            A,
+            B(u16),
+        }
+        assert_eq!(wire_size(&E::A).unwrap(), 1);
+        assert_eq!(wire_size(&E::B(7)).unwrap(), 3);
+    }
+
+    #[test]
+    fn figure_1_compression_beats_full_vector_gossip() {
+        // The ablation headline: Protocol S's (count, seen) message is far
+        // smaller than VectorS's full per-process level vector at m = 64.
+        use ca_core::graph::Graph;
+        use ca_core::ids::ProcessId;
+        use ca_core::protocol::{Ctx, Protocol};
+        use ca_core::tape::TapeSet;
+        use ca_protocols::{ProtocolS, VectorS};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let g = Graph::complete(64).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let tapes = TapeSet::random(&mut rng, 64, 64);
+        let s = ProtocolS::new(0.1);
+        let v = VectorS::new(0.1);
+        let ctx = Ctx::new(&g, 4, ProcessId::LEADER);
+        let mut r1 = tapes.tape(ProcessId::LEADER).reader();
+        let mut r2 = tapes.tape(ProcessId::LEADER).reader();
+        let st_s = s.init(ctx, true, &mut r1);
+        let st_v = v.init(ctx, true, &mut r2);
+        let size_s = wire_size(&s.message(ctx, &st_s, ProcessId::new(1))).unwrap();
+        let size_v = wire_size(&v.message(ctx, &st_v, ProcessId::new(1))).unwrap();
+        assert!(
+            size_v > 2 * size_s,
+            "vector {size_v} bytes should dwarf compressed {size_s} bytes"
+        );
+    }
+
+    #[test]
+    fn real_protocol_messages_have_finite_size() {
+        use ca_core::bitset::BitSet;
+        use ca_protocols::CountingMsg;
+        let msg: CountingMsg<f64> = CountingMsg {
+            count: 5,
+            seen: BitSet::from_iter_with_capacity(8, [0, 3]),
+            valid: true,
+            token: Some(1.25),
+        };
+        let size = wire_size(&msg).unwrap();
+        assert!(size > 0 && size < 64, "size = {size}");
+    }
+}

@@ -1,0 +1,94 @@
+//! Adversary duel: search for the run that hurts each protocol most.
+//!
+//! Pits four protocols (Protocol S, Protocol A, the deterministic flood
+//! baseline, and the fixed-threshold variant) against an adversary that
+//! searches the structured cut family *and* random runs for the highest
+//! disagreement probability, across several topologies. Reproduces the
+//! paper's hierarchy: deterministic ⇒ certain disagreement, Protocol A ⇒
+//! 1/(N-1), Protocol S ⇒ ε no matter what.
+//!
+//! ```text
+//! cargo run --release --example adversary_duel
+//! ```
+
+use coordinated_attack::prelude::*;
+use coordinated_attack::sim::{worst_disagreement, RandomRun, RunSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TRIALS: u64 = 4_000;
+
+fn duel<P: Protocol + Sync>(
+    name: &str,
+    protocol: &P,
+    graph: &Graph,
+    n: u32,
+    table: &mut Table,
+) {
+    // Arm 1: the structured cut family (exhaustive over cuts).
+    let family = ca_sim::cut_family(graph, n);
+    let (worst_idx, reports) =
+        worst_disagreement(protocol, graph, &family, SimConfig::new(TRIALS, 99));
+    let structured = reports[worst_idx].disagreement();
+
+    // Arm 2: random-run search.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut worst_random = BernoulliEstimate::default();
+    for _ in 0..10 {
+        let sampler = RandomRun::new(
+            graph.clone(),
+            n,
+            0.9,
+            rand::Rng::gen_range(&mut rng, 0.3..0.9),
+        );
+        let one = sampler.sample(&mut rng);
+        let report = simulate(
+            protocol,
+            graph,
+            &FixedRun::new(one),
+            SimConfig::new(TRIALS / 4, 123),
+        );
+        if report.disagreement().point() > worst_random.point() {
+            worst_random = report.disagreement();
+        }
+    }
+
+    table.push_row([
+        name.to_owned(),
+        format!("{}", graph),
+        format!("{:.4}", structured.point()),
+        format!("{:.4}", worst_random.point()),
+    ]);
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 9u32;
+    let eps = 0.125f64;
+
+    println!("adversary duel: worst observed disagreement, {TRIALS} trials per run, N = {n}\n");
+    let mut table = Table::new([
+        "protocol",
+        "graph",
+        "worst PA (cut family)",
+        "worst PA (random search)",
+    ]);
+
+    let k2 = Graph::complete(2)?;
+    duel("S (ε=1/8)", &ProtocolS::new(eps), &k2, n, &mut table);
+    duel("A", &ProtocolA::new(n), &k2, n, &mut table);
+    duel("det-flood", &DeterministicFlood::new(), &k2, n, &mut table);
+    duel("threshold θ=5", &FixedThreshold::new(5), &k2, n, &mut table);
+
+    for graph in [Graph::complete(4)?, Graph::star(5)?, Graph::ring(5)?] {
+        duel("S (ε=1/8)", &ProtocolS::new(eps), &graph, n, &mut table);
+        duel("det-flood", &DeterministicFlood::new(), &graph, n, &mut table);
+    }
+
+    println!("{table}");
+    println!("reading the table:");
+    println!("  det-flood   → the adversary finds certain disagreement (PA = 1): the classic impossibility");
+    println!("  threshold   → also deterministic, also destroyed by a well-placed cut");
+    println!("  A           → best attack ≈ 1/(N-1) = {:.4}", 1.0 / (n as f64 - 1.0));
+    println!("  S           → nothing beats ε = {eps}, on any topology (Theorem 6.7)");
+    Ok(())
+}

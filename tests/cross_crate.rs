@@ -1,0 +1,117 @@
+//! Integration tests across the workspace: exact analysis vs Monte Carlo vs
+//! level theory must tell one consistent story through the public facade.
+
+use coordinated_attack::prelude::*;
+use coordinated_attack::sim::cut_family;
+
+#[test]
+fn exact_and_monte_carlo_agree_on_every_cut() {
+    let graph = Graph::complete(2).expect("graph");
+    let n = 6u32;
+    let t = 4u64;
+    let proto = ProtocolS::new(1.0 / t as f64);
+    for (k, run) in cut_family(&graph, n).into_iter().enumerate() {
+        let exact = protocol_s_outcomes(&graph, &run, t);
+        let report = simulate(
+            &proto,
+            &graph,
+            &FixedRun::new(run),
+            SimConfig::new(3_000, 7_000 + k as u64),
+        );
+        assert!(
+            report.liveness().consistent_with_z(exact.ta.to_f64(), 4.0),
+            "cut {k}: exact TA {} vs MC {}",
+            exact.ta,
+            report.liveness()
+        );
+        assert!(
+            report.disagreement().consistent_with_z(exact.pa.to_f64(), 4.0),
+            "cut {k}: exact PA {} vs MC {}",
+            exact.pa,
+            report.disagreement()
+        );
+    }
+}
+
+#[test]
+fn liveness_formula_holds_on_random_topologies() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..5 {
+        let m = rng.gen_range(3..7);
+        let graph = Graph::random_connected(m, 0.6, &mut rng).expect("graph");
+        let n = rng.gen_range(3..8);
+        let t = rng.gen_range(2..10) as u64;
+        let mut run = Run::good(&graph, n);
+        let slots: Vec<_> = run.messages().collect();
+        for s in slots {
+            if rng.gen_bool(0.3) {
+                run.remove_message(s.from, s.to, s.round);
+            }
+        }
+        let ml = modified_levels(&run).min_level();
+        let expected = (Rational::new(1, t as i128) * Rational::from(ml)).min(Rational::ONE);
+        let exact = protocol_s_outcomes(&graph, &run, t);
+        assert_eq!(exact.ta, expected, "Thm 6.8 equality on {graph}");
+        assert!(exact.pa <= Rational::new(1, t as i128), "Thm 6.7 on {graph}");
+    }
+}
+
+#[test]
+fn protocol_a_and_s_ranked_as_the_paper_says() {
+    // At matched unsafety budgets (ε = 1/(N-1) for S, the natural U of A),
+    // both achieve liveness 1 on the good run; on a half-dead run A gives 0
+    // while S retains ~half its liveness.
+    let graph = Graph::complete(2).expect("graph");
+    let n = 9u32;
+    let t = (n - 1) as u64;
+
+    let good = Run::good(&graph, n);
+    assert_eq!(protocol_a_outcomes(&graph, &good, n).ta, Rational::ONE);
+    assert_eq!(protocol_s_outcomes(&graph, &good, t).ta, Rational::ONE);
+
+    let mut half_dead = Run::good(&graph, n);
+    half_dead.cut_from_round(Round::new(n / 2 + 1));
+    let a = protocol_a_outcomes(&graph, &half_dead, n);
+    let s = protocol_s_outcomes(&graph, &half_dead, t);
+    // A: chain dies at n/2+1, so TA only for rfire ≤ n/2.
+    assert!(a.ta < Rational::new(1, 2));
+    // S: ML(R) = n/2, liveness = (n/2)/(n-1) ≈ 1/2.
+    assert_eq!(s.ta, Rational::new((n / 2) as i128, t as i128));
+    assert!(s.ta >= a.ta, "S dominates A on degraded runs");
+}
+
+#[test]
+fn trace_rendering_through_facade() {
+    use coordinated_attack::sim::trace::{attackers, render_decisions};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let graph = Graph::complete(3).expect("graph");
+    let run = Run::good(&graph, 4);
+    let proto = ProtocolS::new(1.0);
+    let mut rng = StdRng::seed_from_u64(5);
+    let tapes = TapeSet::random(&mut rng, 3, 64);
+    let ex = execute(&proto, &graph, &run, &tapes);
+    assert_eq!(render_decisions(&ex), "TA [111]");
+    assert_eq!(attackers(&ex).len(), 3);
+}
+
+#[test]
+fn repeat_combinator_interops_with_analysis() {
+    // The Repeat strawman from §3 integrated across crates: simulate it and
+    // verify it cannot beat Protocol A's 1/(N-1) at equal good-run liveness.
+    let graph = Graph::complete(2).expect("graph");
+    let n = 6u32;
+    let rep = Repeat::new(ProtocolA::new(n), 3, CombineRule::All);
+    let mut cut = Run::good(&graph, n);
+    cut.cut_from_round(Round::new(n));
+    let report = simulate(&rep, &graph, &FixedRun::new(cut), SimConfig::new(4_000, 55));
+    let single = 1.0 / (n as f64 - 1.0);
+    assert!(
+        report.disagreement().point() > single,
+        "repetition must not improve unsafety: {} vs {}",
+        report.disagreement(),
+        single
+    );
+}

@@ -1,0 +1,64 @@
+//! Integration test: the three independent probability pipelines agree.
+//!
+//! For the same run, (1) the closed-form analytic integration, (2) the
+//! exhaustive-tape enumeration of real `GridS` executions, and (3) Monte
+//! Carlo over 64-bit-rfire `ProtocolS` executions must tell one story. Any
+//! disagreement would mean a bug in exactly one of them — three-way
+//! redundancy over completely different mechanisms.
+
+use coordinated_attack::analysis::enumeration::enumerate_leader_tapes;
+use coordinated_attack::prelude::*;
+
+#[test]
+fn three_pipelines_one_answer() {
+    let graph = Graph::complete(2).expect("graph");
+    let n = 6u32;
+    let t = 4u64;
+    let bits = 6u32; // 64-point grid: contains every integer threshold for t = 4
+
+    for cut in [2u32, 4, 6] {
+        let mut run = Run::good(&graph, n);
+        run.cut_from_round(Round::new(cut));
+
+        // Pipeline 1: analytic closed form.
+        let analytic = protocol_s_outcomes(&graph, &run, t);
+
+        // Pipeline 2: exhaustive enumeration of GridS tapes.
+        let grid = GridS::new(1.0 / t as f64, bits);
+        let (enumerated, decision_probs) = enumerate_leader_tapes(&grid, &graph, &run, bits);
+        assert_eq!(analytic, enumerated, "analytic vs enumeration at cut {cut}");
+
+        // Decision probabilities respect the §2 lemmas.
+        for &p in &decision_probs {
+            assert!(enumerated.ta <= p, "Lemma 2.3");
+        }
+
+        // Pipeline 3: Monte Carlo over the continuous-rfire protocol.
+        let proto = ProtocolS::new(1.0 / t as f64);
+        let report = simulate(
+            &proto,
+            &graph,
+            &FixedRun::new(run),
+            SimConfig::new(20_000, 777 + u64::from(cut)),
+        );
+        assert!(
+            report.liveness().consistent_with_z(analytic.ta.to_f64(), 4.0),
+            "cut {cut}: MC liveness {} vs analytic {}",
+            report.liveness(),
+            analytic.ta
+        );
+        assert!(
+            report.disagreement().consistent_with_z(analytic.pa.to_f64(), 4.0),
+            "cut {cut}: MC disagreement {} vs analytic {}",
+            report.disagreement(),
+            analytic.pa
+        );
+    }
+}
+
+#[test]
+fn grid_s_is_usable_from_the_prelude() {
+    let grid = GridS::new(0.25, 4);
+    assert_eq!(grid.bits(), 4);
+    assert_eq!(grid.rfire_for(15), 4.0);
+}

@@ -1,0 +1,113 @@
+//! Integration tests for the extension substrates, through the facade.
+
+use coordinated_attack::asynchronous::{
+    async_s_outcomes, AsyncConfig, CutCourier, ReliableCourier,
+};
+use coordinated_attack::prelude::*;
+use coordinated_attack::protocols::ChainProtocol;
+
+#[test]
+fn async_and_sync_tell_the_same_tradeoff_story() {
+    // Synchronous S on K2 at N rounds and asynchronous S at deadline N with
+    // latency 1 reach comparable liveness, and both respect U ≤ ε exactly.
+    let graph = Graph::complete(2).expect("graph");
+    let t = 6u64;
+    let n = 9u32;
+
+    let sync = protocol_s_outcomes(&graph, &Run::good(&graph, n), t);
+    let mut courier = ReliableCourier::new(1);
+    let config = AsyncConfig::all_inputs(&graph, u64::from(n));
+    let asy = async_s_outcomes(&graph, &config, &mut courier, t);
+
+    assert!(sync.pa <= Rational::new(1, t as i128));
+    assert!(asy.pa <= Rational::new(1, t as i128));
+    // Event-driven gossip with latency 1 climbs at least as fast as rounds.
+    assert!(asy.ta >= sync.ta, "async {} vs sync {}", asy.ta, sync.ta);
+
+    // A cut at the same point hurts both, never past ε.
+    let mut cut_run = Run::good(&graph, n);
+    cut_run.cut_from_round(Round::new(4));
+    let sync_cut = protocol_s_outcomes(&graph, &cut_run, t);
+    let mut cut_courier = CutCourier::new(1, 4);
+    let asy_cut = async_s_outcomes(&graph, &config, &mut cut_courier, t);
+    assert!(sync_cut.ta < Rational::ONE && asy_cut.ta < Rational::ONE);
+    assert!(sync_cut.pa <= Rational::new(1, t as i128));
+    assert!(asy_cut.pa <= Rational::new(1, t as i128));
+}
+
+#[test]
+fn chain_baseline_is_dominated_by_s_at_matched_budget() {
+    // On a line of 3 with matched unsafety budgets, S's liveness on the good
+    // run is at least the chain's on every cut run.
+    use ca_core::exec::execute;
+    let m = 3usize;
+    let n = 12u32;
+    let graph = Graph::line(m).expect("graph");
+    let chain = ChainProtocol::new(n);
+    let hi = ChainProtocol::max_rfire(m, n);
+
+    // Chain's exact liveness on the good run: rfire always completes — 1.
+    let mut total_attack_all_rfire = true;
+    for rfire in 2..=hi {
+        let word = u64::from(rfire - 2);
+        let tapes = TapeSet::from_tapes(
+            (0..m)
+                .map(|i| {
+                    coordinated_attack::core::tape::BitTape::from_words(vec![
+                        if i == 0 { word } else { 0 };
+                        64
+                    ])
+                })
+                .collect(),
+        );
+        let ex = execute(&chain, &graph, &Run::good(&graph, n), &tapes);
+        total_attack_all_rfire &= ex.outcome() == Outcome::TotalAttack;
+    }
+    assert!(total_attack_all_rfire, "chain lives on the good run");
+
+    // S at ε = 1/(hi-1) sits exactly on its frontier min(1, ε·ML) on the
+    // same graph (the line's diameter halves the level rate, so ML < N),
+    // and its worst-case unsafety is ε — versus the chain's Θ(m) window.
+    let t = u64::from(hi) - 1;
+    let good = Run::good(&graph, n);
+    let ml = modified_levels(&good).min_level();
+    let s_good = protocol_s_outcomes(&graph, &good, t);
+    assert_eq!(
+        s_good.ta,
+        (Rational::new(1, t as i128) * Rational::from(ml)).min(Rational::ONE)
+    );
+    assert!(s_good.ta > Rational::new(1, 2), "substantial liveness");
+    let (s_worst, _) = coordinated_attack::analysis::exact::protocol_s_worst_pa(
+        &graph,
+        &coordinated_attack::sim::cut_family(&graph, n),
+        t,
+    );
+    assert_eq!(s_worst, Rational::new(1, t as i128));
+}
+
+#[test]
+fn eager_variant_wiring() {
+    let eager = ProtocolS::eager(0.25);
+    assert_eq!(eager.slack(), 1);
+    let standard = ProtocolS::new(0.25);
+    assert_eq!(standard.slack(), 0);
+}
+
+#[test]
+fn adaptive_materialization_is_covered_by_worst_case() {
+    // Any adaptive strategy's measured disagreement ≤ the exact worst case
+    // over all runs it can produce (tiny instance, exhaustive).
+    use coordinated_attack::sim::adaptive::{materialize, RandomizedCut};
+    let graph = Graph::complete(2).expect("graph");
+    let n = 2u32;
+    let t = 2u64;
+    let mut worst = Rational::ZERO;
+    for run in Run::enumerate_all(&graph, n) {
+        worst = worst.max(protocol_s_outcomes(&graph, &run, t).pa);
+    }
+    for seed in 0..50u64 {
+        let mut adv = RandomizedCut::new(n, seed);
+        let run = materialize(&mut adv, &graph, n);
+        assert!(protocol_s_outcomes(&graph, &run, t).pa <= worst);
+    }
+}

@@ -1,0 +1,94 @@
+//! Integration test: the deterministic impossibility ([Gray 78],
+//! [Halpern–Moses 84]) demonstrated by exhaustive adversary search.
+//!
+//! For each deterministic protocol we enumerate **all** runs of a tiny
+//! instance and show the three requirements cannot coexist:
+//! validity + certain agreement + nontriviality. Randomized Protocol S
+//! escapes only by weakening agreement to `Pr[PA] ≤ ε`.
+
+use coordinated_attack::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: u32 = 2;
+
+/// Exhaustively classify a deterministic protocol over all runs of the tiny
+/// instance. Returns (validity_ok, has_pa_run, has_ta_run).
+fn classify<P: Protocol>(proto: &P) -> (bool, bool, bool) {
+    let graph = Graph::complete(2).expect("graph");
+    let mut rng = StdRng::seed_from_u64(1);
+    let tapes = TapeSet::random(&mut rng, 2, proto.tape_bits().max(1));
+    let mut validity_ok = true;
+    let mut has_pa = false;
+    let mut has_ta = false;
+    for run in Run::enumerate_all(&graph, N) {
+        let ex = execute(proto, &graph, &run, &tapes);
+        match ex.outcome() {
+            Outcome::PartialAttack => has_pa = true,
+            Outcome::TotalAttack => {
+                has_ta = true;
+                if !run.has_any_input() {
+                    validity_ok = false;
+                }
+            }
+            Outcome::NoAttack => {}
+        }
+        if ex.outputs().iter().any(|&o| o) && !run.has_any_input() {
+            validity_ok = false;
+        }
+    }
+    (validity_ok, has_pa, has_ta)
+}
+
+#[test]
+fn deterministic_flood_hits_the_impossibility() {
+    let (validity, has_pa, has_ta) = classify(&DeterministicFlood::new());
+    assert!(validity, "flood satisfies validity");
+    assert!(has_ta, "flood is nontrivial (attacks on the good run)");
+    assert!(has_pa, "…but some run forces certain disagreement");
+}
+
+#[test]
+fn attack_on_input_hits_the_impossibility() {
+    let (validity, has_pa, has_ta) = classify(&AttackOnInput::new());
+    assert!(validity && has_ta && has_pa);
+}
+
+#[test]
+fn fixed_threshold_hits_the_impossibility() {
+    let (validity, has_pa, has_ta) = classify(&FixedThreshold::new(1));
+    assert!(validity && has_ta && has_pa);
+}
+
+#[test]
+fn never_attack_is_safe_but_trivial() {
+    let (validity, has_pa, has_ta) = classify(&NeverAttack::new());
+    assert!(validity);
+    assert!(!has_pa, "never-attack never disagrees");
+    assert!(!has_ta, "…because it gives up nontriviality entirely");
+}
+
+#[test]
+fn protocol_s_escapes_with_probability_epsilon() {
+    // Protocol S: validity holds surely; disagreement exists but only with
+    // probability ≤ ε per run (exact, over the same exhaustive run space).
+    let graph = Graph::complete(2).expect("graph");
+    let t = 2u64;
+    let eps = Rational::new(1, t as i128);
+    let mut worst_pa = Rational::ZERO;
+    let mut best_ta = Rational::ZERO;
+    for run in Run::enumerate_all(&graph, N) {
+        let out = protocol_s_outcomes(&graph, &run, t);
+        if !run.has_any_input() {
+            assert_eq!(out.na, Rational::ONE, "validity must be sure");
+        }
+        worst_pa = worst_pa.max(out.pa);
+        best_ta = best_ta.max(out.ta);
+    }
+    assert_eq!(worst_pa, eps, "agreement weakens to exactly ε, never more");
+    assert_eq!(
+        best_ta,
+        Rational::ONE,
+        "nontriviality: with ML(R) = N = t, attack is certain on the good run"
+    );
+}

@@ -1,0 +1,40 @@
+//! Integration test: the entire experiment suite (E1–E12) reproduces the
+//! paper's claims end to end through the public API.
+//!
+//! Each experiment internally asserts the paper-shape checks (bounds hold,
+//! tightness where claimed, crossovers where predicted); this test runs the
+//! registry exactly the way the `expt` binary does.
+
+use coordinated_attack::analysis::experiments::{all_experiments, Scale};
+
+#[test]
+fn every_experiment_passes() {
+    let scale = Scale::quick();
+    let mut failures = Vec::new();
+    for experiment in all_experiments() {
+        let result = experiment.run(scale);
+        assert!(!result.table.is_empty(), "{} produced no table", result.id);
+        assert!(
+            !result.findings.is_empty(),
+            "{} produced no findings",
+            result.id
+        );
+        if !result.passed {
+            failures.push(format!("{result}"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "experiments failed:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn experiment_tables_export_csv() {
+    use coordinated_attack::analysis::experiments::Experiment as _;
+    let result = coordinated_attack::analysis::experiments::ProtocolAUnsafety.run(Scale::quick());
+    let csv = result.table.to_csv();
+    assert!(csv.lines().count() == result.table.len() + 1);
+    assert!(csv.starts_with("N,"));
+}
