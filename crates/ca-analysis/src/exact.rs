@@ -124,7 +124,11 @@ pub fn protocol_s_outcomes_slack(graph: &Graph, run: &Run, t: u64, slack: u32) -
 /// Panics if the run is not over exactly 2 processes or horizons mismatch.
 pub fn protocol_a_outcomes(graph: &Graph, run: &Run, n: u32) -> ExactOutcome {
     assert_eq!(run.process_count(), 2, "protocol A is a 2-general protocol");
-    assert_eq!(run.horizon(), n, "run horizon differs from protocol horizon");
+    assert_eq!(
+        run.horizon(),
+        n,
+        "run horizon differs from protocol horizon"
+    );
     let proto = ProtocolA::new(n);
     let denom = (n - 1) as i128;
     let (mut ta, mut na, mut pa) = (0i128, 0i128, 0i128);
@@ -295,7 +299,11 @@ mod tests {
         }
         let out = protocol_s_outcomes(&g, &run, 8);
         assert_eq!(out.ta, Rational::ZERO);
-        assert_eq!(out.pa, Rational::new(1, 8), "leader attacks alone iff rfire ≤ 1");
+        assert_eq!(
+            out.pa,
+            Rational::new(1, 8),
+            "leader attacks alone iff rfire ≤ 1"
+        );
     }
 
     #[test]

@@ -10,8 +10,8 @@ use crate::exact::protocol_a_worst_pa;
 use crate::report::{fmt_estimate, fmt_f64, Table};
 use ca_core::graph::Graph;
 use ca_core::rational::Rational;
-use ca_sim::{simulate, FixedRun, SimConfig};
 use ca_protocols::ProtocolA;
+use ca_sim::{simulate, FixedRun, SimConfig};
 
 /// E1: `U_s(A) = 1/(N-1)`.
 #[derive(Clone, Copy, Debug, Default)]

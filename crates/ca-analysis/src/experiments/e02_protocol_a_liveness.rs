@@ -8,11 +8,11 @@
 
 use super::{Experiment, ExperimentResult, Scale};
 use crate::exact::{protocol_a_outcomes, protocol_s_outcomes};
+use crate::report::Table;
 use ca_core::graph::Graph;
 use ca_core::ids::{ProcessId, Round};
 use ca_core::rational::Rational;
 use ca_core::run::Run;
-use crate::report::Table;
 
 /// E2: the liveness cliff of Protocol A, and Protocol S's graceful slope.
 #[derive(Clone, Copy, Debug, Default)]

@@ -95,12 +95,12 @@ impl Experiment for TradeoffBound {
 
         check_family("ML staircase, K2, N=8", &clique2, ml_staircase(&clique2, 8));
         check_family("ML staircase, K3, N=8", &clique3, ml_staircase(&clique3, 8));
-        check_family("cut family, K2, N=8", &clique2, ca_sim::cut_family(&clique2, 8));
         check_family(
-            "tree run, star(4), N=6",
-            &star,
-            vec![tree_run(&star, 6)],
+            "cut family, K2, N=8",
+            &clique2,
+            ca_sim::cut_family(&clique2, 8),
         );
+        check_family("tree run, star(4), N=6", &star, vec![tree_run(&star, 6)]);
 
         let mut rng = StdRng::seed_from_u64(scale.seed);
         let sample = (scale.trials / 20).clamp(50, 2000) as usize;

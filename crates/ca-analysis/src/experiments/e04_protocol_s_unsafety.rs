@@ -15,8 +15,8 @@ use crate::report::{fmt_f64, Table};
 use ca_core::graph::Graph;
 use ca_core::rational::Rational;
 use ca_core::run::Run;
-use ca_sim::{simulate, RandomRun, SimConfig};
 use ca_protocols::ProtocolS;
+use ca_sim::{simulate, RandomRun, SimConfig};
 
 /// E4: `U_s(S) ≤ ε` exactly, with tightness.
 #[derive(Clone, Copy, Debug, Default)]
@@ -54,7 +54,11 @@ impl Experiment for ProtocolSUnsafety {
                 (*name).to_owned(),
                 eps.to_string(),
                 worst.to_string(),
-                if worst == eps { "yes".to_owned() } else { "no".to_owned() },
+                if worst == eps {
+                    "yes".to_owned()
+                } else {
+                    "no".to_owned()
+                },
             ]);
         }
 
@@ -101,7 +105,11 @@ impl Experiment for ProtocolSUnsafety {
             format!("K2, N={tiny_n}, ALL {} runs (exhaustive)", all_runs.len()),
             eps.to_string(),
             worst_exact.to_string(),
-            if worst_exact == eps { "yes".to_owned() } else { "no".to_owned() },
+            if worst_exact == eps {
+                "yes".to_owned()
+            } else {
+                "no".to_owned()
+            },
         ]);
         findings.push(format!(
             "exhaustive adversary over all {} runs of the tiny instance: U_s(S) = {} = ε exactly",

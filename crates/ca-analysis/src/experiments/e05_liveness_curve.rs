@@ -13,8 +13,8 @@ use crate::runs::ml_staircase;
 use ca_core::graph::Graph;
 use ca_core::level::modified_levels;
 use ca_core::rational::Rational;
-use ca_sim::{simulate, FixedRun, SimConfig};
 use ca_protocols::ProtocolS;
+use ca_sim::{simulate, FixedRun, SimConfig};
 
 /// E5: the liveness staircase of Protocol S.
 #[derive(Clone, Copy, Debug, Default)]

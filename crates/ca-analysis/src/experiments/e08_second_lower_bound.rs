@@ -24,8 +24,8 @@ use ca_core::graph::Graph;
 use ca_core::ids::ProcessId;
 use ca_core::level::{levels, modified_levels};
 use ca_core::rational::Rational;
-use ca_sim::{simulate, FixedRun, SimConfig};
 use ca_protocols::ProtocolS;
+use ca_sim::{simulate, FixedRun, SimConfig};
 
 /// E8: tree runs, clipping to `R₁`, and the optimality frontier.
 #[derive(Clone, Copy, Debug, Default)]
@@ -91,7 +91,11 @@ impl Experiment for SecondLowerBound {
             table.push_row([
                 format!("Clip₁(tree run) = R₁ on {name}; Pr[D₁|R₁] = ε"),
                 format!("equal; {eps}"),
-                if clipped == r1 { "equal".to_owned() } else { "DIFFERENT".to_owned() },
+                if clipped == r1 {
+                    "equal".to_owned()
+                } else {
+                    "DIFFERENT".to_owned()
+                },
                 fmt_estimate(&leader_rate),
             ]);
         }

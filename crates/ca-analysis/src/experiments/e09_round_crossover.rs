@@ -9,8 +9,8 @@
 //! liveness 1 (on the 2-clique: exactly `t`).
 
 use super::{Experiment, ExperimentResult, Scale};
-use crate::tradeoff::{min_rounds_for_certain_liveness, min_rounds_lower_bound};
 use crate::report::Table;
+use crate::tradeoff::{min_rounds_for_certain_liveness, min_rounds_lower_bound};
 use ca_core::graph::Graph;
 
 /// E9: rounds needed for certain liveness as `ε` shrinks.

@@ -17,8 +17,8 @@
 use super::{Experiment, ExperimentResult, Scale};
 use crate::report::{fmt_estimate, fmt_f64, Table};
 use ca_core::graph::Graph;
-use ca_sim::{simulate, RandomDrop, SimConfig};
 use ca_protocols::{FixedThreshold, ProtocolS};
+use ca_sim::{simulate, RandomDrop, SimConfig};
 
 /// E10: measured `L/U` against the weak adversary.
 #[derive(Clone, Copy, Debug, Default)]
@@ -119,7 +119,11 @@ impl Experiment for WeakAdversary {
             "Protocol S against random drops: exact L/U reaches {:.0}, far above the \
              strong-adversary ceiling L/U ≤ N = {n} — the paper's 'vastly improved performance' \
              (§8), now with a closed-form Markov-chain cross-check matching Monte Carlo",
-            if best_ratio.is_finite() { best_ratio } else { f64::MAX }
+            if best_ratio.is_finite() {
+                best_ratio
+            } else {
+                f64::MAX
+            }
         ));
         findings.push(
             "the deterministic threshold baseline is also strong here (disagreement only when the \

@@ -56,8 +56,7 @@ impl Experiment for TopologyLevels {
         let mut rows: Vec<(String, u32, [u32; 3], Option<u32>)> = Vec::new();
         for (name, graph) in &graphs {
             let diam = graph.diameter().expect("connected");
-            let ls = [6u32, 12, 24]
-                .map(|n| levels(&Run::good(graph, n)).min_level());
+            let ls = [6u32, 12, 24].map(|n| levels(&Run::good(graph, n)).min_level());
             let rounds = min_rounds_for_certain_liveness(graph, t, 128);
             // Levels must be monotone in N and bounded by N+1.
             passed &= ls[0] <= ls[1] && ls[1] <= ls[2];

@@ -12,14 +12,14 @@
 use super::{Experiment, ExperimentResult, Scale};
 use crate::report::{fmt_f64, Table};
 use crate::runs::isolated_pair_run;
+use ca_core::exec::execute;
 use ca_core::flow::FlowGraph;
 use ca_core::graph::Graph;
 use ca_core::ids::ProcessId;
+use ca_core::protocol::Protocol;
 use ca_core::run::Run;
-use ca_core::exec::execute;
 use ca_core::tape::TapeSet;
 use ca_protocols::{CombineRule, ProtocolS, Repeat};
-use ca_core::protocol::Protocol;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

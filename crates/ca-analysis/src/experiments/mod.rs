@@ -26,10 +26,6 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 mod e01_protocol_a_unsafety;
-mod x02_adaptive_adversary;
-mod x03_bandwidth;
-mod x04_chain_vs_gossip;
-mod x05_eager_dichotomy;
 mod e02_protocol_a_liveness;
 mod e03_tradeoff_bound;
 mod e04_protocol_s_unsafety;
@@ -41,6 +37,10 @@ mod e09_round_crossover;
 mod e10_weak_adversary;
 mod e11_topology_levels;
 mod e12_causal_independence;
+mod x02_adaptive_adversary;
+mod x03_bandwidth;
+mod x04_chain_vs_gossip;
+mod x05_eager_dichotomy;
 
 pub use e01_protocol_a_unsafety::ProtocolAUnsafety;
 pub use e02_protocol_a_liveness::ProtocolALiveness;
@@ -109,11 +109,7 @@ impl fmt::Display for ExperimentResult {
         for finding in &self.findings {
             writeln!(f, "* {finding}")?;
         }
-        writeln!(
-            f,
-            "verdict: {}",
-            if self.passed { "PASS" } else { "FAIL" }
-        )
+        writeln!(f, "verdict: {}", if self.passed { "PASS" } else { "FAIL" })
     }
 }
 

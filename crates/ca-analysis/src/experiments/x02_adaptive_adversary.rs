@@ -15,9 +15,9 @@ use super::{Experiment, ExperimentResult, Scale};
 use crate::report::{fmt_estimate, Table};
 use ca_core::graph::Graph;
 use ca_core::rational::Rational;
+use ca_protocols::ProtocolS;
 use ca_sim::adaptive::{AdaptiveSampler, Gambler, LinkChopper, RandomizedCut};
 use ca_sim::{simulate, SimConfig};
-use ca_protocols::ProtocolS;
 
 /// X2: adaptivity without bit access adds nothing.
 #[derive(Clone, Copy, Debug, Default)]
@@ -67,9 +67,8 @@ impl Experiment for AdaptiveAdversaryExperiment {
             ]);
 
             // Gambler.
-            let sampler = AdaptiveSampler::new(graph.clone(), n, "gambler", |seed| {
-                Gambler::new(2, seed)
-            });
+            let sampler =
+                AdaptiveSampler::new(graph.clone(), n, "gambler", |seed| Gambler::new(2, seed));
             let report = simulate(
                 &proto,
                 graph,

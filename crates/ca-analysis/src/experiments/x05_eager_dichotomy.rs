@@ -22,8 +22,8 @@ use ca_core::graph::Graph;
 use ca_core::level::modified_levels;
 use ca_core::rational::Rational;
 use ca_core::run::Run;
-use ca_sim::{simulate, FixedRun, SimConfig};
 use ca_protocols::ProtocolS;
+use ca_sim::{simulate, FixedRun, SimConfig};
 
 /// X5: the eager variant demonstrates that beating `ε·ML` costs unsafety.
 #[derive(Clone, Copy, Debug, Default)]
@@ -54,9 +54,8 @@ impl Experiment for EagerDichotomy {
         let mut passed = true;
 
         // Arm 1: eager's liveness beats the frontier on every ML ≥ 1 run.
-        let mut runs: Vec<(String, Run)> = vec![
-            ("tree run (ML=1)".to_owned(), tree_run(&graph, n)),
-        ];
+        let mut runs: Vec<(String, Run)> =
+            vec![("tree run (ML=1)".to_owned(), tree_run(&graph, n))];
         for (k, run) in ml_staircase(&graph, n).into_iter().enumerate() {
             runs.push((format!("staircase k={k}"), run));
         }

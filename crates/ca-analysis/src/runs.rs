@@ -158,7 +158,10 @@ mod tests {
     fn ml_staircase_is_monotone_on_any_graph() {
         let g = Graph::star(4).unwrap();
         let runs = ml_staircase(&g, 6);
-        let mls: Vec<u32> = runs.iter().map(|r| modified_levels(r).min_level()).collect();
+        let mls: Vec<u32> = runs
+            .iter()
+            .map(|r| modified_levels(r).min_level())
+            .collect();
         for w in mls.windows(2) {
             assert!(w[0] <= w[1], "staircase must be monotone: {mls:?}");
         }

@@ -95,7 +95,10 @@ mod tests {
     fn frontier_respects_theorem_5_4() {
         let g = Graph::complete(2).unwrap();
         for pt in frontier(&g, &[1, 2, 4, 8, 16], 8) {
-            assert!(pt.achieved <= pt.bound, "L(S) must respect the bound: {pt:?}");
+            assert!(
+                pt.achieved <= pt.bound,
+                "L(S) must respect the bound: {pt:?}"
+            );
             // And the gap is at most one level's worth of ε (Lemma 6.1).
             let eps = Rational::new(1, 8);
             assert!(pt.bound - pt.achieved <= eps, "gap > ε: {pt:?}");

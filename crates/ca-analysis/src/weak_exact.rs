@@ -108,7 +108,10 @@ fn step(norm: &NormState, deliver_ab: bool, deliver_ba: bool) -> (NormState, u32
 ///
 /// Panics if `p ∉ [0, 1]` or `t == 0`.
 pub fn weak_adversary_exact(n: u32, p: f64, t: u64) -> WeakExact {
-    assert!((0.0..=1.0).contains(&p), "drop probability must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "drop probability must be in [0,1]"
+    );
     assert!(t > 0, "t = 1/epsilon must be positive");
 
     // Initial state: leader has token + input (count 1), follower has input.
@@ -181,8 +184,8 @@ pub fn weak_adversary_exact(n: u32, p: f64, t: u64) -> WeakExact {
 mod tests {
     use super::*;
     use ca_core::graph::Graph;
-    use ca_sim::{simulate, RandomDrop, SimConfig};
     use ca_protocols::ProtocolS;
+    use ca_sim::{simulate, RandomDrop, SimConfig};
 
     #[test]
     fn zero_drop_matches_synchronous_exact() {
@@ -214,7 +217,10 @@ mod tests {
         let mut last = f64::INFINITY;
         for p in [0.0, 0.1, 0.2, 0.4, 0.6, 0.8] {
             let out = weak_adversary_exact(12, p, t);
-            assert!(out.liveness <= last + 1e-12, "liveness not monotone at p={p}");
+            assert!(
+                out.liveness <= last + 1e-12,
+                "liveness not monotone at p={p}"
+            );
             assert!(out.disagreement <= 1.0 / t as f64 + 1e-12, "U ≤ ε at p={p}");
             last = out.liveness;
         }
@@ -237,7 +243,9 @@ mod tests {
                 report.liveness()
             );
             assert!(
-                report.disagreement().consistent_with_z(exact.disagreement, 4.0),
+                report
+                    .disagreement()
+                    .consistent_with_z(exact.disagreement, 4.0),
                 "p={p}: exact U {} vs MC {}",
                 exact.disagreement,
                 report.disagreement()

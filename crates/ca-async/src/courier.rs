@@ -47,6 +47,16 @@ pub trait Courier {
 
     /// Decides the fate of one message.
     fn fate(&mut self, event: SendEvent) -> Fate;
+
+    /// Decides *all* fates of one send. The default forwards to
+    /// [`Courier::fate`] — exactly one fate per send. Duplicating couriers
+    /// override this to push several fates (each scheduled copy is delivered
+    /// or destroyed independently; the engine's sequence-number dedup lets
+    /// at most one copy through). Pushing nothing is equivalent to
+    /// [`Fate::Destroy`].
+    fn fates(&mut self, event: SendEvent, out: &mut Vec<Fate>) {
+        out.push(self.fate(event));
+    }
 }
 
 /// Delivers everything with a fixed latency.
@@ -130,7 +140,10 @@ impl RandomDropCourier {
     ///
     /// Panics if `p ∉ [0,1]` or the latency range is empty or starts at 0.
     pub fn new(p: f64, min_latency: Time, max_latency: Time, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "drop probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "drop probability must be in [0,1]"
+        );
         assert!(
             1 <= min_latency && min_latency <= max_latency,
             "latency range must be nonempty and start at ≥ 1"

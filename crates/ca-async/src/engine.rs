@@ -12,11 +12,13 @@
 //! courier)`.
 
 use crate::courier::{Courier, Fate, SendEvent, Time};
+use ca_core::error::CaError;
 use ca_core::graph::Graph;
 use ca_core::ids::ProcessId;
 use ca_core::outcome::Outcome;
 use ca_core::protocol::Ctx;
 use ca_core::tape::{TapeReader, TapeSet};
+use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt::Debug;
@@ -74,6 +76,69 @@ pub trait AsyncProtocol {
     fn output(&self, ctx: Ctx<'_>, state: &Self::State) -> bool;
 }
 
+/// Retransmission schedule for heartbeat timers: when and how often each
+/// process gets a timer event (see [`AsyncProtocol::on_timer`]).
+///
+/// The default shape ([`HeartbeatPolicy::every`]) fires every `period` ticks
+/// forever — unbounded retransmission. [`HeartbeatPolicy::bounded`] caps the
+/// number of beats and spaces them with exponential backoff: the gap after
+/// beat `k` is `period · backoff^k`, so `backoff = 2` fires at
+/// `h, 3h, 7h, 15h, …`. Bounding retransmission is what keeps a chaos
+/// schedule from turning loss tolerance into unbounded send amplification.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeartbeatPolicy {
+    /// Ticks before the first beat, and the base gap between beats.
+    pub period: Time,
+    /// Maximum number of beats per process (`None` = unbounded).
+    pub max_beats: Option<u32>,
+    /// Multiplier applied to the gap after every beat (`1` = fixed period).
+    pub backoff: u32,
+}
+
+impl HeartbeatPolicy {
+    /// Fixed-period heartbeats forever: `period, 2·period, … ≤ T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn every(period: Time) -> Self {
+        assert!(period >= 1, "heartbeat period must be at least 1 tick");
+        HeartbeatPolicy {
+            period,
+            max_beats: None,
+            backoff: 1,
+        }
+    }
+
+    /// At most `max_beats` beats with exponential backoff.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0` or `backoff == 0`.
+    pub fn bounded(period: Time, max_beats: u32, backoff: u32) -> Self {
+        assert!(period >= 1, "heartbeat period must be at least 1 tick");
+        assert!(backoff >= 1, "heartbeat backoff must be at least 1");
+        HeartbeatPolicy {
+            period,
+            max_beats: Some(max_beats),
+            backoff,
+        }
+    }
+
+    /// Typed validation of the same invariants the constructors assert.
+    fn validate(&self) -> Result<(), CaError> {
+        if self.period == 0 {
+            return Err(CaError::malformed(
+                "heartbeat period must be at least 1 tick",
+            ));
+        }
+        if self.backoff == 0 {
+            return Err(CaError::malformed("heartbeat backoff must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
 /// Configuration of one asynchronous execution.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AsyncConfig {
@@ -81,9 +146,9 @@ pub struct AsyncConfig {
     pub deadline: Time,
     /// Which processes receive the input signal at time 0.
     pub inputs: Vec<ProcessId>,
-    /// If set, every process receives a timer event every this many ticks
-    /// (at `h, 2h, …, ≤ T`) — see [`AsyncProtocol::on_timer`].
-    pub heartbeat: Option<Time>,
+    /// If set, every process receives timer events on this schedule — see
+    /// [`AsyncProtocol::on_timer`] and [`HeartbeatPolicy`].
+    pub heartbeat: Option<HeartbeatPolicy>,
 }
 
 impl AsyncConfig {
@@ -105,14 +170,19 @@ impl AsyncConfig {
         }
     }
 
-    /// Enables heartbeat timers every `period` ticks.
+    /// Enables unbounded heartbeat timers every `period` ticks.
     ///
     /// # Panics
     ///
     /// Panics if `period == 0`.
     pub fn with_heartbeat(mut self, period: Time) -> Self {
-        assert!(period >= 1, "heartbeat period must be at least 1 tick");
-        self.heartbeat = Some(period);
+        self.heartbeat = Some(HeartbeatPolicy::every(period));
+        self
+    }
+
+    /// Enables heartbeat timers on an explicit [`HeartbeatPolicy`].
+    pub fn with_heartbeat_policy(mut self, policy: HeartbeatPolicy) -> Self {
+        self.heartbeat = Some(policy);
         self
     }
 }
@@ -128,6 +198,9 @@ pub struct AsyncOutcome<S> {
     pub sent: u64,
     /// Total messages delivered before the deadline (≤ sent).
     pub delivered: u64,
+    /// Extra copies of already-delivered messages suppressed by
+    /// sequence-number dedup (nonzero only under duplicating couriers).
+    pub duplicates_suppressed: u64,
 }
 
 impl<S> AsyncOutcome<S> {
@@ -137,84 +210,135 @@ impl<S> AsyncOutcome<S> {
     }
 }
 
-/// A scheduled event: a message delivery or a heartbeat timer.
+/// A scheduled event: a message delivery (tagged with the originating send's
+/// sequence number, for dedup) or a heartbeat timer.
 enum Event<M> {
-    Deliver(ProcessId, ProcessId, M),
+    Deliver {
+        from: ProcessId,
+        to: ProcessId,
+        msg: M,
+        orig: u64,
+    },
     Timer(ProcessId),
 }
 
-/// Event store: heap of `(time, seq)` plus seq-indexed payloads.
+/// Event store: heap of `(time, slot)` plus slot-indexed payloads.
+///
+/// `slot` is the schedule position (one per scheduled copy/timer); `orig` on
+/// a delivery is the send's sequence number. The two coincide only when no
+/// courier duplicates and nothing is destroyed — dedup keys on `orig`.
 struct Network<M> {
     heap: BinaryHeap<Reverse<(Time, u64)>>,
-    /// `pending[seq]` = the event with that sequence number, if still live.
+    /// `pending[slot]` = the event scheduled in that slot, if still live.
     pending: Vec<Option<Event<M>>>,
+    /// `delivered_once[orig]` = whether send `orig` already reached its
+    /// destination (later copies are suppressed as duplicates).
+    delivered_once: Vec<bool>,
+    deadline: Time,
+    strict: bool,
     sent: u64,
     delivered: u64,
+    duplicates_suppressed: u64,
 }
 
-impl<M> Network<M> {
-    fn new() -> Self {
+impl<M: Clone> Network<M> {
+    fn new(deadline: Time, strict: bool) -> Self {
         Network {
             heap: BinaryHeap::new(),
             pending: Vec::new(),
+            delivered_once: Vec::new(),
+            deadline,
+            strict,
             sent: 0,
             delivered: 0,
+            duplicates_suppressed: 0,
         }
     }
 
     /// Hands an outbox to the courier; schedules surviving deliveries.
+    ///
+    /// In strict mode a fate violating the timing discipline (delivery at or
+    /// before the send) panics; in lenient mode it is clamped to the minimum
+    /// legal latency of one tick — a hostile schedule degrades instead of
+    /// aborting.
     fn dispatch<C: Courier + ?Sized>(
         &mut self,
         graph: &Graph,
-        deadline: Time,
         now: Time,
         from: ProcessId,
         outbox: Vec<(ProcessId, M)>,
         courier: &mut C,
     ) {
+        let mut fates: Vec<Fate> = Vec::with_capacity(1);
         for (to, msg) in outbox {
             assert!(graph.has_edge(from, to), "{from} sent to non-neighbor {to}");
-            let seq = self.pending.len() as u64;
+            let orig = self.sent;
             self.sent += 1;
-            match courier.fate(SendEvent {
-                from,
-                to,
-                sent_at: now,
-                seq,
-            }) {
-                Fate::Deliver(at) => {
-                    assert!(at > now, "delivery must be strictly after the send");
-                    if at <= deadline {
-                        self.pending.push(Some(Event::Deliver(from, to, msg)));
-                        self.heap.push(Reverse((at, seq)));
-                    } else {
-                        self.pending.push(None);
+            self.delivered_once.push(false);
+            fates.clear();
+            courier.fates(
+                SendEvent {
+                    from,
+                    to,
+                    sent_at: now,
+                    seq: orig,
+                },
+                &mut fates,
+            );
+            for &fate in &fates {
+                let at = match fate {
+                    Fate::Destroy => continue,
+                    Fate::Deliver(at) if at > now => at,
+                    Fate::Deliver(_) if self.strict => {
+                        panic!("delivery must be strictly after the send")
                     }
+                    Fate::Deliver(_) => now + 1,
+                };
+                if at <= self.deadline {
+                    let slot = self.pending.len() as u64;
+                    self.pending.push(Some(Event::Deliver {
+                        from,
+                        to,
+                        msg: msg.clone(),
+                        orig,
+                    }));
+                    self.heap.push(Reverse((at, slot)));
                 }
-                Fate::Destroy => self.pending.push(None),
             }
         }
     }
 
-    /// Pre-schedules heartbeat timers at `period, 2·period, … ≤ deadline`
-    /// for every process.
-    fn schedule_timers(&mut self, graph: &Graph, deadline: Time, period: Time) {
-        let mut at = period;
-        while at <= deadline {
+    /// Pre-schedules heartbeat timers for every process, at the policy's
+    /// beat times (first at `period`, then spaced by backoff-multiplied
+    /// gaps), up to the deadline and the beat cap.
+    fn schedule_timers(&mut self, graph: &Graph, policy: &HeartbeatPolicy) {
+        let mut at = policy.period;
+        let mut gap = policy.period;
+        let mut beats = 0u32;
+        while at <= self.deadline && policy.max_beats.is_none_or(|max| beats < max) {
             for i in graph.vertices() {
-                let seq = self.pending.len() as u64;
+                let slot = self.pending.len() as u64;
                 self.pending.push(Some(Event::Timer(i)));
-                self.heap.push(Reverse((at, seq)));
+                self.heap.push(Reverse((at, slot)));
             }
-            at += period;
+            beats += 1;
+            gap = gap.saturating_mul(Time::from(policy.backoff));
+            at = at.saturating_add(gap);
         }
     }
 
-    /// Pops the next event in `(time, seq)` order.
+    /// Pops the next event in `(time, slot)` order, suppressing duplicate
+    /// copies of already-delivered sends.
     fn next_event(&mut self) -> Option<(Time, Event<M>)> {
-        while let Some(Reverse((at, seq))) = self.heap.pop() {
-            if let Some(event) = self.pending[seq as usize].take() {
-                if matches!(event, Event::Deliver(..)) {
+        while let Some(Reverse((at, slot))) = self.heap.pop() {
+            if let Some(event) = self.pending[slot as usize].take() {
+                if let Event::Deliver { orig, .. } = event {
+                    let seen = &mut self.delivered_once[orig as usize];
+                    if *seen {
+                        self.duplicates_suppressed += 1;
+                        continue;
+                    }
+                    *seen = true;
                     self.delivered += 1;
                 }
                 return Some((at, event));
@@ -230,7 +354,8 @@ impl<M> Network<M> {
 ///
 /// Panics if the tape set size differs from the graph, if an input id is out
 /// of range, if the courier schedules a delivery at or before the send time,
-/// or if a protocol sends to a non-neighbor.
+/// or if a protocol sends to a non-neighbor. For a non-panicking entry point
+/// that validates the same conditions up front, see [`try_run_async`].
 pub fn run_async<P, C>(
     protocol: &P,
     graph: &Graph,
@@ -246,9 +371,94 @@ where
     for &i in &config.inputs {
         assert!(i.index() < graph.len(), "input process out of range");
     }
+    if let Some(policy) = &config.heartbeat {
+        assert!(
+            policy.period >= 1,
+            "heartbeat period must be at least 1 tick"
+        );
+        assert!(policy.backoff >= 1, "heartbeat backoff must be at least 1");
+    }
+    run_engine(protocol, graph, config, tapes, courier, true)
+}
+
+/// Executes the protocol like [`run_async`] but with typed-error handling:
+/// malformed configurations are rejected up front instead of panicking, and
+/// a courier that violates the timing discipline (delivery at or before the
+/// send) is clamped to the minimum legal latency of one tick instead of
+/// aborting the process. Built for the chaos harness, where schedules are
+/// adversarial by construction.
+///
+/// # Errors
+///
+/// * [`CaError::MalformedConfig`] — tape set size differs from the graph, an
+///   input id is out of range, or the heartbeat policy is invalid.
+/// * [`CaError::TapeExhausted`] — some process's tape is shorter than the
+///   protocol's declared [`AsyncProtocol::tape_bits`] budget.
+///
+/// # Panics
+///
+/// Still panics on protocol bugs (a process sending to a non-neighbor, or
+/// consuming more tape than `tape_bits()` declares): those are not
+/// schedule-reachable and should fail loudly.
+pub fn try_run_async<P, C>(
+    protocol: &P,
+    graph: &Graph,
+    config: &AsyncConfig,
+    tapes: &TapeSet,
+    courier: &mut C,
+) -> Result<AsyncOutcome<P::State>, CaError>
+where
+    P: AsyncProtocol,
+    C: Courier + ?Sized,
+{
+    if graph.len() != tapes.len() {
+        return Err(CaError::malformed(format!(
+            "graph has {} processes but the tape set has {}",
+            graph.len(),
+            tapes.len()
+        )));
+    }
+    for &i in &config.inputs {
+        if i.index() >= graph.len() {
+            return Err(CaError::malformed(format!(
+                "input process {i} out of range for a graph of {}",
+                graph.len()
+            )));
+        }
+    }
+    if let Some(policy) = &config.heartbeat {
+        policy.validate()?;
+    }
+    for i in graph.vertices() {
+        let have = tapes.tape(i).len_bits();
+        if have < protocol.tape_bits() {
+            return Err(CaError::TapeExhausted {
+                at_bit: protocol.tape_bits(),
+                len_bits: have,
+            });
+        }
+    }
+    Ok(run_engine(protocol, graph, config, tapes, courier, false))
+}
+
+/// Shared engine body. `strict` selects panicking (historic) versus lenient
+/// (chaos-hardened) handling of courier timing violations; all validation
+/// happens in the callers.
+fn run_engine<P, C>(
+    protocol: &P,
+    graph: &Graph,
+    config: &AsyncConfig,
+    tapes: &TapeSet,
+    courier: &mut C,
+    strict: bool,
+) -> AsyncOutcome<P::State>
+where
+    P: AsyncProtocol,
+    C: Courier + ?Sized,
+{
     let n_for_ctx = u32::try_from(config.deadline).unwrap_or(u32::MAX);
     let mut readers: Vec<_> = graph.vertices().map(|i| tapes.tape(i).reader()).collect();
-    let mut net: Network<P::Msg> = Network::new();
+    let mut net: Network<P::Msg> = Network::new(config.deadline, strict);
 
     // Time 0: inputs and initial sends.
     let mut states: Vec<P::State> = Vec::with_capacity(graph.len());
@@ -261,17 +471,16 @@ where
         initial_outboxes.push((i, outbox));
     }
     for (i, outbox) in initial_outboxes {
-        net.dispatch(graph, config.deadline, 0, i, outbox, courier);
+        net.dispatch(graph, 0, i, outbox, courier);
     }
-    if let Some(period) = config.heartbeat {
-        assert!(period >= 1, "heartbeat period must be at least 1 tick");
-        net.schedule_timers(graph, config.deadline, period);
+    if let Some(policy) = &config.heartbeat {
+        net.schedule_timers(graph, policy);
     }
 
-    // Event loop: deliveries and timers in (time, seq) order.
+    // Event loop: deliveries and timers in (time, slot) order.
     while let Some((now, event)) = net.next_event() {
         let (who, state, outbox) = match event {
-            Event::Deliver(from, to, msg) => {
+            Event::Deliver { from, to, msg, .. } => {
                 let ctx = Ctx::new(graph, n_for_ctx, to);
                 let (state, outbox) = protocol.on_message(
                     ctx,
@@ -291,7 +500,7 @@ where
             }
         };
         states[who.index()] = state;
-        net.dispatch(graph, config.deadline, now, who, outbox, courier);
+        net.dispatch(graph, now, who, outbox, courier);
     }
 
     AsyncOutcome {
@@ -302,6 +511,7 @@ where
         states,
         sent: net.sent,
         delivered: net.delivered,
+        duplicates_suppressed: net.duplicates_suppressed,
     }
 }
 
@@ -442,5 +652,220 @@ mod tests {
             run_async(&Flood, &g, &config, &t, &mut courier)
         };
         assert_eq!(run().outputs, run().outputs);
+    }
+
+    /// Delivers every message twice (at `latency` and `latency + 1`).
+    struct EchoCourier {
+        latency: Time,
+    }
+
+    impl Courier for EchoCourier {
+        fn name(&self) -> &'static str {
+            "echo"
+        }
+        fn fate(&mut self, event: SendEvent) -> Fate {
+            Fate::Deliver(event.sent_at + self.latency)
+        }
+        fn fates(&mut self, event: SendEvent, out: &mut Vec<Fate>) {
+            out.push(Fate::Deliver(event.sent_at + self.latency));
+            out.push(Fate::Deliver(event.sent_at + self.latency + 1));
+        }
+    }
+
+    /// Schedules every delivery at the send time (illegal time travel).
+    struct TimeTravelCourier;
+
+    impl Courier for TimeTravelCourier {
+        fn name(&self) -> &'static str {
+            "time-travel"
+        }
+        fn fate(&mut self, event: SendEvent) -> Fate {
+            Fate::Deliver(event.sent_at)
+        }
+    }
+
+    #[test]
+    fn duplicated_deliveries_are_suppressed_by_seq_dedup() {
+        let g = Graph::complete(3).unwrap();
+        let config = AsyncConfig {
+            deadline: 10,
+            inputs: vec![ProcessId::new(0)],
+            heartbeat: None,
+        };
+        let mut echo = EchoCourier { latency: 1 };
+        let dup = run_async(&Flood, &g, &config, &tapes(3), &mut echo);
+        let mut reliable = ReliableCourier::new(1);
+        let plain = run_async(&Flood, &g, &config, &tapes(3), &mut reliable);
+        // Dedup makes the duplicating courier behaviorally identical to the
+        // reliable one: same outputs, same sends, same effective deliveries.
+        assert_eq!(dup.outputs, plain.outputs);
+        assert_eq!(dup.sent, plain.sent);
+        assert_eq!(dup.delivered, plain.delivered);
+        assert_eq!(dup.duplicates_suppressed, plain.sent);
+        assert_eq!(plain.duplicates_suppressed, 0);
+    }
+
+    /// Counts heartbeat timer firings per process.
+    struct TickCounter;
+
+    impl AsyncProtocol for TickCounter {
+        type State = u64;
+        type Msg = ();
+
+        fn name(&self) -> &'static str {
+            "tick-counter"
+        }
+        fn tape_bits(&self) -> usize {
+            0
+        }
+        fn init(
+            &self,
+            _ctx: Ctx<'_>,
+            _received_input: bool,
+            _tape: &mut TapeReader<'_>,
+        ) -> (u64, Vec<(ProcessId, ())>) {
+            (0, Vec::new())
+        }
+        fn on_message(
+            &self,
+            _ctx: Ctx<'_>,
+            state: &u64,
+            _from: ProcessId,
+            _msg: (),
+            _now: Time,
+            _tape: &mut TapeReader<'_>,
+        ) -> (u64, Vec<(ProcessId, ())>) {
+            (*state, Vec::new())
+        }
+        fn on_timer(
+            &self,
+            _ctx: Ctx<'_>,
+            state: &u64,
+            _now: Time,
+            _tape: &mut TapeReader<'_>,
+        ) -> (u64, Vec<(ProcessId, ())>) {
+            (state + 1, Vec::new())
+        }
+        fn output(&self, _ctx: Ctx<'_>, state: &u64) -> bool {
+            *state > 0
+        }
+    }
+
+    #[test]
+    fn bounded_backoff_heartbeats_fire_at_widening_gaps() {
+        let g = Graph::complete(2).unwrap();
+        // Beats at 2, 2+4=6, 6+8=14; the cap stops the fourth (t=30).
+        let config = AsyncConfig::all_inputs(&g, 100)
+            .with_heartbeat_policy(HeartbeatPolicy::bounded(2, 3, 2));
+        let mut courier = ReliableCourier::new(1);
+        let out = run_async(&TickCounter, &g, &config, &tapes(2), &mut courier);
+        assert_eq!(out.states, vec![3, 3]);
+
+        // Unbounded unit-backoff keeps the historic every-period semantics.
+        let config = AsyncConfig::all_inputs(&g, 100).with_heartbeat(10);
+        let out = run_async(&TickCounter, &g, &config, &tapes(2), &mut courier);
+        assert_eq!(out.states, vec![10, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly after the send")]
+    fn strict_mode_panics_on_time_travel() {
+        let g = Graph::complete(2).unwrap();
+        let config = AsyncConfig::all_inputs(&g, 10);
+        run_async(&Flood, &g, &config, &tapes(2), &mut TimeTravelCourier);
+    }
+
+    #[test]
+    fn lenient_mode_clamps_time_travel_to_unit_latency() {
+        let g = Graph::complete(2).unwrap();
+        let config = AsyncConfig::all_inputs(&g, 10);
+        let clamped = try_run_async(&Flood, &g, &config, &tapes(2), &mut TimeTravelCourier)
+            .expect("lenient run succeeds");
+        let mut reliable = ReliableCourier::new(1);
+        let plain = run_async(&Flood, &g, &config, &tapes(2), &mut reliable);
+        assert_eq!(clamped.outputs, plain.outputs);
+        assert_eq!(clamped.delivered, plain.delivered);
+    }
+
+    #[test]
+    fn try_run_async_rejects_malformed_configs() {
+        let g = Graph::complete(3).unwrap();
+        let mut courier = ReliableCourier::new(1);
+
+        // Tape set size disagrees with the graph.
+        let config = AsyncConfig::all_inputs(&g, 10);
+        let err = try_run_async(&Flood, &g, &config, &tapes(2), &mut courier).unwrap_err();
+        assert!(matches!(err, CaError::MalformedConfig { .. }), "{err}");
+
+        // Input id out of range.
+        let config = AsyncConfig {
+            deadline: 10,
+            inputs: vec![ProcessId::new(7)],
+            heartbeat: None,
+        };
+        let err = try_run_async(&Flood, &g, &config, &tapes(3), &mut courier).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+
+        // Hostile heartbeat policy (fields are public, so constructible).
+        let config = AsyncConfig {
+            deadline: 10,
+            inputs: Vec::new(),
+            heartbeat: Some(HeartbeatPolicy {
+                period: 0,
+                max_beats: None,
+                backoff: 1,
+            }),
+        };
+        let err = try_run_async(&Flood, &g, &config, &tapes(3), &mut courier).unwrap_err();
+        assert!(err.to_string().contains("heartbeat"), "{err}");
+    }
+
+    #[test]
+    fn try_run_async_rejects_short_tapes() {
+        /// Declares a 128-bit budget but never draws (budget check only).
+        struct Greedy;
+        impl AsyncProtocol for Greedy {
+            type State = ();
+            type Msg = ();
+            fn name(&self) -> &'static str {
+                "greedy"
+            }
+            fn tape_bits(&self) -> usize {
+                128
+            }
+            fn init(
+                &self,
+                _ctx: Ctx<'_>,
+                _received_input: bool,
+                _tape: &mut TapeReader<'_>,
+            ) -> ((), Vec<(ProcessId, ())>) {
+                ((), Vec::new())
+            }
+            fn on_message(
+                &self,
+                _ctx: Ctx<'_>,
+                _state: &(),
+                _from: ProcessId,
+                _msg: (),
+                _now: Time,
+                _tape: &mut TapeReader<'_>,
+            ) -> ((), Vec<(ProcessId, ())>) {
+                ((), Vec::new())
+            }
+            fn output(&self, _ctx: Ctx<'_>, _state: &()) -> bool {
+                false
+            }
+        }
+        let g = Graph::complete(2).unwrap();
+        let config = AsyncConfig::no_inputs(5);
+        let mut courier = ReliableCourier::new(1);
+        let err = try_run_async(&Greedy, &g, &config, &tapes(2), &mut courier).unwrap_err();
+        assert_eq!(
+            err,
+            CaError::TapeExhausted {
+                at_bit: 128,
+                len_bits: 64
+            }
+        );
     }
 }

@@ -24,6 +24,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod campaign;
+pub mod chaos;
 pub mod courier;
 pub mod engine;
 pub mod exact;
@@ -31,7 +33,11 @@ pub mod experiments;
 pub mod log;
 pub mod protocol;
 
+pub use campaign::{run_campaign, CampaignConfig, ChaosReport, OracleVerdicts, ScheduleResult};
+pub use chaos::{ChaosCourier, FaultPrimitive, FaultSchedule, TimeWindow};
 pub use courier::{Courier, CutCourier, Fate, RandomDropCourier, ReliableCourier, SendEvent};
-pub use engine::{run_async, AsyncConfig, AsyncOutcome, AsyncProtocol};
+pub use engine::{
+    run_async, try_run_async, AsyncConfig, AsyncOutcome, AsyncProtocol, HeartbeatPolicy,
+};
 pub use exact::async_s_outcomes;
 pub use protocol::AsyncS;

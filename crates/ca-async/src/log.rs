@@ -63,7 +63,12 @@ impl EventLog {
     /// Renders the log as a per-tick timeline.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "event log: {} sends, {} destroyed", self.sends.len(), self.destroyed());
+        let _ = writeln!(
+            out,
+            "event log: {} sends, {} destroyed",
+            self.sends.len(),
+            self.destroyed()
+        );
         for s in &self.sends {
             let fate = match s.fate {
                 Fate::Destroy => "✗ destroyed".to_owned(),
@@ -94,6 +99,16 @@ impl<C: Courier + ?Sized> Courier for Recorder<'_, C> {
         let fate = self.inner.fate(event);
         self.log.sends.push(LoggedSend { event, fate });
         fate
+    }
+
+    fn fates(&mut self, event: SendEvent, out: &mut Vec<Fate>) {
+        // Forward to the inner courier's (possibly duplicating) fates hook
+        // and log one entry per fate, so duplicated copies are visible.
+        let start = out.len();
+        self.inner.fates(event, out);
+        for &fate in &out[start..] {
+            self.log.sends.push(LoggedSend { event, fate });
+        }
     }
 }
 

@@ -168,7 +168,13 @@ mod tests {
         for _ in 0..30 {
             let t = tapes(&mut rng, 2);
             let mut courier = ReliableCourier::new(1);
-            let out = run_async(&proto, &g, &AsyncConfig::all_inputs(&g, 30), &t, &mut courier);
+            let out = run_async(
+                &proto,
+                &g,
+                &AsyncConfig::all_inputs(&g, 30),
+                &t,
+                &mut courier,
+            );
             assert_eq!(out.outcome(), Outcome::TotalAttack);
         }
     }
@@ -190,9 +196,19 @@ mod tests {
             );
             out.states.iter().map(|s| s.count).min().unwrap()
         };
-        assert!(min_count(40, 1) > min_count(20, 1), "more time, higher count");
-        assert!(min_count(40, 1) > min_count(40, 4), "more latency, lower count");
-        assert_eq!(min_count(40, 50), 0, "latency beyond deadline: nothing arrives");
+        assert!(
+            min_count(40, 1) > min_count(20, 1),
+            "more time, higher count"
+        );
+        assert!(
+            min_count(40, 1) > min_count(40, 4),
+            "more latency, lower count"
+        );
+        assert_eq!(
+            min_count(40, 50),
+            0,
+            "latency beyond deadline: nothing arrives"
+        );
     }
 
     #[test]
@@ -207,14 +223,23 @@ mod tests {
         for _ in 0..trials {
             let t = tapes(&mut rng, 2);
             let mut courier = SilenceCourier;
-            let out = run_async(&proto, &g, &AsyncConfig::all_inputs(&g, 10), &t, &mut courier);
+            let out = run_async(
+                &proto,
+                &g,
+                &AsyncConfig::all_inputs(&g, 10),
+                &t,
+                &mut courier,
+            );
             assert!(!out.outputs[1], "follower can never attack in silence");
             if out.outputs[0] {
                 leader_attacks += 1;
             }
         }
         let rate = leader_attacks as f64 / trials as f64;
-        assert!((rate - 0.125).abs() < 0.03, "leader attacks iff rfire ≤ 1: {rate}");
+        assert!(
+            (rate - 0.125).abs() < 0.03,
+            "leader attacks iff rfire ≤ 1: {rate}"
+        );
     }
 
     #[test]
@@ -230,8 +255,13 @@ mod tests {
             for _ in 0..trials {
                 let t = tapes(&mut rng, 2);
                 let mut courier = CutCourier::new(1, cut);
-                let out =
-                    run_async(&proto, &g, &AsyncConfig::all_inputs(&g, 16), &t, &mut courier);
+                let out = run_async(
+                    &proto,
+                    &g,
+                    &AsyncConfig::all_inputs(&g, 16),
+                    &t,
+                    &mut courier,
+                );
                 if out.outcome() == Outcome::PartialAttack {
                     pa += 1;
                 }
@@ -252,7 +282,13 @@ mod tests {
         for k in 0..trials {
             let t = tapes(&mut rng, 3);
             let mut courier = RandomDropCourier::new(0.3, 1, 4, k as u64);
-            let out = run_async(&proto, &g, &AsyncConfig::all_inputs(&g, 25), &t, &mut courier);
+            let out = run_async(
+                &proto,
+                &g,
+                &AsyncConfig::all_inputs(&g, 25),
+                &t,
+                &mut courier,
+            );
             if out.outcome() == Outcome::PartialAttack {
                 pa += 1;
             }
@@ -273,7 +309,13 @@ mod tests {
         for k in 0..300u64 {
             let t = tapes(&mut rng, 3);
             let mut courier = RandomDropCourier::new(0.4, 1, 5, 1000 + k);
-            let out = run_async(&proto, &g, &AsyncConfig::all_inputs(&g, 20), &t, &mut courier);
+            let out = run_async(
+                &proto,
+                &g,
+                &AsyncConfig::all_inputs(&g, 20),
+                &t,
+                &mut courier,
+            );
             let counts: Vec<u32> = out.states.iter().map(|s| s.count).collect();
             let max = *counts.iter().max().unwrap();
             for &c in &counts {
@@ -296,7 +338,13 @@ mod tests {
         let t = tapes(&mut rng, 4);
         let deadline = 200u64;
         let mut courier = ReliableCourier::new(1);
-        let out = run_async(&proto, &g, &AsyncConfig::all_inputs(&g, deadline), &t, &mut courier);
+        let out = run_async(
+            &proto,
+            &g,
+            &AsyncConfig::all_inputs(&g, deadline),
+            &t,
+            &mut courier,
+        );
         let m = 4u64;
         let change_bound = m * (m - 1) * m * (deadline + 1);
         assert!(

@@ -1,0 +1,100 @@
+//! Property-based tests of the chaos harness.
+//!
+//! * Fault schedules survive a JSON round trip losslessly, and the encoding
+//!   is canonical (re-encoding is byte-identical) — the property that makes
+//!   saved counterexamples replayable.
+//! * A [`ChaosCourier`] with an empty schedule is observationally
+//!   equivalent to a [`ReliableCourier`] of the same latency: injecting no
+//!   faults perturbs nothing.
+//! * Chaos executions are a pure function of `(schedule, tapes, config)`.
+
+use ca_async::campaign::sample_schedule;
+use ca_async::{
+    run_async, try_run_async, AsyncConfig, AsyncS, ChaosCourier, FaultSchedule, ReliableCourier,
+};
+use ca_core::graph::Graph;
+use ca_core::tape::TapeSet;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    (2usize..=4, 0u8..3).prop_map(|(m, kind)| match kind {
+        0 => Graph::complete(m).expect("graph"),
+        1 => Graph::star(m.max(2)).expect("graph"),
+        _ => Graph::line(m).expect("graph"),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Schedules round-trip through JSON; the compact encoding is canonical
+    /// and the pretty encoding parses to the same schedule.
+    #[test]
+    fn fault_schedule_json_round_trip(
+        seed in any::<u64>(),
+        m in 2usize..5,
+        deadline in 4u64..24,
+        max_faults in 0usize..6,
+    ) {
+        let schedule = sample_schedule(seed, m, deadline, max_faults);
+        let text = schedule.to_json();
+        let back = FaultSchedule::from_json(&text).expect("round trip parses");
+        prop_assert_eq!(&back, &schedule);
+        prop_assert_eq!(back.to_json(), text, "encoding is canonical");
+        let pretty = FaultSchedule::from_json(&schedule.to_json_pretty())
+            .expect("pretty form parses");
+        prop_assert_eq!(pretty, schedule);
+    }
+
+    /// No faults, no perturbation: the chaos courier with an empty schedule
+    /// behaves exactly like the reliable courier of the same latency.
+    #[test]
+    fn empty_schedule_equals_reliable_courier(
+        g in graph_strategy(),
+        seed in any::<u64>(),
+        base_latency in 1u64..4,
+        heartbeat in prop::option::of(1u64..4),
+    ) {
+        let proto = AsyncS::new(0.25);
+        let mut config = AsyncConfig::all_inputs(&g, 12);
+        if let Some(h) = heartbeat {
+            config = config.with_heartbeat(h);
+        }
+        let tapes = TapeSet::random(&mut StdRng::seed_from_u64(seed), g.len(), 64);
+        let mut chaos = ChaosCourier::new(FaultSchedule::reliable(base_latency))
+            .expect("empty schedule is valid");
+        let mut reliable = ReliableCourier::new(base_latency);
+        let a = run_async(&proto, &g, &config, &tapes, &mut chaos);
+        let b = run_async(&proto, &g, &config, &tapes, &mut reliable);
+        prop_assert_eq!(a.outputs, b.outputs);
+        prop_assert_eq!(a.sent, b.sent);
+        prop_assert_eq!(a.delivered, b.delivered);
+        prop_assert_eq!(a.duplicates_suppressed, 0);
+        let (sa, sb): (Vec<u32>, Vec<u32>) = (
+            a.states.iter().map(|s| s.count).collect(),
+            b.states.iter().map(|s| s.count).collect(),
+        );
+        prop_assert_eq!(sa, sb);
+    }
+
+    /// Replaying a sampled schedule reproduces the execution exactly.
+    #[test]
+    fn chaos_execution_replays_identically(g in graph_strategy(), seed in any::<u64>()) {
+        let schedule = sample_schedule(seed, g.len(), 12, 4);
+        let proto = AsyncS::new(0.25);
+        let config = AsyncConfig::all_inputs(&g, 12).with_heartbeat(2);
+        let tapes = TapeSet::random(&mut StdRng::seed_from_u64(seed ^ 0xA5), g.len(), 64);
+        let run = || {
+            let mut courier = ChaosCourier::new(schedule.clone()).expect("sampled schedules are valid");
+            try_run_async(&proto, &g, &config, &tapes, &mut courier)
+                .expect("sampled schedules run cleanly")
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.outputs, b.outputs);
+        prop_assert_eq!(a.sent, b.sent);
+        prop_assert_eq!(a.delivered, b.delivered);
+        prop_assert_eq!(a.duplicates_suppressed, b.duplicates_suppressed);
+    }
+}

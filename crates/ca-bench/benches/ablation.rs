@@ -13,8 +13,8 @@ use ca_core::ids::ProcessId;
 use ca_core::protocol::{Ctx, Protocol};
 use ca_core::run::Run;
 use ca_core::tape::TapeSet;
-use ca_sim::wire::wire_size;
 use ca_protocols::{ProtocolS, VectorS};
+use ca_sim::wire::wire_size;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -11,8 +11,8 @@ use ca_core::graph::Graph;
 use ca_core::ids::ProcessId;
 use ca_core::level::{levels, modified_levels};
 use ca_core::run::Run;
-use ca_sim::{cut_family, simulate, FixedRun, RandomDrop, SimConfig};
 use ca_protocols::ProtocolS;
+use ca_sim::{cut_family, simulate, FixedRun, RandomDrop, SimConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -30,7 +30,11 @@ fn e2_liveness_cliff(c: &mut Criterion) {
     let graph = Graph::complete(2).expect("graph");
     c.bench_function("e2_exact_outcomes_single_drop", |b| {
         let mut run = Run::good(&graph, 8);
-        run.remove_message(ProcessId::new(0), ProcessId::new(1), ca_core::ids::Round::new(2));
+        run.remove_message(
+            ProcessId::new(0),
+            ProcessId::new(1),
+            ca_core::ids::Round::new(2),
+        );
         b.iter(|| {
             (
                 ca_analysis::exact::protocol_a_outcomes(black_box(&graph), black_box(&run), 8),

@@ -5,6 +5,8 @@
 //! ca trace    --graph k3 --rounds 5 --epsilon 0.25 # one traced execution of S
 //! ca simulate --graph k2 --rounds 8 --epsilon 0.125 --cut 4 --trials 20000
 //! ca exact    --graph star4 --rounds 8 --t 5 --cut 3
+//! ca chaos    --graph k3 --deadline 16 --t 4 --schedules 64 --seed 7
+//! ca chaos    --graph k3 --deadline 16 --t 4 --replay shrunk.json
 //! ca graphs                                        # list available topologies
 //! ```
 //!
@@ -13,15 +15,17 @@
 
 use ca_analysis::exact::protocol_s_outcomes;
 use ca_analysis::report::Table;
+use ca_async::campaign::{evaluate_schedule, run_campaign, CampaignConfig};
+use ca_async::FaultSchedule;
 use ca_core::exec::execute;
 use ca_core::graph::Graph;
 use ca_core::ids::{ProcessId, Round};
 use ca_core::level::{levels, modified_levels};
 use ca_core::run::Run;
 use ca_core::tape::TapeSet;
+use ca_protocols::ProtocolS;
 use ca_sim::trace::{render_run, render_trace};
 use ca_sim::{simulate, FixedRun, SimConfig};
-use ca_protocols::ProtocolS;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
@@ -72,6 +76,13 @@ struct Opts {
     drop_link: Option<(u32, u32, u32)>,
     trials: u64,
     seed: u64,
+    deadline: u64,
+    schedules: u64,
+    max_faults: usize,
+    threads: usize,
+    mc_trials: u64,
+    out: Option<String>,
+    replay: Option<String>,
 }
 
 impl Default for Opts {
@@ -85,6 +96,13 @@ impl Default for Opts {
             drop_link: None,
             trials: 10_000,
             seed: 42,
+            deadline: 16,
+            schedules: 64,
+            max_faults: 4,
+            threads: 0,
+            mc_trials: 200,
+            out: None,
+            replay: None,
         }
     }
 }
@@ -101,17 +119,27 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         match arg.as_str() {
             "--graph" => opts.graph = next("a graph name")?,
             "--rounds" => {
-                opts.rounds = next("a count")?.parse().map_err(|_| "bad --rounds".to_owned())?
+                opts.rounds = next("a count")?
+                    .parse()
+                    .map_err(|_| "bad --rounds".to_owned())?
             }
             "--epsilon" => {
-                opts.epsilon = next("a value")?.parse().map_err(|_| "bad --epsilon".to_owned())?;
+                opts.epsilon = next("a value")?
+                    .parse()
+                    .map_err(|_| "bad --epsilon".to_owned())?;
                 opts.t = (1.0 / opts.epsilon).round() as u64;
             }
             "--t" => {
                 opts.t = next("a value")?.parse().map_err(|_| "bad --t".to_owned())?;
                 opts.epsilon = 1.0 / opts.t as f64;
             }
-            "--cut" => opts.cut = Some(next("a round")?.parse().map_err(|_| "bad --cut".to_owned())?),
+            "--cut" => {
+                opts.cut = Some(
+                    next("a round")?
+                        .parse()
+                        .map_err(|_| "bad --cut".to_owned())?,
+                )
+            }
             "--drop-link" => {
                 let spec = next("FROM:TO:ROUND")?;
                 let parts: Vec<_> = spec.split(':').collect();
@@ -125,9 +153,42 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 ));
             }
             "--trials" => {
-                opts.trials = next("a count")?.parse().map_err(|_| "bad --trials".to_owned())?
+                opts.trials = next("a count")?
+                    .parse()
+                    .map_err(|_| "bad --trials".to_owned())?
             }
-            "--seed" => opts.seed = next("a seed")?.parse().map_err(|_| "bad --seed".to_owned())?,
+            "--seed" => {
+                opts.seed = next("a seed")?
+                    .parse()
+                    .map_err(|_| "bad --seed".to_owned())?
+            }
+            "--deadline" => {
+                opts.deadline = next("a time")?
+                    .parse()
+                    .map_err(|_| "bad --deadline".to_owned())?
+            }
+            "--schedules" => {
+                opts.schedules = next("a count")?
+                    .parse()
+                    .map_err(|_| "bad --schedules".to_owned())?
+            }
+            "--max-faults" => {
+                opts.max_faults = next("a count")?
+                    .parse()
+                    .map_err(|_| "bad --max-faults".to_owned())?
+            }
+            "--threads" => {
+                opts.threads = next("a count")?
+                    .parse()
+                    .map_err(|_| "bad --threads".to_owned())?
+            }
+            "--mc-trials" => {
+                opts.mc_trials = next("a count")?
+                    .parse()
+                    .map_err(|_| "bad --mc-trials".to_owned())?
+            }
+            "--out" => opts.out = Some(next("a file path")?),
+            "--replay" => opts.replay = Some(next("a schedule file")?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -154,9 +215,11 @@ fn main() -> ExitCode {
     if command == "--help" || command == "-h" {
         println!(
             "ca — explore the coordinated-attack model\n\
-             commands: levels, trace, simulate, exact, graphs\n\
+             commands: levels, trace, simulate, exact, chaos, graphs\n\
              flags: --graph NAME --rounds N --epsilon E | --t T --cut R \
-             --drop-link F:T:R --trials K --seed S"
+             --drop-link F:T:R --trials K --seed S\n\
+             chaos: --deadline T --schedules K --max-faults F --threads W \
+             --mc-trials K --out FILE --replay FILE"
         );
         return ExitCode::SUCCESS;
     }
@@ -187,7 +250,11 @@ fn main() -> ExitCode {
             let ml = modified_levels(&run);
             let mut table = Table::new(["process", "L_i(R)", "ML_i(R)"]);
             for i in graph.vertices() {
-                table.push_row([i.to_string(), l.level(i).to_string(), ml.level(i).to_string()]);
+                table.push_row([
+                    i.to_string(),
+                    l.level(i).to_string(),
+                    ml.level(i).to_string(),
+                ]);
             }
             println!("\n{table}");
             println!("L(R) = {}, ML(R) = {}", l.min_level(), ml.min_level());
@@ -213,7 +280,51 @@ fn main() -> ExitCode {
             let out = protocol_s_outcomes(&graph, &run, opts.t);
             let ml = modified_levels(&run).min_level();
             println!("ML(R) = {ml}, ε = 1/{}", opts.t);
-            println!("Pr[TA|R] = {}   Pr[NA|R] = {}   Pr[PA|R] = {}", out.ta, out.na, out.pa);
+            println!(
+                "Pr[TA|R] = {}   Pr[NA|R] = {}   Pr[PA|R] = {}",
+                out.ta, out.na, out.pa
+            );
+        }
+        "chaos" => {
+            let config = CampaignConfig {
+                schedules: opts.schedules,
+                seed: opts.seed,
+                deadline: opts.deadline,
+                t: opts.t,
+                max_faults: opts.max_faults,
+                threads: opts.threads,
+                mc_trials: opts.mc_trials,
+            };
+            let json = if let Some(path) = &opts.replay {
+                // Replay a saved (typically shrunk) schedule against the
+                // oracles instead of sampling a fresh campaign.
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("error: cannot read `{path}`: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let schedule = match FaultSchedule::from_json(&text) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("error: bad schedule in `{path}`: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let result = evaluate_schedule(&graph, &config, 0, schedule);
+                serde::json::to_string_pretty(&result)
+                    .expect("schedule results are always serializable")
+            } else {
+                run_campaign(&graph, &config).to_json_pretty()
+            };
+            println!("{json}");
+            if let Some(path) = &opts.out {
+                if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                    eprintln!("error: cannot write `{path}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
         other => {
             eprintln!("error: unknown command `{other}`");

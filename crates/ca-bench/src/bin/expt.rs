@@ -109,7 +109,11 @@ fn main() -> ExitCode {
         out
     };
 
-    let mut scale = if args.full { Scale::full() } else { Scale::quick() };
+    let mut scale = if args.full {
+        Scale::full()
+    } else {
+        Scale::quick()
+    };
     if let Some(trials) = args.trials {
         scale.trials = trials;
     }

@@ -79,7 +79,11 @@ impl BitSet {
     ///
     /// Panics if `x >= capacity`.
     pub fn insert(&mut self, x: usize) -> bool {
-        assert!(x < self.capacity, "element {x} out of range 0..{}", self.capacity);
+        assert!(
+            x < self.capacity,
+            "element {x} out of range 0..{}",
+            self.capacity
+        );
         let (b, bit) = (x / 64, 1u64 << (x % 64));
         let fresh = self.blocks[b] & bit == 0;
         self.blocks[b] |= bit;
@@ -151,7 +155,10 @@ impl BitSet {
     /// Returns whether `self` is a subset of `other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
         assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
-        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & !b == 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates over the elements in increasing order.

@@ -52,13 +52,22 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelError::TooFewProcesses { got, min } => {
-                write!(f, "graph has {got} processes but at least {min} are required")
+                write!(
+                    f,
+                    "graph has {got} processes but at least {min} are required"
+                )
             }
             ModelError::TooManyProcesses { got, max } => {
-                write!(f, "graph has {got} processes but at most {max} are supported")
+                write!(
+                    f,
+                    "graph has {got} processes but at most {max} are supported"
+                )
             }
             ModelError::VertexOutOfRange { vertex, m } => {
-                write!(f, "vertex {vertex} out of range for graph with {m} vertices")
+                write!(
+                    f,
+                    "vertex {vertex} out of range for graph with {m} vertices"
+                )
             }
             ModelError::SelfLoop { vertex } => {
                 write!(f, "self-loop at vertex {vertex} is not allowed")
@@ -75,17 +84,107 @@ impl fmt::Display for ModelError {
 
 impl StdError for ModelError {}
 
+/// Errors produced by fallible execution paths (the `try_*` entry points).
+///
+/// These are the typed alternatives to the engine's panicking asserts: a
+/// hostile schedule or malformed configuration degrades into an `Err` the
+/// caller can report, instead of aborting the process. The chaos harness
+/// relies on this to survive adversarial schedule search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CaError {
+    /// A random tape ran out of bits mid-draw, or was too short for the
+    /// protocol's declared budget.
+    TapeExhausted {
+        /// Bit position at which the draw failed (or the budget required).
+        at_bit: usize,
+        /// Total bits available on the tape.
+        len_bits: usize,
+    },
+    /// An execution configuration failed validation.
+    MalformedConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A model-construction error surfaced during execution setup.
+    Model(ModelError),
+}
+
+impl fmt::Display for CaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaError::TapeExhausted { at_bit, len_bits } => {
+                write!(
+                    f,
+                    "random tape exhausted at bit {at_bit} (tape holds {len_bits} bits)"
+                )
+            }
+            CaError::MalformedConfig { reason } => {
+                write!(f, "malformed configuration: {reason}")
+            }
+            CaError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl StdError for CaError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            CaError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for CaError {
+    fn from(e: ModelError) -> Self {
+        CaError::Model(e)
+    }
+}
+
+impl CaError {
+    /// Convenience constructor for [`CaError::MalformedConfig`].
+    pub fn malformed(reason: impl Into<String>) -> Self {
+        CaError::MalformedConfig {
+            reason: reason.into(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
+    fn ca_error_display_and_source() {
+        let e = CaError::TapeExhausted {
+            at_bit: 64,
+            len_bits: 64,
+        };
+        assert_eq!(
+            e.to_string(),
+            "random tape exhausted at bit 64 (tape holds 64 bits)"
+        );
+        let e = CaError::malformed("deadline must be positive");
+        assert!(e.to_string().contains("deadline must be positive"));
+        let e = CaError::from(ModelError::SelfLoop { vertex: 1 });
+        assert!(e.to_string().contains("self-loop"));
+        assert!(StdError::source(&e).is_some());
+    }
+
+    #[test]
     fn display_messages_are_lowercase_and_concise() {
         let e = ModelError::TooFewProcesses { got: 1, min: 2 };
-        assert_eq!(e.to_string(), "graph has 1 processes but at least 2 are required");
+        assert_eq!(
+            e.to_string(),
+            "graph has 1 processes but at least 2 are required"
+        );
         let e = ModelError::SelfLoop { vertex: 3 };
         assert!(e.to_string().contains("self-loop"));
-        let e = ModelError::InvalidParameter { name: "epsilon", reason: "must be positive" };
+        let e = ModelError::InvalidParameter {
+            name: "epsilon",
+            reason: "must be positive",
+        };
         assert!(e.to_string().contains("epsilon"));
     }
 
@@ -93,5 +192,6 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ModelError>();
+        assert_send_sync::<CaError>();
     }
 }

@@ -110,7 +110,12 @@ impl<P: Protocol> fmt::Debug for Execution<P> {
 ///
 /// Panics if dimensions disagree (graph vs. run vs. tapes) or if a protocol
 /// draws more tape bits than [`Protocol::tape_bits`] provided.
-pub fn execute<P: Protocol>(protocol: &P, graph: &Graph, run: &Run, tapes: &TapeSet) -> Execution<P> {
+pub fn execute<P: Protocol>(
+    protocol: &P,
+    graph: &Graph,
+    run: &Run,
+    tapes: &TapeSet,
+) -> Execution<P> {
     check_dimensions(graph, run, tapes);
     let m = graph.len();
     let n = run.horizon();
@@ -158,7 +163,10 @@ pub fn execute<P: Protocol>(protocol: &P, graph: &Graph, run: &Run, tapes: &Tape
             let mut inbox = std::mem::take(&mut inboxes[j.index()]);
             inbox.sort_by_key(|(from, _)| *from);
             let state = {
-                let prev = locals[j.index()].states.last().expect("state history nonempty");
+                let prev = locals[j.index()]
+                    .states
+                    .last()
+                    .expect("state history nonempty");
                 protocol.transition(ctx, prev, r, &inbox, &mut readers[j.index()])
             };
             locals[j.index()].states.push(state);
@@ -169,7 +177,10 @@ pub fn execute<P: Protocol>(protocol: &P, graph: &Graph, run: &Run, tapes: &Tape
     // Outputs.
     for i in graph.vertices() {
         let ctx = Ctx::new(graph, n, i);
-        let state = locals[i.index()].states.last().expect("state history nonempty");
+        let state = locals[i.index()]
+            .states
+            .last()
+            .expect("state history nonempty");
         locals[i.index()].output = protocol.output(ctx, state);
     }
 
@@ -195,7 +206,13 @@ pub fn execute_outputs<P: Protocol>(
     let mut readers: Vec<_> = graph.vertices().map(|i| tapes.tape(i).reader()).collect();
     let mut states: Vec<P::State> = graph
         .vertices()
-        .map(|i| protocol.init(Ctx::new(graph, n, i), run.has_input(i), &mut readers[i.index()]))
+        .map(|i| {
+            protocol.init(
+                Ctx::new(graph, n, i),
+                run.has_input(i),
+                &mut readers[i.index()],
+            )
+        })
         .collect();
 
     let mut inboxes: Vec<Vec<(ProcessId, P::Msg)>> = vec![Vec::new(); m];
@@ -360,7 +377,10 @@ mod tests {
                 }
             }
             let t = tapes(3);
-            assert_eq!(execute(&Flood, &g, &run, &t).outputs(), execute_outputs(&Flood, &g, &run, &t));
+            assert_eq!(
+                execute(&Flood, &g, &run, &t).outputs(),
+                execute_outputs(&Flood, &g, &run, &t)
+            );
         }
     }
 

@@ -102,11 +102,9 @@ impl FlowGraph {
         for r in (start.get() + 1)..=self.n {
             // Messages of round r carry end-of-round-(r-1) state: test
             // membership against the previous round's set, not the one being
-            // built (two messages cannot chain within a single round).
-            let prev = per_round[r as usize - 1]
-                .as_ref()
-                .expect("previous round computed")
-                .clone();
+            // built (two messages cannot chain within a single round). `cur`
+            // holds exactly that set at the top of each iteration.
+            let prev = cur.clone();
             for &(from, to) in &self.by_round[r as usize] {
                 if prev.contains(from.index()) {
                     cur.insert(to.index());
@@ -114,10 +112,7 @@ impl FlowGraph {
             }
             per_round[r as usize] = Some(cur.clone());
         }
-        Reach {
-            start,
-            per_round,
-        }
+        Reach { start, per_round }
     }
 
     /// Backward reachability to `(i, r)`: which `(k, s)` with `s ≤ r` flow to
@@ -136,11 +131,9 @@ impl FlowGraph {
         for s in (0..r.get()).rev() {
             // (k, s) flows to (j, s+1) iff k = j or (k, j, s+1) ∈ R. The
             // receiver test must use the round-(s+1) set: a sender added at
-            // round s must not enable other round-(s+1) messages.
-            let next = per_round[s as usize + 1]
-                .as_ref()
-                .expect("next round computed")
-                .clone();
+            // round s must not enable other round-(s+1) messages. `cur` holds
+            // exactly that set at the top of each iteration.
+            let next = cur.clone();
             for &(from, to) in &self.by_round[s as usize + 1] {
                 if next.contains(to.index()) {
                     cur.insert(from.index());
@@ -230,10 +223,7 @@ impl fmt::Debug for Reach {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Reach")
             .field("start", &self.start)
-            .field(
-                "final",
-                &self.per_round.last().and_then(|s| s.as_ref()),
-            )
+            .field("final", &self.per_round.last().and_then(|s| s.as_ref()))
             .finish()
     }
 }
@@ -311,7 +301,10 @@ mod tests {
         assert!(flow.flows_to(p(0), r(0), p(0), r(3)));
         assert!(flow.flows_to(p(0), r(2), p(0), r(2)), "reflexive");
         assert!(!flow.flows_to(p(0), r(2), p(0), r(1)), "no backward flow");
-        assert!(!flow.flows_to(p(0), r(0), p(1), r(3)), "no cross flow without messages");
+        assert!(
+            !flow.flows_to(p(0), r(0), p(1), r(3)),
+            "no cross flow without messages"
+        );
     }
 
     #[test]
@@ -324,7 +317,10 @@ mod tests {
         // (0, r) for r <= 1 flows to (1, s) for s >= 2.
         assert!(flow.flows_to(p(0), r(0), p(1), r(2)));
         assert!(flow.flows_to(p(0), r(1), p(1), r(3)));
-        assert!(!flow.flows_to(p(0), r(2), p(1), r(3)), "message already sent");
+        assert!(
+            !flow.flows_to(p(0), r(2), p(1), r(3)),
+            "message already sent"
+        );
         assert!(!flow.flows_to(p(1), r(0), p(0), r(3)), "wrong direction");
     }
 
@@ -338,7 +334,10 @@ mod tests {
         run.validate(&g).unwrap();
         let flow = FlowGraph::new(&run);
         assert!(flow.flows_to(p(0), r(0), p(2), r(2)));
-        assert!(!flow.flows_to(p(0), r(1), p(2), r(2)), "0's round-1 state misses the r1 message");
+        assert!(
+            !flow.flows_to(p(0), r(1), p(2), r(2)),
+            "0's round-1 state misses the r1 message"
+        );
     }
 
     #[test]
@@ -350,7 +349,10 @@ mod tests {
         let reach = flow.env_reach();
         assert!(reach.contains(p(1), r(0)));
         assert!(!reach.contains(p(0), r(0)));
-        assert!(reach.contains(p(0), r(1)), "round-1 gossip spreads the input");
+        assert!(
+            reach.contains(p(0), r(1)),
+            "round-1 gossip spreads the input"
+        );
         assert!(flow.input_flows_to(p(2), r(1)));
         assert!(!FlowGraph::new(&Run::empty(3, 2)).input_flows_to(p(1), r(2)));
     }
@@ -385,7 +387,10 @@ mod tests {
         let g = Graph::complete(2).unwrap();
         let run = Run::good_with_inputs(&g, 2, &[p(0)]);
         let flow = FlowGraph::new(&run);
-        assert!(flow.reach_to(p(1), r(1)).env_flows(), "input reaches P1 via round-1 message");
+        assert!(
+            flow.reach_to(p(1), r(1)).env_flows(),
+            "input reaches P1 via round-1 message"
+        );
         let mut cut = run.clone();
         cut.cut_from_round(r(1));
         let flow = FlowGraph::new(&cut);

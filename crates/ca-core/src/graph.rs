@@ -112,7 +112,9 @@ impl Graph {
     ///
     /// Returns an error if `m` is out of the supported range.
     pub fn line(m: usize) -> Result<Self, ModelError> {
-        let edges: Vec<_> = (0..m.saturating_sub(1) as u32).map(|i| (i, i + 1)).collect();
+        let edges: Vec<_> = (0..m.saturating_sub(1) as u32)
+            .map(|i| (i, i + 1))
+            .collect();
         Graph::new(m, &edges)
     }
 
@@ -334,13 +336,12 @@ impl Graph {
     pub fn bfs_distances(&self, src: ProcessId) -> Vec<Option<u32>> {
         let mut dist = vec![None; self.m];
         dist[src.index()] = Some(0);
-        let mut q = VecDeque::from([src]);
-        while let Some(v) = q.pop_front() {
-            let d = dist[v.index()].expect("visited vertex has distance");
+        let mut q = VecDeque::from([(src, 0u32)]);
+        while let Some((v, d)) = q.pop_front() {
             for &w in self.neighbors(v) {
                 if dist[w.index()].is_none() {
                     dist[w.index()] = Some(d + 1);
-                    q.push_back(w);
+                    q.push_back((w, d + 1));
                 }
             }
         }
@@ -349,7 +350,9 @@ impl Graph {
 
     /// Returns whether the graph is connected.
     pub fn is_connected(&self) -> bool {
-        self.bfs_distances(ProcessId::new(0)).iter().all(|d| d.is_some())
+        self.bfs_distances(ProcessId::new(0))
+            .iter()
+            .all(|d| d.is_some())
     }
 
     /// The diameter (longest shortest path), or `None` if disconnected.
@@ -456,7 +459,10 @@ mod tests {
         assert_eq!(g.diameter(), Some(3));
         assert!(g.has_edge(p(1), p(2)));
         assert!(!g.has_edge(p(0), p(2)));
-        assert_eq!(g.bfs_distances(p(0)), vec![Some(0), Some(1), Some(2), Some(3)]);
+        assert_eq!(
+            g.bfs_distances(p(0)),
+            vec![Some(0), Some(1), Some(2), Some(3)]
+        );
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! `|ML_i - ML_j| ≤ 1`) are asserted in this module's tests and again as
 //! property tests.
 
+use crate::error::CaError;
 use crate::flow::FlowGraph;
 use crate::ids::{ProcessId, Round};
 use crate::run::Run;
@@ -116,6 +117,29 @@ pub fn modified_levels(run: &Run) -> LevelTable {
     gossip_levels(run, true)
 }
 
+/// Fallible variant of [`levels`]: returns a typed error instead of
+/// panicking when the run has fewer than 2 processes.
+pub fn try_levels(run: &Run) -> Result<LevelTable, CaError> {
+    ensure_two_processes(run)?;
+    Ok(gossip_levels(run, false))
+}
+
+/// Fallible variant of [`modified_levels`].
+pub fn try_modified_levels(run: &Run) -> Result<LevelTable, CaError> {
+    ensure_two_processes(run)?;
+    Ok(gossip_levels(run, true))
+}
+
+fn ensure_two_processes(run: &Run) -> Result<(), CaError> {
+    if run.process_count() < 2 {
+        return Err(CaError::malformed(format!(
+            "levels are defined for m >= 2 (paper's model), got m = {}",
+            run.process_count()
+        )));
+    }
+    Ok(())
+}
+
 /// The gossip dynamic program shared by [`levels`] and [`modified_levels`].
 ///
 /// Each process `j` carries a vector `heard[j][i]` = the highest level of `i`
@@ -131,7 +155,9 @@ fn gossip_levels(run: &Run, modified: bool) -> LevelTable {
 
     // valid[j]: has the input flowed to j?  heard_leader[j]: has (leader, 0)
     // flowed to j? (Only used for the modified measure.)
-    let mut valid: Vec<bool> = (0..m).map(|j| run.has_input(ProcessId::new(j as u32))).collect();
+    let mut valid: Vec<bool> = (0..m)
+        .map(|j| run.has_input(ProcessId::new(j as u32)))
+        .collect();
     let mut heard_leader: Vec<bool> = (0..m).map(|j| j == ProcessId::LEADER.index()).collect();
 
     // heard[j][i] = best level of i known (via flow) to j. heard[j][j] is j's own level.
@@ -523,5 +549,20 @@ mod tests {
         // Construct a degenerate 1-process run directly.
         let run = Run::empty(1, 2);
         let _ = levels(&run);
+    }
+
+    #[test]
+    fn try_levels_returns_typed_error_for_single_process() {
+        let run = Run::empty(1, 2);
+        let err = try_levels(&run).unwrap_err();
+        assert!(err.to_string().contains("m = 1"), "{err}");
+        assert!(try_modified_levels(&run).is_err());
+
+        let g = Graph::complete(2).unwrap();
+        let good = Run::good(&g, 3);
+        assert_eq!(
+            try_levels(&good).unwrap().final_levels(),
+            levels(&good).final_levels()
+        );
     }
 }

@@ -61,7 +61,7 @@ pub mod run;
 pub mod tape;
 
 pub use adversary::{Adversary, StrongAdversary};
-pub use error::ModelError;
+pub use error::{CaError, ModelError};
 pub use exec::{execute, execute_outputs, Execution};
 pub use graph::Graph;
 pub use ids::{Node, ProcessId, Round};

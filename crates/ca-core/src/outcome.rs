@@ -148,7 +148,10 @@ mod tests {
         assert_eq!(Outcome::classify(&[true, true]), Outcome::TotalAttack);
         assert_eq!(Outcome::classify(&[false, false, false]), Outcome::NoAttack);
         assert_eq!(Outcome::classify(&[true, false]), Outcome::PartialAttack);
-        assert_eq!(Outcome::classify(&[false, true, true]), Outcome::PartialAttack);
+        assert_eq!(
+            Outcome::classify(&[false, true, true]),
+            Outcome::PartialAttack
+        );
         assert_eq!(Outcome::classify(&[true]), Outcome::TotalAttack);
     }
 

@@ -233,8 +233,14 @@ impl Ord for Rational {
         // Compare a/b vs c/d by a*d vs c*b; reduce first to delay overflow.
         let g = gcd(self.den, other.den);
         let (da, db) = (self.den / g, other.den / g);
-        let lhs = self.num.checked_mul(db).expect("rational comparison overflow");
-        let rhs = other.num.checked_mul(da).expect("rational comparison overflow");
+        let lhs = self
+            .num
+            .checked_mul(db)
+            .expect("rational comparison overflow");
+        let rhs = other
+            .num
+            .checked_mul(da)
+            .expect("rational comparison overflow");
         lhs.cmp(&rhs)
     }
 }
@@ -292,9 +298,18 @@ mod tests {
     fn ordering() {
         assert!(Rational::new(1, 3) < Rational::new(1, 2));
         assert!(Rational::new(-1, 2) < Rational::ZERO);
-        assert_eq!(Rational::new(2, 6).cmp(&Rational::new(1, 3)), Ordering::Equal);
-        assert_eq!(Rational::new(1, 3).min(Rational::new(1, 4)), Rational::new(1, 4));
-        assert_eq!(Rational::new(1, 3).max(Rational::new(1, 4)), Rational::new(1, 3));
+        assert_eq!(
+            Rational::new(2, 6).cmp(&Rational::new(1, 3)),
+            Ordering::Equal
+        );
+        assert_eq!(
+            Rational::new(1, 3).min(Rational::new(1, 4)),
+            Rational::new(1, 4)
+        );
+        assert_eq!(
+            Rational::new(1, 3).max(Rational::new(1, 4)),
+            Rational::new(1, 3)
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! message *not* in `M(R)` is destroyed by the adversary.
 
 use crate::bitset::BitSet;
-use crate::error::ModelError;
+use crate::error::{CaError, ModelError};
 use crate::graph::Graph;
 use crate::ids::{ProcessId, Round};
 use serde::{Deserialize, Serialize};
@@ -176,7 +176,10 @@ impl Run {
 
     /// Iterates over delivered messages of one round.
     pub fn messages_in_round(&self, round: Round) -> impl Iterator<Item = MsgSlot> + '_ {
-        self.messages.iter().copied().filter(move |s| s.round == round)
+        self.messages
+            .iter()
+            .copied()
+            .filter(move |s| s.round == round)
     }
 
     /// Number of delivered messages `|M(R)|`.
@@ -199,7 +202,12 @@ impl Run {
     }
 
     /// Destroys every message from `from` to `to` in rounds `>= round`.
-    pub fn cut_link_from_round(&mut self, from: ProcessId, to: ProcessId, round: Round) -> &mut Self {
+    pub fn cut_link_from_round(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        round: Round,
+    ) -> &mut Self {
         self.messages
             .retain(|s| !(s.from == from && s.to == to && s.round >= round));
         self
@@ -264,12 +272,22 @@ impl Run {
     /// Panics if the number of slots plus inputs exceeds 24 (≥ 16M runs), to
     /// guard against accidental blow-ups.
     pub fn enumerate_all(graph: &Graph, n: u32) -> Vec<Run> {
+        Run::try_enumerate_all(graph, n).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Run::enumerate_all`]: returns a typed error
+    /// instead of panicking when the instance is too large to enumerate.
+    pub fn try_enumerate_all(graph: &Graph, n: u32) -> Result<Vec<Run>, CaError> {
         let slots: Vec<MsgSlot> = graph
             .directed_edges()
             .flat_map(|(a, b)| Round::protocol_rounds(n).map(move |r| MsgSlot::new(a, b, r)))
             .collect();
         let bits = slots.len() + graph.len();
-        assert!(bits <= 24, "enumerate_all over {bits} bits is too large");
+        if bits > 24 {
+            return Err(CaError::malformed(format!(
+                "enumerate_all over {bits} bits is too large (max 24: >= 16M runs)"
+            )));
+        }
         let mut out = Vec::with_capacity(1usize << bits);
         for mask in 0u64..(1u64 << bits) {
             let mut run = Run::empty(graph.len(), n);
@@ -285,7 +303,7 @@ impl Run {
             }
             out.push(run);
         }
-        out
+        Ok(out)
     }
 }
 
@@ -436,5 +454,16 @@ mod tests {
         assert!(!run.remove_message(p(0), p(1), r(1)));
         run.remove_input(p(0));
         assert!(!run.has_input(p(0)));
+    }
+
+    #[test]
+    fn try_enumerate_all_rejects_oversized_instances() {
+        let g = Graph::complete(4).unwrap();
+        let err = Run::try_enumerate_all(&g, 8).unwrap_err();
+        assert!(err.to_string().contains("too large"), "{err}");
+
+        let small = Graph::complete(2).unwrap();
+        let runs = Run::try_enumerate_all(&small, 1).unwrap();
+        assert_eq!(runs.len(), Run::enumerate_all(&small, 1).len());
     }
 }

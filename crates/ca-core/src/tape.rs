@@ -9,6 +9,7 @@
 //! consume identical tape prefixes, so `i` behaves identically
 //! (Lemma 2.1).
 
+use crate::error::CaError;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -92,6 +93,31 @@ impl TapeReader<'_> {
         bit
     }
 
+    /// Fallible [`TapeReader::draw_bit`]: returns [`CaError::TapeExhausted`]
+    /// instead of panicking when the tape runs dry.
+    pub fn try_draw_bit(&mut self) -> Result<bool, CaError> {
+        if self.pos >= self.tape.len_bits() {
+            return Err(CaError::TapeExhausted {
+                at_bit: self.pos,
+                len_bits: self.tape.len_bits(),
+            });
+        }
+        Ok(self.draw_bit())
+    }
+
+    /// Returns [`CaError::TapeExhausted`] unless at least `n` more bits can
+    /// be drawn. Lets callers validate a whole budget up front.
+    pub fn require_bits(&self, n: usize) -> Result<(), CaError> {
+        let needed = self.pos.saturating_add(n);
+        if needed > self.tape.len_bits() {
+            return Err(CaError::TapeExhausted {
+                at_bit: needed,
+                len_bits: self.tape.len_bits(),
+            });
+        }
+        Ok(())
+    }
+
     /// Draws 64 bits as a `u64`.
     ///
     /// # Panics
@@ -105,6 +131,13 @@ impl TapeReader<'_> {
             }
         }
         v
+    }
+
+    /// Fallible [`TapeReader::draw_u64`]: checks the 64-bit budget before
+    /// consuming anything, so a failed draw leaves the cursor unmoved.
+    pub fn try_draw_u64(&mut self) -> Result<u64, CaError> {
+        self.require_bits(64)?;
+        Ok(self.draw_u64())
     }
 
     /// Draws exactly `n ≤ 64` bits as the low bits of a `u64` (LSB first).
@@ -153,6 +186,13 @@ impl TapeReader<'_> {
     /// probability by at most `2⁻⁶⁴`.
     pub fn draw_unit(&mut self) -> f64 {
         (self.draw_u64() as f64 + 1.0) / 18_446_744_073_709_551_616.0 // 2^64
+    }
+
+    /// Fallible [`TapeReader::draw_unit`]: checks the 64-bit budget before
+    /// consuming anything.
+    pub fn try_draw_unit(&mut self) -> Result<f64, CaError> {
+        self.require_bits(64)?;
+        Ok(self.draw_unit())
     }
 
     /// Number of bits consumed so far.
@@ -265,6 +305,32 @@ mod tests {
     fn exhausted_tape_panics() {
         let tape = BitTape::from_words(vec![]);
         tape.reader().draw_bit();
+    }
+
+    #[test]
+    fn try_draws_error_without_consuming() {
+        let tape = BitTape::from_words(vec![0b101, 0]);
+        let mut t = tape.reader();
+        assert_eq!(t.try_draw_bit(), Ok(true));
+        assert_eq!(t.try_draw_u64(), Ok(0b10)); // bits 1..65, LSB first
+        assert_eq!(t.bits_consumed(), 65);
+        assert!(matches!(
+            t.try_draw_u64(),
+            Err(crate::error::CaError::TapeExhausted {
+                at_bit: 129,
+                len_bits: 128
+            })
+        ));
+        assert_eq!(
+            t.bits_consumed(),
+            65,
+            "failed draw must not move the cursor"
+        );
+        assert!(t.require_bits(63).is_ok());
+        assert!(t.require_bits(64).is_err());
+        let empty = BitTape::from_words(vec![]);
+        assert!(empty.reader().try_draw_bit().is_err());
+        assert!(empty.reader().try_draw_unit().is_err());
     }
 
     #[test]

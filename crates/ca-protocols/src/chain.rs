@@ -206,9 +206,7 @@ mod tests {
         let word = u64::from(rfire - 2);
         TapeSet::from_tapes(
             (0..m)
-                .map(|i| {
-                    BitTape::from_words(vec![if i == 0 { word } else { 0 }; 64])
-                })
+                .map(|i| BitTape::from_words(vec![if i == 0 { word } else { 0 }; 64]))
                 .collect(),
         )
     }
@@ -216,10 +214,14 @@ mod tests {
     #[test]
     fn holder_bounces_along_the_path() {
         // m = 3, period 4: 0,1,2,1,0,1,2,…
-        let seq: Vec<u32> = (0..8).map(|r| ChainProtocol::holder_at(3, r).as_u32()).collect();
+        let seq: Vec<u32> = (0..8)
+            .map(|r| ChainProtocol::holder_at(3, r).as_u32())
+            .collect();
         assert_eq!(seq, vec![0, 1, 2, 1, 0, 1, 2, 1]);
         // m = 2, period 2: 0,1,0,1…
-        let seq: Vec<u32> = (0..4).map(|r| ChainProtocol::holder_at(2, r).as_u32()).collect();
+        let seq: Vec<u32> = (0..4)
+            .map(|r| ChainProtocol::holder_at(2, r).as_u32())
+            .collect();
         assert_eq!(seq, vec![0, 1, 0, 1]);
     }
 

@@ -90,7 +90,10 @@ impl<P: Protocol> Protocol for Repeat<P> {
     }
 
     fn message(&self, ctx: Ctx<'_>, state: &Self::State, to: ProcessId) -> Self::Msg {
-        state.iter().map(|s| self.inner.message(ctx, s, to)).collect()
+        state
+            .iter()
+            .map(|s| self.inner.message(ctx, s, to))
+            .collect()
     }
 
     fn transition(
@@ -107,7 +110,8 @@ impl<P: Protocol> Protocol for Repeat<P> {
                     .iter()
                     .map(|(from, bundle)| (*from, bundle[c].clone()))
                     .collect();
-                self.inner.transition(ctx, &state[c], round, &per_copy, tape)
+                self.inner
+                    .transition(ctx, &state[c], round, &per_copy, tape)
             })
             .collect()
     }

@@ -94,7 +94,11 @@ impl<T: Clone> CountingState<T> {
         }
         // Main block: merge counts and seen-sets.
         if self.count >= 1 && !received.is_empty() {
-            let highcount = received.iter().map(|msg| msg.count).max().expect("nonempty");
+            let highcount = received
+                .iter()
+                .map(|msg| msg.count)
+                .max()
+                .expect("nonempty");
             let mut highseen = BitSet::new(m);
             for msg in received.iter().filter(|msg| msg.count == highcount) {
                 highseen.union_with(&msg.seen);
@@ -189,7 +193,10 @@ mod tests {
             let mb = msg_of(&b);
             a.process_messages(2, p(0), &[mb]);
             assert!(!a.seen.is_full());
-            assert!(a.count == 0 || a.seen.contains(0), "i ∈ seen_i when counting");
+            assert!(
+                a.count == 0 || a.seen.contains(0),
+                "i ∈ seen_i when counting"
+            );
         }
     }
 

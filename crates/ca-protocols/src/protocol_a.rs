@@ -360,7 +360,11 @@ mod tests {
         let run = Run::good_with_inputs(&g, 5, &[]);
         let mut rng = StdRng::seed_from_u64(9);
         let ex = execute(&proto, &g, &run, &tapes(&mut rng));
-        assert_eq!(ex.local(p(0)).sent[2][0].1, None, "validity gate blocks round 2");
+        assert_eq!(
+            ex.local(p(0)).sent[2][0].1,
+            None,
+            "validity gate blocks round 2"
+        );
     }
 
     #[test]

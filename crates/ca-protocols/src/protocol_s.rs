@@ -303,7 +303,10 @@ mod tests {
         }
         let ta_rate = ta as f64 / trials as f64;
         let pa_rate = pa as f64 / trials as f64;
-        assert!((ta_rate - 0.5).abs() < 0.03, "TA rate {ta_rate} should be ≈ 0.5");
+        assert!(
+            (ta_rate - 0.5).abs() < 0.03,
+            "TA rate {ta_rate} should be ≈ 0.5"
+        );
         assert!(
             (pa_rate - 1.0 / 8.0).abs() < 0.03,
             "PA rate {pa_rate} should be ≈ ε = 1/8"
@@ -328,10 +331,7 @@ mod tests {
                 }
             }
             let rate = pa as f64 / trials as f64;
-            assert!(
-                rate <= 0.25 + 0.03,
-                "PA rate {rate} exceeds ε at cut {cut}"
-            );
+            assert!(rate <= 0.25 + 0.03, "PA rate {rate} exceeds ε at cut {cut}");
         }
     }
 
@@ -380,7 +380,11 @@ mod tests {
                     .min()
                     .unwrap() as f64;
                 if mincount >= target {
-                    assert_eq!(ex.outcome(), Outcome::TotalAttack, "cut={cut}, rfire≈{target}");
+                    assert_eq!(
+                        ex.outcome(),
+                        Outcome::TotalAttack,
+                        "cut={cut}, rfire≈{target}"
+                    );
                 } else if mincount < target - 1.0 {
                     assert_eq!(ex.outcome(), Outcome::NoAttack, "cut={cut}, rfire≈{target}");
                 }
@@ -408,7 +412,11 @@ mod tests {
         for _ in 0..trials {
             let t = tapes(&mut rng, 2);
             let a = execute(&msg_valid, &g, &run, &t);
-            assert_eq!(a.outcome(), Outcome::NoAttack, "message-based validity is sure");
+            assert_eq!(
+                a.outcome(),
+                Outcome::NoAttack,
+                "message-based validity is sure"
+            );
             let b = execute(&input_valid, &g, &run, &t);
             if b.local(p(0)).output {
                 input_based_attacks += 1;
@@ -440,7 +448,10 @@ mod tests {
             }
         }
         let rate = ta as f64 / trials as f64;
-        assert!((rate - 0.5).abs() < 0.04, "liveness ≈ ε(ML−1) = 1/2: {rate}");
+        assert!(
+            (rate - 0.5).abs() < 0.04,
+            "liveness ≈ ε(ML−1) = 1/2: {rate}"
+        );
     }
 
     #[test]

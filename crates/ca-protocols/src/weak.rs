@@ -66,7 +66,12 @@ impl Protocol for FixedThreshold {
         0
     }
 
-    fn init(&self, ctx: Ctx<'_>, received_input: bool, _tape: &mut TapeReader<'_>) -> ThresholdState {
+    fn init(
+        &self,
+        ctx: Ctx<'_>,
+        received_input: bool,
+        _tape: &mut TapeReader<'_>,
+    ) -> ThresholdState {
         let token = if ctx.id == ProcessId::LEADER {
             Some(())
         } else {

@@ -47,11 +47,7 @@ pub trait AdaptiveAdversary {
 /// # Panics
 ///
 /// Panics if the adversary returns decision vectors of the wrong length.
-pub fn materialize<A: AdaptiveAdversary + ?Sized>(
-    adversary: &mut A,
-    graph: &Graph,
-    n: u32,
-) -> Run {
+pub fn materialize<A: AdaptiveAdversary + ?Sized>(adversary: &mut A, graph: &Graph, n: u32) -> Run {
     let mut run = Run::empty(graph.len(), n);
     let inputs = adversary.decide_inputs(graph.len());
     assert_eq!(inputs.len(), graph.len(), "input decision length mismatch");
@@ -63,7 +59,11 @@ pub fn materialize<A: AdaptiveAdversary + ?Sized>(
     let slots: Vec<(ProcessId, ProcessId)> = graph.directed_edges().collect();
     for r in Round::protocol_rounds(n) {
         let decisions = adversary.decide_round(r, &slots);
-        assert_eq!(decisions.len(), slots.len(), "round decision length mismatch");
+        assert_eq!(
+            decisions.len(),
+            slots.len(),
+            "round decision length mismatch"
+        );
         for ((from, to), deliver) in slots.iter().zip(&decisions) {
             if *deliver {
                 run.add_message(*from, *to, r);
@@ -290,8 +290,7 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         let g = Graph::complete(2).unwrap();
-        let sampler =
-            AdaptiveSampler::new(g.clone(), 4, "gambler", |seed| Gambler::new(1, seed));
+        let sampler = AdaptiveSampler::new(g.clone(), 4, "gambler", |seed| Gambler::new(1, seed));
         assert!(sampler.describe().contains("gambler"));
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..10 {

@@ -6,6 +6,9 @@
 //!   worst cases.
 //! * [`adaptive`] — round-by-round adaptive adversaries and their collapse
 //!   to distributions over runs (footnote 3's regime).
+//! * [`chaos`] — generic chaos-campaign machinery: deterministic seed
+//!   derivation, order-preserving parallel map, and delta-debugging
+//!   (`ddmin`) shrinking of violating inputs.
 //! * [`monte_carlo`] — parallel, seed-deterministic estimation of
 //!   `Pr[TA|R]`, `Pr[PA|R]`, and per-process decision probabilities.
 //! * [`stats`] — Bernoulli estimates with Wilson intervals.
@@ -16,12 +19,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod adaptive;
+pub mod chaos;
 pub mod monte_carlo;
 pub mod stats;
 pub mod strategy;
 pub mod trace;
 pub mod wire;
 
+pub use chaos::{ddmin, mix64, parallel_map};
 pub use monte_carlo::{simulate, worst_disagreement, SimConfig, SimReport};
 pub use stats::{BernoulliEstimate, RunningStats};
 pub use strategy::{

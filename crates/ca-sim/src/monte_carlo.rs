@@ -249,10 +249,7 @@ mod tests {
         let b = simulate(&proto, &g, &sampler, cfg);
         assert_eq!(a, b);
         // And independent of the thread count.
-        let serial = SimConfig {
-            threads: 1,
-            ..cfg
-        };
+        let serial = SimConfig { threads: 1, ..cfg };
         let c = simulate(&proto, &g, &sampler, serial);
         assert_eq!(a, c);
     }

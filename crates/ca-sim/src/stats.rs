@@ -54,7 +54,11 @@ impl BernoulliEstimate {
         let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
         // At the boundary tallies the analytic endpoint is exactly 0 (or 1);
         // pin it so floating-point residue can't exclude the true value.
-        let lo = if self.successes == 0 { 0.0 } else { (center - half).max(0.0) };
+        let lo = if self.successes == 0 {
+            0.0
+        } else {
+            (center - half).max(0.0)
+        };
         let hi = if self.successes == self.trials {
             1.0
         } else {

@@ -76,7 +76,10 @@ impl RandomDrop {
     ///
     /// Panics if `p` is not in `[0, 1]`.
     pub fn over(base: Run, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "drop probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "drop probability must be in [0,1]"
+        );
         RandomDrop { base, p }
     }
 
@@ -121,7 +124,10 @@ impl RandomRun {
     ///
     /// Panics if either probability is outside `[0, 1]`.
     pub fn new(graph: Graph, n: u32, input_keep: f64, msg_keep: f64) -> Self {
-        assert!((0.0..=1.0).contains(&input_keep), "input_keep must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&input_keep),
+            "input_keep must be in [0,1]"
+        );
         assert!((0.0..=1.0).contains(&msg_keep), "msg_keep must be in [0,1]");
         RandomRun {
             graph,
@@ -210,7 +216,10 @@ pub fn single_drop_family(graph: &Graph, n: u32) -> Vec<Run> {
 /// set, everything delivered. Exercises validity/liveness structure.
 pub fn input_subset_family(graph: &Graph, n: u32) -> Vec<Run> {
     let m = graph.len();
-    assert!(m <= 16, "input_subset_family over {m} processes is too large");
+    assert!(
+        m <= 16,
+        "input_subset_family over {m} processes is too large"
+    );
     (0u32..(1 << m))
         .map(|mask| {
             let inputs: Vec<_> = graph
@@ -309,9 +318,7 @@ mod tests {
             .messages()
             .all(|s| s.from != ProcessId::new(0)));
         // The victim still receives.
-        assert!(victim_silent
-            .messages()
-            .any(|s| s.to == ProcessId::new(0)));
+        assert!(victim_silent.messages().any(|s| s.to == ProcessId::new(0)));
     }
 
     #[test]

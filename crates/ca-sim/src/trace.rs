@@ -54,11 +54,20 @@ pub fn render_trace<P: Protocol>(graph: &Graph, run: &Run, execution: &Execution
         .map(|i| {
             format!(
                 "{i}={}",
-                if execution.local(i).output { "ATTACK" } else { "hold" }
+                if execution.local(i).output {
+                    "ATTACK"
+                } else {
+                    "hold"
+                }
             )
         })
         .collect();
-    let _ = writeln!(out, "outputs: {}  =>  {}", outputs.join(" "), execution.outcome());
+    let _ = writeln!(
+        out,
+        "outputs: {}  =>  {}",
+        outputs.join(" "),
+        execution.outcome()
+    );
     out
 }
 
@@ -109,7 +118,8 @@ pub fn attackers<P: Protocol>(execution: &Execution<P>) -> Vec<ProcessId> {
         .outputs()
         .iter()
         .enumerate()
-        .filter(|&(_i, &o)| o).map(|(i, &_o)| ProcessId::new(i as u32))
+        .filter(|&(_i, &o)| o)
+        .map(|(i, &_o)| ProcessId::new(i as u32))
         .collect()
 }
 
@@ -159,9 +169,6 @@ mod tests {
         let tapes = TapeSet::random(&mut rng, 2, 64);
         let ex = execute(&proto, &g, &run, &tapes);
         assert_eq!(render_decisions(&ex), "TA [11]");
-        assert_eq!(
-            attackers(&ex),
-            vec![ProcessId::new(0), ProcessId::new(1)]
-        );
+        assert_eq!(attackers(&ex), vec![ProcessId::new(0), ProcessId::new(1)]);
     }
 }

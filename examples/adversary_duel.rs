@@ -18,13 +18,7 @@ use rand::SeedableRng;
 
 const TRIALS: u64 = 4_000;
 
-fn duel<P: Protocol + Sync>(
-    name: &str,
-    protocol: &P,
-    graph: &Graph,
-    n: u32,
-    table: &mut Table,
-) {
+fn duel<P: Protocol + Sync>(name: &str, protocol: &P, graph: &Graph, n: u32, table: &mut Table) {
     // Arm 1: the structured cut family (exhaustive over cuts).
     let family = ca_sim::cut_family(graph, n);
     let (worst_idx, reports) =
@@ -81,14 +75,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for graph in [Graph::complete(4)?, Graph::star(5)?, Graph::ring(5)?] {
         duel("S (ε=1/8)", &ProtocolS::new(eps), &graph, n, &mut table);
-        duel("det-flood", &DeterministicFlood::new(), &graph, n, &mut table);
+        duel(
+            "det-flood",
+            &DeterministicFlood::new(),
+            &graph,
+            n,
+            &mut table,
+        );
     }
 
     println!("{table}");
     println!("reading the table:");
     println!("  det-flood   → the adversary finds certain disagreement (PA = 1): the classic impossibility");
     println!("  threshold   → also deterministic, also destroyed by a well-placed cut");
-    println!("  A           → best attack ≈ 1/(N-1) = {:.4}", 1.0 / (n as f64 - 1.0));
+    println!(
+        "  A           → best attack ≈ 1/(N-1) = {:.4}",
+        1.0 / (n as f64 - 1.0)
+    );
     println!("  S           → nothing beats ε = {eps}, on any topology (Theorem 6.7)");
     Ok(())
 }

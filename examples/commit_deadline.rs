@@ -38,12 +38,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ]);
 
     let cases = [
-        DeadlineCase { deadline_ms: 50, split_risk_budget: 100 },
-        DeadlineCase { deadline_ms: 250, split_risk_budget: 100 },
-        DeadlineCase { deadline_ms: 500, split_risk_budget: 100 },
-        DeadlineCase { deadline_ms: 1_000, split_risk_budget: 100 },
-        DeadlineCase { deadline_ms: 5_000, split_risk_budget: 1_000 },
-        DeadlineCase { deadline_ms: 10_000, split_risk_budget: 1_000 },
+        DeadlineCase {
+            deadline_ms: 50,
+            split_risk_budget: 100,
+        },
+        DeadlineCase {
+            deadline_ms: 250,
+            split_risk_budget: 100,
+        },
+        DeadlineCase {
+            deadline_ms: 500,
+            split_risk_budget: 100,
+        },
+        DeadlineCase {
+            deadline_ms: 1_000,
+            split_risk_budget: 100,
+        },
+        DeadlineCase {
+            deadline_ms: 5_000,
+            split_risk_budget: 1_000,
+        },
+        DeadlineCase {
+            deadline_ms: 10_000,
+            split_risk_budget: 1_000,
+        },
     ];
 
     for case in cases {
@@ -78,8 +96,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("how long a deadline does a given split-risk budget force? (Thm 5.4 / §8)\n");
     let mut needs = Table::new(["ε", "min rounds", "min deadline at 5 ms/round"]);
     for t in [10u64, 100, 1_000] {
-        let rounds = min_rounds_for_certain_liveness(&graph, t, 1_100)
-            .expect("cap large enough");
+        let rounds = min_rounds_for_certain_liveness(&graph, t, 1_100).expect("cap large enough");
         needs.push_row([
             format!("1/{t}"),
             rounds.to_string(),

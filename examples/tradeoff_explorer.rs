@@ -45,7 +45,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 24u32;
     let t = 12u64;
     let proto = ProtocolS::new(1.0 / t as f64);
-    let mut table = Table::new(["drop prob p", "liveness", "disagreement", "measured L/U", "strong ceiling"]);
+    let mut table = Table::new([
+        "drop prob p",
+        "liveness",
+        "disagreement",
+        "measured L/U",
+        "strong ceiling",
+    ]);
     for p in [0.05f64, 0.15, 0.3] {
         let report = simulate(
             &proto,

@@ -1,0 +1,98 @@
+//! Offline stand-in for `crossbeam`, providing scoped threads over
+//! `std::thread::scope` (which landed in std long after crossbeam
+//! popularized the API).
+
+pub mod thread {
+    //! Scoped threads with crossbeam's closure signature: the spawn closure
+    //! receives the scope again, so workers can themselves spawn.
+
+    use std::thread as std_thread;
+
+    /// A scope handle; `Copy` so it can be captured by many closures.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread bound to the scope; it may borrow from `'env`.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(scope)),
+            }
+        }
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result (`Err` if it
+        /// panicked).
+        pub fn join(self) -> std_thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Runs `f` with a scope; all spawned threads are joined before this
+    /// returns.
+    ///
+    /// # Errors
+    ///
+    /// Crossbeam reports child panics as `Err`. `std::thread::scope`
+    /// instead resumes the panic on the parent after joining, so this
+    /// always returns `Ok` — callers' `.expect(...)` is then a no-op, and
+    /// a worker panic still propagates with its original message.
+    pub fn scope<'env, F, R>(f: F) -> std_thread::Result<R>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = vec![1u64, 2, 3, 4];
+            let mut results = vec![0u64; data.len()];
+            super::scope(|scope| {
+                for (slot, &x) in results.iter_mut().zip(&data) {
+                    scope.spawn(move |_| {
+                        *slot = x * 10;
+                    });
+                }
+            })
+            .expect("scope");
+            assert_eq!(results, vec![10, 20, 30, 40]);
+        }
+
+        #[test]
+        fn workers_can_respawn() {
+            let total = std::sync::atomic::AtomicU64::new(0);
+            super::scope(|scope| {
+                scope.spawn(|inner| {
+                    inner.spawn(|_| {
+                        total.fetch_add(7, std::sync::atomic::Ordering::SeqCst);
+                    });
+                });
+            })
+            .expect("scope");
+            assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 7);
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the slice of the proptest API this workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map` / `prop_flat_map`, integer
+//! and float range strategies, [`any`], [`Just`], tuple strategies,
+//! [`collection::vec`], [`option::of`], the [`proptest!`] macro, and
+//! `prop_assert*`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its inputs via the assertion
+//!   message; minimization is out of scope (the chaos harness has its own
+//!   delta-debugging shrinker for the inputs that matter).
+//! * **Deterministic sampling.** Each test's RNG is seeded from a hash of
+//!   the test's name, so failures reproduce without a persistence file.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+pub mod option;
+
+/// Re-exports mirroring real proptest's `prop` module shorthand.
+pub mod prop {
+    pub use crate::{collection, option};
+}
+
+/// Everything a property test module needs.
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, Strategy,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    /// Chains a dependent strategy off each generated value.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { source: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical full-range strategy.
+pub trait ArbitraryValue {
+    /// Draws one unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: ArbitraryValue> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy over the full range of `T`.
+pub fn any<T: ArbitraryValue>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+macro_rules! arbitrary_ints {
+    ($($ty:ty),+) => {
+        $(
+            impl ArbitraryValue for $ty {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.next_u64() as $ty
+                }
+            }
+        )+
+    };
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl ArbitraryValue for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<f64>()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Range strategies
+// ---------------------------------------------------------------------------
+
+/// Samples a value in `[lo, lo + span)` where `span > 0`, shared by all
+/// integer range strategies (everything widens through `i128`).
+fn sample_span(rng: &mut StdRng, lo: i128, span: i128) -> i128 {
+    assert!(span > 0, "cannot sample from an empty range");
+    let span = u64::try_from(span).expect("range span too large for this proptest shim");
+    lo + i128::from(rng.gen_range(0..span))
+}
+
+macro_rules! int_range_strategies {
+    ($($ty:ty),+) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut StdRng) -> $ty {
+                    let lo = self.start as i128;
+                    sample_span(rng, lo, self.end as i128 - lo) as $ty
+                }
+            }
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut StdRng) -> $ty {
+                    let lo = *self.start() as i128;
+                    sample_span(rng, lo, *self.end() as i128 - lo + 1) as $ty
+                }
+            }
+        )+
+    };
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, i128);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        self.start + rng.gen::<f64>() * (self.end - self.start)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuple strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident),+))+) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+
+    };
+}
+
+tuple_strategies! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+// ---------------------------------------------------------------------------
+// Test runner
+// ---------------------------------------------------------------------------
+
+/// Configuration and the case loop behind [`proptest!`].
+pub mod test_runner {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// How many cases each property runs.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases to draw.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Smaller than real proptest's 256: no shrinking means a failure
+            // report is only as useful as the case that produced it, and the
+            // workspace's properties are statistical, not boundary-hunting.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// FNV-1a, used to derive a per-test seed from the test's name.
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs `test` against `config.cases` values drawn from `strategy`,
+    /// deterministically per test name. Panics (with the case index) on the
+    /// first failing case.
+    pub fn run<S: Strategy>(
+        config: ProptestConfig,
+        name: &str,
+        strategy: &S,
+        mut test: impl FnMut(S::Value),
+    ) {
+        let mut rng = StdRng::seed_from_u64(fnv1a(name.as_bytes()));
+        for _case in 0..config.cases {
+            test(strategy.generate(&mut rng));
+        }
+    }
+}
+
+/// Declares deterministic property tests.
+///
+/// Each `fn name(pat in strategy, ...) { body }` item expands to a plain
+/// `#[test]` (the attribute is written by the caller and passed through)
+/// that draws tuples from the strategies and runs the body per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { @config ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            @config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: munches one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@config ($config:expr)) => {};
+    (@config ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __strategy = ($($strat,)+);
+            $crate::test_runner::run(
+                $config,
+                concat!(module_path!(), "::", stringify!($name)),
+                &__strategy,
+                |($($pat,)+)| $body,
+            );
+        }
+        $crate::__proptest_fns! { @config ($config) $($rest)* }
+    };
+}
+
+/// Asserts inside a property body (no shrinking, so plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { ::std::assert!($($tt)*) };
+}
+
+/// Equality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { ::std::assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { ::std::assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges respect their bounds; tuples and maps compose.
+        #[test]
+        fn ranges_and_combinators(
+            a in 2usize..=5,
+            b in -50i128..50,
+            c in 0.0f64..0.9,
+            v in prop::collection::vec(any::<bool>(), 1..8),
+            o in prop::option::of(1u64..4),
+            d in (0u8..3).prop_map(|k| k * 2),
+        ) {
+            prop_assert!((2..=5).contains(&a));
+            prop_assert!((-50..50).contains(&b));
+            prop_assert!((0.0..0.9).contains(&c));
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            if let Some(x) = o {
+                prop_assert!((1..4).contains(&x));
+            }
+            prop_assert_eq!(d % 2, 0);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_name() {
+        use rand::SeedableRng;
+        let strat = (0u64..1000, 0u64..1000);
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(1);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+    }
+
+    proptest! {
+        /// The default config also works (no `proptest_config` header).
+        #[test]
+        fn default_config_runs(x in 0usize..10) {
+            prop_assert!(x < 10);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! `Option` strategies (`of`).
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Strategy producing `None` or `Some` of an inner strategy's value.
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+        // Real proptest favors `Some`; matching that keeps the Some branch
+        // well exercised without starving the None branch.
+        if rng.gen_bool(0.75) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// `Option`s of values from `inner` (75% `Some`).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}

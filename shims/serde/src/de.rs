@@ -1,0 +1,55 @@
+//! Deserialization: a simplified, JSON-value-based API.
+//!
+//! Real serde deserializes through a visitor abstraction so any data format
+//! can drive it. Nothing in this workspace implements a custom
+//! `Deserializer`, so this shim collapses the abstraction: a value is
+//! deserialized straight from a parsed [`crate::json::Value`] tree. The
+//! derive macro generates impls of [`Deserialize`] that mirror the encoding
+//! conventions of [`crate::json`]'s serializer.
+
+use crate::json::{Error, Value};
+
+/// A value reconstructible from a JSON tree.
+pub trait Deserialize: Sized {
+    /// Reads `Self` out of `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the JSON shape does not match `Self`.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+/// Reads field `name` from the object entries `obj`, treating a missing key
+/// as JSON `null` (so `Option` fields may be omitted).
+///
+/// # Errors
+///
+/// Propagates the field type's own shape errors, annotated with the field
+/// name.
+pub fn field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, Error> {
+    static NULL: Value = Value::Null;
+    let v = obj
+        .iter()
+        .find(|(k, _)| k == name)
+        .map_or(&NULL, |(_, v)| v);
+    T::deserialize(v).map_err(|e| Error::custom(format!("field `{name}`: {e}")))
+}
+
+/// Interprets `value` as an externally tagged enum: either a bare string
+/// (unit variant) or a single-key object `{variant: payload}`. Returns the
+/// variant name and its payload (`Null` for unit variants).
+///
+/// # Errors
+///
+/// Returns an error for any other JSON shape.
+pub fn variant(value: &Value) -> Result<(&str, &Value), Error> {
+    static NULL: Value = Value::Null;
+    match value {
+        Value::Str(name) => Ok((name, &NULL)),
+        Value::Object(entries) if entries.len() == 1 => Ok((entries[0].0.as_str(), &entries[0].1)),
+        other => Err(Error::custom(format!(
+            "expected enum (string or single-key object), got {}",
+            other.kind()
+        ))),
+    }
+}

@@ -1,0 +1,490 @@
+//! [`Serialize`] and [`Deserialize`] implementations for std types.
+
+use crate::de::Deserialize;
+use crate::json::{Error, Value};
+use crate::ser::{self, Serialize, Serializer};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+macro_rules! primitive {
+    ($ty:ty, $ser:ident, $pat:pat => $expr:expr, $expected:literal) => {
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$ser(*self)
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                match value {
+                    $pat => $expr,
+                    other => Err(Error::custom(format!(
+                        concat!("expected ", $expected, ", got {}"),
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+macro_rules! int_via_i64 {
+    ($($ty:ty => $ser:ident),* $(,)?) => {
+        $(
+            impl Serialize for $ty {
+                fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                    serializer.$ser(*self)
+                }
+            }
+            impl Deserialize for $ty {
+                fn deserialize(value: &Value) -> Result<Self, Error> {
+                    let n = value.as_i64().ok_or_else(|| {
+                        Error::custom(format!("expected integer, got {}", value.kind()))
+                    })?;
+                    <$ty>::try_from(n).map_err(|_| {
+                        Error::custom(format!(
+                            concat!("integer {} out of range for ", stringify!($ty)),
+                            n
+                        ))
+                    })
+                }
+            }
+        )*
+    };
+}
+
+primitive!(bool, serialize_bool, Value::Bool(b) => Ok(*b), "bool");
+
+int_via_i64! {
+    i8 => serialize_i8,
+    i16 => serialize_i16,
+    i32 => serialize_i32,
+    i64 => serialize_i64,
+    u8 => serialize_u8,
+    u16 => serialize_u16,
+    u32 => serialize_u32,
+}
+
+impl Serialize for u64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self)
+    }
+}
+impl Deserialize for u64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_u64()
+            .ok_or_else(|| Error::custom(format!("expected integer, got {}", value.kind())))
+    }
+}
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self as u64)
+    }
+}
+impl Deserialize for usize {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let n = u64::deserialize(value)?;
+        usize::try_from(n).map_err(|_| Error::custom(format!("integer {n} out of range for usize")))
+    }
+}
+
+impl Serialize for isize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_i64(*self as i64)
+    }
+}
+impl Deserialize for isize {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let n = value
+            .as_i64()
+            .ok_or_else(|| Error::custom(format!("expected integer, got {}", value.kind())))?;
+        isize::try_from(n).map_err(|_| Error::custom(format!("integer {n} out of range for isize")))
+    }
+}
+
+impl Serialize for i128 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_i128(*self)
+    }
+}
+impl Deserialize for i128 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_i64()
+            .map(i128::from)
+            .ok_or_else(|| Error::custom(format!("expected integer, got {}", value.kind())))
+    }
+}
+
+impl Serialize for u128 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u128(*self)
+    }
+}
+impl Deserialize for u128 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_u64()
+            .map(u128::from)
+            .ok_or_else(|| Error::custom(format!("expected integer, got {}", value.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f32(*self)
+    }
+}
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        f64::deserialize(value).map(|v| v as f32)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::custom(format!("expected number, got {}", value.kind())))
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_char(*self)
+    }
+}
+impl Deserialize for char {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(Error::custom(format!(
+                "expected single-character string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+impl Deserialize for () {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(Error::custom(format!(
+                "expected null, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// References and containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        T::deserialize(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+fn serialize_slice<T: Serialize, S: Serializer>(
+    items: &[T],
+    serializer: S,
+) -> Result<S::Ok, S::Error> {
+    use ser::SerializeSeq as _;
+    let mut seq = serializer.serialize_seq(Some(items.len()))?;
+    for item in items {
+        seq.serialize_element(item)?;
+    }
+    seq.end()
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_slice(self, serializer)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_slice(self, serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_slice(self, serializer)
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, got {}", value.kind())))?;
+        items.iter().map(T::deserialize).collect()
+    }
+}
+
+fn serialize_iter<T: Serialize, S: Serializer>(
+    len: usize,
+    items: impl Iterator<Item = T>,
+    serializer: S,
+) -> Result<S::Ok, S::Error> {
+    use ser::SerializeSeq as _;
+    let mut seq = serializer.serialize_seq(Some(len))?;
+    for item in items {
+        seq.serialize_element(&item)?;
+    }
+    seq.end()
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(self.len(), self.iter(), serializer)
+    }
+}
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, got {}", value.kind())))?;
+        items.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(self.len(), self.iter(), serializer)
+    }
+}
+impl<T: Deserialize + Eq + std::hash::Hash> Deserialize for HashSet<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, got {}", value.kind())))?;
+        items.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(self.len(), self.iter(), serializer)
+    }
+}
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, got {}", value.kind())))?;
+        items.iter().map(T::deserialize).collect()
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($idx:tt $name:ident),+))+) => {
+        $(
+            impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+                fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                    use ser::SerializeTuple as _;
+                    let mut t = serializer.serialize_tuple(tuple_impls!(@count $($name)+))?;
+                    $(t.serialize_element(&self.$idx)?;)+
+                    t.end()
+                }
+            }
+            impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+                fn deserialize(value: &Value) -> Result<Self, Error> {
+                    let arity = tuple_impls!(@count $($name)+);
+                    let items = value.as_array().ok_or_else(|| {
+                        Error::custom(format!("expected array, got {}", value.kind()))
+                    })?;
+                    if items.len() != arity {
+                        return Err(Error::custom(format!(
+                            "expected {}-element array, got {} elements",
+                            arity,
+                            items.len()
+                        )));
+                    }
+                    Ok(($($name::deserialize(&items[$idx])?,)+))
+                }
+            }
+        )+
+    };
+    (@count $($name:ident)+) => { [$(tuple_impls!(@one $name)),+].len() };
+    (@one $name:ident) => { () };
+}
+
+tuple_impls! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+// Maps serialize with string-convertible keys (JSON's only key type).
+macro_rules! map_impls {
+    ($($map:ident),+) => {
+        $(
+            impl<K: Serialize, V: Serialize> Serialize for $map<K, V> {
+                fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                    use ser::SerializeMap as _;
+                    let mut m = serializer.serialize_map(Some(self.len()))?;
+                    for (k, v) in self {
+                        m.serialize_key(k)?;
+                        m.serialize_value(v)?;
+                    }
+                    m.end()
+                }
+            }
+        )+
+    };
+}
+
+map_impls!(BTreeMap, HashMap);
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, got {}", value.kind())))?;
+        entries
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, got {}", value.kind())))?;
+        entries
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+// `Value` itself round-trips transparently, so reports can embed raw JSON.
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use ser::{SerializeMap as _, SerializeSeq as _};
+        match self {
+            Value::Null => serializer.serialize_unit(),
+            Value::Bool(b) => serializer.serialize_bool(*b),
+            Value::I64(n) => serializer.serialize_i64(*n),
+            Value::U64(n) => serializer.serialize_u64(*n),
+            Value::F64(x) => serializer.serialize_f64(*x),
+            Value::Str(s) => serializer.serialize_str(s),
+            Value::Array(items) => {
+                let mut seq = serializer.serialize_seq(Some(items.len()))?;
+                for item in items {
+                    seq.serialize_element(item)?;
+                }
+                seq.end()
+            }
+            Value::Object(entries) => {
+                let mut m = serializer.serialize_map(Some(entries.len()))?;
+                for (k, v) in entries {
+                    m.serialize_key(k.as_str())?;
+                    m.serialize_value(v)?;
+                }
+                m.end()
+            }
+        }
+    }
+}
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::json;
+
+    #[test]
+    fn std_types_roundtrip_through_json() {
+        let v: (u64, Option<i32>, Vec<bool>, String) =
+            (7, Some(-3), vec![true, false], "hi".to_owned());
+        let text = json::to_string(&v).unwrap();
+        assert_eq!(text, "[7,-3,[true,false],\"hi\"]");
+        let back: (u64, Option<i32>, Vec<bool>, String) = json::from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn missing_option_reads_as_none() {
+        let back: Option<u32> = json::from_str("null").unwrap();
+        assert_eq!(back, None);
+    }
+}

@@ -1,0 +1,31 @@
+//! Offline stand-in for `serde` (+ a built-in JSON data format).
+//!
+//! The workspace builds without crates.io access, so this shim provides the
+//! slice of serde the workspace relies on:
+//!
+//! * [`Serialize`] / [`ser`] — the visitor-style serializer API, with exactly
+//!   the trait surface `ca_sim::wire`'s counting serializer implements;
+//! * [`de::Deserialize`] — a simplified, JSON-value-based deserialization
+//!   trait (no visitor machinery; nothing in the workspace implements a
+//!   custom `Deserializer`);
+//! * [`json`] — a deterministic JSON encoder/decoder used by the chaos
+//!   harness to save, replay, and diff fault schedules and reports;
+//! * `#[derive(Serialize, Deserialize)]` via the sibling `serde_derive`
+//!   shim, generating impls against the traits above.
+//!
+//! Conventions match `serde_json`'s external tagging: structs are objects,
+//! tuple structs are arrays, newtype structs are transparent, unit variants
+//! are strings, and data-carrying variants are single-key objects.
+
+pub mod de;
+pub mod json;
+pub mod ser;
+
+// The trait and the derive macro live in different namespaces, so both can
+// be re-exported under the same name (as in real serde).
+pub use de::Deserialize;
+pub use ser::Serialize;
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Implementations of [`Serialize`] and [`de::Deserialize`] for std types.
+mod impls;

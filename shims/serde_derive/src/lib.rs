@@ -1,0 +1,532 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the offline serde
+//! stand-in.
+//!
+//! Real `serde_derive` pulls in `syn`/`quote`; neither is available offline,
+//! so this crate parses the derive input directly from the token stream and
+//! emits impl blocks as strings. It supports exactly the shapes this
+//! workspace uses — plain structs, tuple/newtype/unit structs, and enums
+//! with unit/newtype/tuple/struct variants, optionally generic — and
+//! panics with a clear message on anything fancier (`where` clauses,
+//! `#[serde(...)]` attributes).
+//!
+//! Generated code follows the same encoding conventions as
+//! `serde::json`: structs are objects keyed by field name, newtype structs
+//! are transparent, tuple structs are arrays, unit variants are strings,
+//! and data-carrying variants are single-key objects.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::ser::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    let code = gen_serialize(&item);
+    code.parse().unwrap_or_else(|e| {
+        panic!(
+            "derived Serialize for `{}` failed to reparse: {e}",
+            item.name
+        )
+    })
+}
+
+/// Derives `serde::de::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    let code = gen_deserialize(&item);
+    code.parse().unwrap_or_else(|e| {
+        panic!(
+            "derived Deserialize for `{}` failed to reparse: {e}",
+            item.name
+        )
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+struct Input {
+    name: String,
+    /// Verbatim generics declaration, e.g. `< T : Clone >`, or empty.
+    generics_decl: String,
+    /// Generic arguments for the self type, e.g. `<T>`, or empty.
+    generics_args: String,
+    /// Names of the type parameters (bounds are added per derive).
+    type_params: Vec<String>,
+    data: Data,
+}
+
+enum Data {
+    UnitStruct,
+    NewtypeStruct,
+    TupleStruct(usize),
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(tt: &TokenTree, word: &str) -> bool {
+    matches!(tt, TokenTree::Ident(id) if id.to_string() == word)
+}
+
+fn ident_text(tt: &TokenTree) -> Option<String> {
+    match tt {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Skips `#[...]` attributes and a `pub` / `pub(...)` visibility prefix.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut j: usize) -> usize {
+    while j + 1 < toks.len() && is_punct(&toks[j], '#') {
+        j += 2; // `#` plus the bracketed group
+    }
+    if j < toks.len() && is_ident(&toks[j], "pub") {
+        j += 1;
+        if let Some(TokenTree::Group(g)) = toks.get(j) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                j += 1; // `pub(crate)` etc.
+            }
+        }
+    }
+    j
+}
+
+/// Advances past a type (or discriminant) to just after the next `,` at
+/// angle-bracket depth zero; stops at end of tokens.
+fn skip_past_comma(toks: &[TokenTree], mut j: usize) -> usize {
+    let mut depth = 0i32;
+    while j < toks.len() {
+        let tt = &toks[j];
+        if is_punct(tt, '<') {
+            depth += 1;
+        } else if is_punct(tt, '>') {
+            depth -= 1;
+        } else if is_punct(tt, ',') && depth == 0 {
+            return j + 1;
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Parses `<...>` starting at `*i` (no-op when absent). Returns the verbatim
+/// declaration, the argument list for the self type, and the type-parameter
+/// names.
+fn parse_generics(toks: &[TokenTree], i: &mut usize) -> (String, String, Vec<String>) {
+    if !toks.get(*i).is_some_and(|tt| is_punct(tt, '<')) {
+        return (String::new(), String::new(), Vec::new());
+    }
+    let start = *i;
+    let mut depth = 0i32;
+    let mut args: Vec<String> = Vec::new();
+    let mut type_params: Vec<String> = Vec::new();
+    let mut at_param_start = false;
+    while *i < toks.len() {
+        let tt = &toks[*i];
+        if is_punct(tt, '<') {
+            depth += 1;
+            if depth == 1 {
+                at_param_start = true;
+            }
+            *i += 1;
+            continue;
+        }
+        if is_punct(tt, '>') {
+            depth -= 1;
+            *i += 1;
+            if depth == 0 {
+                break;
+            }
+            continue;
+        }
+        if is_punct(tt, ',') && depth == 1 {
+            at_param_start = true;
+            *i += 1;
+            continue;
+        }
+        if at_param_start && depth == 1 {
+            at_param_start = false;
+            if is_punct(tt, '\'') {
+                let name = ident_text(&toks[*i + 1]).expect("lifetime name");
+                args.push(format!("'{name}"));
+                *i += 2;
+                continue;
+            }
+            if is_ident(tt, "const") {
+                let name = ident_text(&toks[*i + 1]).expect("const parameter name");
+                args.push(name);
+                *i += 2;
+                continue;
+            }
+            let name =
+                ident_text(tt).unwrap_or_else(|| panic!("unsupported generic parameter `{tt}`"));
+            args.push(name.clone());
+            type_params.push(name);
+            *i += 1;
+            continue;
+        }
+        *i += 1;
+    }
+    let decl: TokenStream = toks[start..*i].iter().cloned().collect();
+    (
+        decl.to_string(),
+        format!("<{}>", args.join(", ")),
+        type_params,
+    )
+}
+
+/// Parses `{ name: Type, ... }` contents into field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut out = Vec::new();
+    let mut j = 0;
+    while j < toks.len() {
+        j = skip_attrs_and_vis(&toks, j);
+        if j >= toks.len() {
+            break;
+        }
+        let name = ident_text(&toks[j])
+            .unwrap_or_else(|| panic!("expected field name, found `{}`", toks[j]));
+        out.push(name);
+        j += 2; // name and `:`
+        j = skip_past_comma(&toks, j);
+    }
+    out
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut fields = 0usize;
+    let mut depth = 0i32;
+    let mut segment_has_tokens = false;
+    for tt in stream {
+        if is_punct(&tt, ',') && depth == 0 {
+            if segment_has_tokens {
+                fields += 1;
+            }
+            segment_has_tokens = false;
+            continue;
+        }
+        if is_punct(&tt, '<') {
+            depth += 1;
+        } else if is_punct(&tt, '>') {
+            depth -= 1;
+        }
+        segment_has_tokens = true;
+    }
+    if segment_has_tokens {
+        fields += 1;
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut out = Vec::new();
+    let mut j = 0;
+    while j < toks.len() {
+        j = skip_attrs_and_vis(&toks, j);
+        if j >= toks.len() {
+            break;
+        }
+        let name = ident_text(&toks[j])
+            .unwrap_or_else(|| panic!("expected variant name, found `{}`", toks[j]));
+        j += 1;
+        let kind = match toks.get(j) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                j += 1;
+                if n == 1 {
+                    VariantKind::Newtype
+                } else {
+                    VariantKind::Tuple(n)
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                j += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        j = skip_past_comma(&toks, j); // also skips `= discriminant`
+        out.push(Variant { name, kind });
+    }
+    out
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let keyword = ident_text(&toks[i])
+        .unwrap_or_else(|| panic!("expected `struct` or `enum`, found `{}`", toks[i]));
+    i += 1;
+    let name =
+        ident_text(&toks[i]).unwrap_or_else(|| panic!("expected type name, found `{}`", toks[i]));
+    i += 1;
+    let (generics_decl, generics_args, type_params) = parse_generics(&toks, &mut i);
+    if toks.get(i).is_some_and(|tt| is_ident(tt, "where")) {
+        panic!(
+            "serde_derive shim: `where` clauses are unsupported; write bounds inline on `{name}`"
+        );
+    }
+    let data = match keyword.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                match count_tuple_fields(g.stream()) {
+                    1 => Data::NewtypeStruct,
+                    n => Data::TupleStruct(n),
+                }
+            }
+            Some(tt) if is_punct(tt, ';') => Data::UnitStruct,
+            _ => panic!("unsupported struct body for `{name}`"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("expected enum body for `{name}`"),
+        },
+        other => panic!("serde_derive shim cannot derive for `{other} {name}`"),
+    };
+    Input {
+        name,
+        generics_decl,
+        generics_args,
+        type_params,
+        data,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// Builds a `where` clause bounding every type parameter by `bound`.
+fn bounds_clause(type_params: &[String], bound: &str) -> String {
+    if type_params.is_empty() {
+        return String::new();
+    }
+    let items: Vec<String> = type_params
+        .iter()
+        .map(|p| format!("{p}: {bound}"))
+        .collect();
+    format!("where {}", items.join(", "))
+}
+
+fn gen_serialize(inp: &Input) -> String {
+    let name = &inp.name;
+    let body = match &inp.data {
+        Data::UnitStruct => {
+            format!("::serde::ser::Serializer::serialize_unit_struct(serializer, \"{name}\")")
+        }
+        Data::NewtypeStruct => format!(
+            "::serde::ser::Serializer::serialize_newtype_struct(serializer, \"{name}\", &self.0)"
+        ),
+        Data::TupleStruct(n) => {
+            let mut s = format!(
+                "let mut st = ::serde::ser::Serializer::serialize_tuple_struct(serializer, \"{name}\", {n}usize)?;\n"
+            );
+            for k in 0..*n {
+                s.push_str(&format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut st, &self.{k})?;\n"
+                ));
+            }
+            s.push_str("::serde::ser::SerializeTupleStruct::end(st)");
+            s
+        }
+        Data::Struct(fields) => {
+            let mut s = format!(
+                "let mut st = ::serde::ser::Serializer::serialize_struct(serializer, \"{name}\", {}usize)?;\n",
+                fields.len()
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut st, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            s.push_str("::serde::ser::SerializeStruct::end(st)");
+            s
+        }
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "Self::{vname} => ::serde::ser::Serializer::serialize_unit_variant(serializer, \"{name}\", {idx}u32, \"{vname}\"),\n"
+                    )),
+                    VariantKind::Newtype => arms.push_str(&format!(
+                        "Self::{vname}(__f0) => ::serde::ser::Serializer::serialize_newtype_variant(serializer, \"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let mut arm = format!(
+                            "Self::{vname}({}) => {{\nlet mut st = ::serde::ser::Serializer::serialize_tuple_variant(serializer, \"{name}\", {idx}u32, \"{vname}\", {n}usize)?;\n",
+                            binds.join(", ")
+                        );
+                        for b in &binds {
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeTupleVariant::serialize_field(&mut st, {b})?;\n"
+                            ));
+                        }
+                        arm.push_str("::serde::ser::SerializeTupleVariant::end(st)\n},\n");
+                        arms.push_str(&arm);
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut arm = format!(
+                            "Self::{vname} {{ {} }} => {{\nlet mut st = ::serde::ser::Serializer::serialize_struct_variant(serializer, \"{name}\", {idx}u32, \"{vname}\", {}usize)?;\n",
+                            fields.join(", "),
+                            fields.len()
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeStructVariant::serialize_field(&mut st, \"{f}\", {f})?;\n"
+                            ));
+                        }
+                        arm.push_str("::serde::ser::SerializeStructVariant::end(st)\n},\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            if arms.is_empty() {
+                "match *self {}".to_owned()
+            } else {
+                format!("match self {{\n{arms}}}")
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{decl} ::serde::ser::Serialize for {name}{args} {bounds} {{\n\
+         fn serialize<__S: ::serde::ser::Serializer>(&self, serializer: __S) -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}",
+        decl = inp.generics_decl,
+        args = inp.generics_args,
+        bounds = bounds_clause(&inp.type_params, "::serde::ser::Serialize"),
+    )
+}
+
+/// Shared snippet: reject a non-array payload, or one of the wrong length,
+/// then build `{ctor}(items[0], items[1], ...)`.
+fn tuple_body(ctor: &str, context: &str, n: usize) -> String {
+    let mut s = format!(
+        "let items = value.as_array().ok_or_else(|| ::serde::json::Error::custom(::std::format!(\"expected array for {context}, got {{}}\", value.kind())))?;\n\
+         if items.len() != {n}usize {{\n\
+         return ::core::result::Result::Err(::serde::json::Error::custom(::std::format!(\"expected {n} elements for {context}, got {{}}\", items.len())));\n\
+         }}\n"
+    );
+    let parts: Vec<String> = (0..n)
+        .map(|k| format!("::serde::de::Deserialize::deserialize(&items[{k}usize])?"))
+        .collect();
+    s.push_str(&format!(
+        "::core::result::Result::Ok({ctor}({}))",
+        parts.join(", ")
+    ));
+    s
+}
+
+/// Shared snippet: reject a non-object payload, then build
+/// `{ctor} {{ field: de::field(obj, "field")?, ... }}`.
+fn struct_body(ctor: &str, context: &str, fields: &[String]) -> String {
+    let mut s = format!(
+        "let obj = value.as_object().ok_or_else(|| ::serde::json::Error::custom(::std::format!(\"expected object for {context}, got {{}}\", value.kind())))?;\n"
+    );
+    let parts: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::de::field(obj, \"{f}\")?"))
+        .collect();
+    s.push_str(&format!(
+        "::core::result::Result::Ok({ctor} {{ {} }})",
+        parts.join(", ")
+    ));
+    s
+}
+
+fn gen_deserialize(inp: &Input) -> String {
+    let name = &inp.name;
+    let body = match &inp.data {
+        Data::UnitStruct => format!(
+            "if let ::serde::json::Value::Null = value {{\n\
+             ::core::result::Result::Ok(Self)\n\
+             }} else {{\n\
+             ::core::result::Result::Err(::serde::json::Error::custom(::std::format!(\"expected null for unit struct {name}, got {{}}\", value.kind())))\n\
+             }}"
+        ),
+        Data::NewtypeStruct => {
+            "::core::result::Result::Ok(Self(::serde::de::Deserialize::deserialize(value)?))"
+                .to_owned()
+        }
+        Data::TupleStruct(n) => tuple_body("Self", &format!("tuple struct {name}"), *n),
+        Data::Struct(fields) => struct_body("Self", &format!("struct {name}"), fields),
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let arm_body = match &v.kind {
+                    VariantKind::Unit => {
+                        format!("::core::result::Result::Ok(Self::{vname})")
+                    }
+                    VariantKind::Newtype => format!(
+                        "::core::result::Result::Ok(Self::{vname}(::serde::de::Deserialize::deserialize(value)?))"
+                    ),
+                    VariantKind::Tuple(n) => tuple_body(
+                        &format!("Self::{vname}"),
+                        &format!("variant {name}::{vname}"),
+                        *n,
+                    ),
+                    VariantKind::Struct(fields) => struct_body(
+                        &format!("Self::{vname}"),
+                        &format!("variant {name}::{vname}"),
+                        fields,
+                    ),
+                };
+                arms.push_str(&format!("\"{vname}\" => {{\n{arm_body}\n}}\n"));
+            }
+            format!(
+                "let (variant, value) = ::serde::de::variant(value)?;\n\
+                 match variant {{\n\
+                 {arms}\
+                 other => ::core::result::Result::Err(::serde::json::Error::custom(::std::format!(\"unknown variant `{{other}}` of enum {name}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{decl} ::serde::de::Deserialize for {name}{args} {bounds} {{\n\
+         fn deserialize(value: &::serde::json::Value) -> ::core::result::Result<Self, ::serde::json::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}",
+        decl = inp.generics_decl,
+        args = inp.generics_args,
+        bounds = bounds_clause(&inp.type_params, "::serde::de::Deserialize"),
+    )
+}

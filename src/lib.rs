@@ -61,9 +61,7 @@ pub mod prelude {
         AttackOnInput, ChainProtocol, CombineRule, DeterministicFlood, FixedThreshold, GridS,
         NeverAttack, ProtocolA, ProtocolS, Repeat, ValidityMode, VectorS,
     };
-    pub use ca_sim::{
-        simulate, BernoulliEstimate, FixedRun, RandomDrop, SimConfig, SimReport,
-    };
+    pub use ca_sim::{simulate, BernoulliEstimate, FixedRun, RandomDrop, SimConfig, SimReport};
 }
 
 #[cfg(test)]

@@ -25,7 +25,9 @@ fn exact_and_monte_carlo_agree_on_every_cut() {
             report.liveness()
         );
         assert!(
-            report.disagreement().consistent_with_z(exact.pa.to_f64(), 4.0),
+            report
+                .disagreement()
+                .consistent_with_z(exact.pa.to_f64(), 4.0),
             "cut {k}: exact PA {} vs MC {}",
             exact.pa,
             report.disagreement()
@@ -54,7 +56,10 @@ fn liveness_formula_holds_on_random_topologies() {
         let expected = (Rational::new(1, t as i128) * Rational::from(ml)).min(Rational::ONE);
         let exact = protocol_s_outcomes(&graph, &run, t);
         assert_eq!(exact.ta, expected, "Thm 6.8 equality on {graph}");
-        assert!(exact.pa <= Rational::new(1, t as i128), "Thm 6.7 on {graph}");
+        assert!(
+            exact.pa <= Rational::new(1, t as i128),
+            "Thm 6.7 on {graph}"
+        );
     }
 }
 

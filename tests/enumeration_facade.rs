@@ -42,13 +42,17 @@ fn three_pipelines_one_answer() {
             SimConfig::new(20_000, 777 + u64::from(cut)),
         );
         assert!(
-            report.liveness().consistent_with_z(analytic.ta.to_f64(), 4.0),
+            report
+                .liveness()
+                .consistent_with_z(analytic.ta.to_f64(), 4.0),
             "cut {cut}: MC liveness {} vs analytic {}",
             report.liveness(),
             analytic.ta
         );
         assert!(
-            report.disagreement().consistent_with_z(analytic.pa.to_f64(), 4.0),
+            report
+                .disagreement()
+                .consistent_with_z(analytic.pa.to_f64(), 4.0),
             "cut {cut}: MC disagreement {} vs analytic {}",
             report.disagreement(),
             analytic.pa

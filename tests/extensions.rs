@@ -54,7 +54,11 @@ fn chain_baseline_is_dominated_by_s_at_matched_budget() {
             (0..m)
                 .map(|i| {
                     coordinated_attack::core::tape::BitTape::from_words(vec![
-                        if i == 0 { word } else { 0 };
+                        if i == 0 {
+                            word
+                        } else {
+                            0
+                        };
                         64
                     ])
                 })
