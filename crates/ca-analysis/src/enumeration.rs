@@ -19,20 +19,27 @@ use ca_core::rational::Rational;
 use ca_core::run::Run;
 use ca_core::tape::{BitTape, TapeSet};
 
-/// Enumerates all `2^bits` leader tapes (followers get zero tapes — correct
-/// for protocols where only the leader draws), executing the protocol on
-/// each, and returns the exact outcome distribution plus the per-process
-/// decision probabilities.
+/// Enumerates all `2^bits` equally likely tape assignments, building the
+/// tape set for enumeration index `j ∈ [0, 2^bits)` with `build_tapes(j)`,
+/// executing the protocol on each, and returns the exact outcome
+/// distribution plus the per-process decision probabilities.
+///
+/// The builder decides how the `bits` enumerated bits map onto tapes — e.g.
+/// low bits of the leader's first word ([`enumerate_leader_tapes`]), or a
+/// repeated word feeding a 64-bit rejection sampler (the Protocol A tests).
+/// It must be a pure function of `j` for the tally to be an exact
+/// distribution.
 ///
 /// # Panics
 ///
 /// Panics if `bits > 24` (≥ 16M executions — the guard against accidental
 /// blow-ups), or if executions disagree with the graph/run dimensions.
-pub fn enumerate_leader_tapes<P: Protocol>(
+pub fn enumerate_tapes<P: Protocol>(
     protocol: &P,
     graph: &Graph,
     run: &Run,
     bits: u32,
+    build_tapes: impl Fn(u64) -> TapeSet,
 ) -> (ExactOutcome, Vec<Rational>) {
     assert!(bits <= 24, "enumerating 2^{bits} tapes is too large");
     let total = 1u64 << bits;
@@ -40,11 +47,7 @@ pub fn enumerate_leader_tapes<P: Protocol>(
     let (mut ta, mut na, mut pa) = (0i128, 0i128, 0i128);
     let mut attacks = vec![0i128; graph.len()];
     for j in 0..total {
-        let tapes = TapeSet::from_tapes(
-            (0..graph.len())
-                .map(|i| BitTape::from_words(vec![if i == 0 { j } else { 0 }]))
-                .collect(),
-        );
+        let tapes = build_tapes(j);
         let outputs = execute_outputs(protocol, graph, run, &tapes);
         match Outcome::classify(&outputs) {
             Outcome::TotalAttack => ta += 1,
@@ -68,11 +71,35 @@ pub fn enumerate_leader_tapes<P: Protocol>(
     )
 }
 
+/// Enumerates all `2^bits` leader tapes (followers get zero tapes — correct
+/// for protocols where only the leader draws), executing the protocol on
+/// each, and returns the exact outcome distribution plus the per-process
+/// decision probabilities.
+///
+/// # Panics
+///
+/// Panics if `bits > 24` (≥ 16M executions — the guard against accidental
+/// blow-ups), or if executions disagree with the graph/run dimensions.
+pub fn enumerate_leader_tapes<P: Protocol>(
+    protocol: &P,
+    graph: &Graph,
+    run: &Run,
+    bits: u32,
+) -> (ExactOutcome, Vec<Rational>) {
+    enumerate_tapes(protocol, graph, run, bits, |j| {
+        TapeSet::from_tapes(
+            (0..graph.len())
+                .map(|i| BitTape::from_words(vec![if i == 0 { j } else { 0 }]))
+                .collect(),
+        )
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::exact::{protocol_a_outcomes, protocol_s_outcomes};
-    use ca_core::ids::{ProcessId, Round};
+    use ca_core::ids::Round;
     use ca_protocols::{GridS, ProtocolA};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -151,41 +178,19 @@ mod tests {
             // Enumerate 2^3 tapes... draw_below draws 64 bits; give the
             // leader a full word whose low 3 bits vary and the rest zero —
             // value < 8 < zone, accepted immediately, rfire = 2 + (v mod 8).
-            let (enumerated, attacks) = {
-                let total = 1u64 << bits;
-                let denom = total as i128;
-                let (mut ta, mut na, mut pa) = (0i128, 0i128, 0i128);
-                let mut att = vec![0i128; 2];
-                for j in 0..total {
-                    let tapes = TapeSet::from_tapes(vec![
-                        BitTape::from_words(vec![j; 64]),
-                        BitTape::from_words(vec![0; 64]),
-                    ]);
-                    let outputs = execute_outputs(&proto, &g, &run, &tapes);
-                    match Outcome::classify(&outputs) {
-                        Outcome::TotalAttack => ta += 1,
-                        Outcome::NoAttack => na += 1,
-                        Outcome::PartialAttack => pa += 1,
-                    }
-                    for (c, &o) in att.iter_mut().zip(&outputs) {
-                        *c += i128::from(o);
-                    }
-                }
-                (
-                    ExactOutcome {
-                        ta: Rational::new(ta, denom),
-                        na: Rational::new(na, denom),
-                        pa: Rational::new(pa, denom),
-                    },
-                    att,
-                )
-            };
+            let (enumerated, attacks) = enumerate_tapes(&proto, &g, &run, bits, |j| {
+                TapeSet::from_tapes(vec![
+                    BitTape::from_words(vec![j; 64]),
+                    BitTape::from_words(vec![0; 64]),
+                ])
+            });
             assert_eq!(closed, enumerated, "cut at {d}");
             // Lemma 2.2 on the enumerated decision probabilities.
             let pa_bound = enumerated.pa;
-            let p0 = Rational::new(attacks[0], 8);
-            let p1 = Rational::new(attacks[1], 8);
-            assert!((p0 - p1).abs() <= pa_bound, "Lemma 2.2 via enumeration");
+            assert!(
+                (attacks[0] - attacks[1]).abs() <= pa_bound,
+                "Lemma 2.2 via enumeration"
+            );
         }
     }
 

@@ -148,6 +148,19 @@ pub fn all_experiments() -> Vec<Box<dyn Experiment>> {
     ]
 }
 
+/// Runs every experiment in the registry across `workers` threads
+/// (0 = available parallelism), returning results in registry order.
+///
+/// Each experiment is an independent, seed-deterministic function of
+/// `scale`, so results are identical to running [`all_experiments`] serially
+/// — [`ca_sim::chaos::parallel_map`] assigns the output slot by registry
+/// index, whatever worker computes it. This is the entry point the
+/// `paper_claims` suite and `ca bench` use to exploit all cores.
+pub fn run_all(scale: Scale, workers: usize) -> Vec<ExperimentResult> {
+    let experiments = all_experiments();
+    ca_sim::chaos::parallel_map(experiments.len(), workers, |k| experiments[k].run(scale))
+}
+
 /// Looks up an experiment by id (case-insensitive).
 pub fn experiment_by_id(id: &str) -> Option<Box<dyn Experiment>> {
     all_experiments()

@@ -51,6 +51,29 @@ pub fn frontier(graph: &Graph, ns: &[u32], t: u64) -> Vec<FrontierPoint> {
         .collect()
 }
 
+/// The smallest horizon in `1..=cap` satisfying `pred`, where `pred` is
+/// **monotone** in the horizon (once true, true for every larger horizon).
+///
+/// Levels of the good run only grow as rounds are added, so both round
+/// thresholds below are monotone and binary search returns exactly what the
+/// linear scan `(1..=cap).find(pred)` would — at `O(log cap)` probes instead
+/// of `O(cap)`, which is what keeps E9's `t = 1000` row cheap.
+fn min_horizon_satisfying(cap: u32, pred: impl Fn(u32) -> bool) -> Option<u32> {
+    if cap == 0 || !pred(cap) {
+        return None;
+    }
+    let (mut lo, mut hi) = (1u32, cap);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(lo)
+}
+
 /// The minimum horizon `N` for which Protocol S reaches liveness 1 on the
 /// good run of `graph` with unsafety budget `ε = 1/t`, or `None` if no
 /// `N ≤ cap` suffices.
@@ -58,7 +81,7 @@ pub fn frontier(graph: &Graph, ns: &[u32], t: u64) -> Vec<FrontierPoint> {
 /// For the 2-clique `ML(good) = N`, so the answer is exactly `t` — the
 /// Section 8 claim that `ε = 0.001` forces 1000 rounds.
 pub fn min_rounds_for_certain_liveness(graph: &Graph, t: u64, cap: u32) -> Option<u32> {
-    (1..=cap).find(|&n| {
+    min_horizon_satisfying(cap, |n| {
         let run = Run::good(graph, n);
         protocol_s_outcomes(graph, &run, t).ta == Rational::ONE
     })
@@ -73,7 +96,7 @@ pub fn min_rounds_for_certain_liveness(graph: &Graph, t: u64, cap: u32) -> Optio
 /// round less than Protocol S needs. The gap is exactly the `L` vs `ML`
 /// slack of Lemma 6.1, which the second lower bound (Theorem A.1) closes.
 pub fn min_rounds_lower_bound(graph: &Graph, t: u64, cap: u32) -> Option<u32> {
-    (1..=cap).find(|&n| {
+    min_horizon_satisfying(cap, |n| {
         let run = Run::good(graph, n);
         u64::from(levels(&run).min_level()) >= t
     })
@@ -133,6 +156,39 @@ mod tests {
         assert_eq!(achieved_ratio(&g, 5, 8), Rational::from(5i64));
         // After saturation the ratio is capped at t.
         assert_eq!(achieved_ratio(&g, 20, 8), Rational::from(8i64));
+    }
+
+    #[test]
+    fn binary_search_matches_linear_scan() {
+        // The binary search relies on monotonicity of the probed predicates
+        // in the horizon; cross-check against the naive linear scan over
+        // several topologies, budgets, and caps (including unreachable ones).
+        let graphs = [
+            Graph::complete(2).unwrap(),
+            Graph::complete(4).unwrap(),
+            Graph::line(4).unwrap(),
+            Graph::ring(5).unwrap(),
+        ];
+        for g in &graphs {
+            for t in [2u64, 3, 5, 8] {
+                for cap in [1u32, 4, 20, 40] {
+                    let linear_live = (1..=cap)
+                        .find(|&n| protocol_s_outcomes(g, &Run::good(g, n), t).ta == Rational::ONE);
+                    assert_eq!(
+                        min_rounds_for_certain_liveness(g, t, cap),
+                        linear_live,
+                        "liveness threshold: t={t} cap={cap}"
+                    );
+                    let linear_lower =
+                        (1..=cap).find(|&n| u64::from(levels(&Run::good(g, n)).min_level()) >= t);
+                    assert_eq!(
+                        min_rounds_lower_bound(g, t, cap),
+                        linear_lower,
+                        "lower bound threshold: t={t} cap={cap}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! Benchmarks of the execution scratch: `execute_outputs` (allocating) vs
+//! `execute_outputs_into` (buffer reuse).
+//!
+//! The Monte Carlo engine calls the executor once per trial, so per-call
+//! allocations multiply by `trials × probabilities × experiments`. These
+//! benches pin the win from threading one [`ExecScratch`] through the loop
+//! instead of allocating fresh state/inbox/output vectors every call.
+
+use ca_bench::{bench_graphs, bench_run};
+use ca_core::exec::{execute_outputs, execute_outputs_into, ExecScratch};
+use ca_core::tape::TapeSet;
+use ca_protocols::ProtocolS;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_scratch_vs_alloc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec_scratch");
+    let proto = ProtocolS::new(1.0 / 8.0);
+    for (name, graph) in bench_graphs() {
+        let run = bench_run(&graph, 16, 0.7, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let tapes = TapeSet::random(&mut rng, graph.len(), 64);
+        group.bench_with_input(BenchmarkId::new("alloc", name), &run, |b, run| {
+            b.iter(|| execute_outputs(&proto, black_box(&graph), black_box(run), &tapes))
+        });
+        group.bench_with_input(BenchmarkId::new("scratch", name), &run, |b, run| {
+            let mut scratch = ExecScratch::new();
+            b.iter(|| {
+                execute_outputs_into(
+                    &proto,
+                    black_box(&graph),
+                    black_box(run),
+                    &tapes,
+                    &mut scratch,
+                )
+                .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scratch_vs_alloc);
+criterion_main!(benches);

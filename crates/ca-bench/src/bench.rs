@@ -1,0 +1,164 @@
+//! The `ca bench` engine: wall-clock timing of every experiment.
+//!
+//! Times each registry experiment (E1–E12 plus the X* extensions, including
+//! the asynchronous X1) at a chosen [`Scale`] and produces a JSON report —
+//! the `BENCH_experiments.json` perf trajectory. Experiments run serially so
+//! the per-experiment wall times are honest (no cross-experiment core
+//! contention); each experiment still parallelizes internally.
+//!
+//! The JSON is byte-stable: struct field order is fixed, the registry order
+//! is fixed, and every value other than the clock readings is a
+//! deterministic function of the scale. With timing suppressed
+//! ([`BenchConfig::stable`]) the whole report is deterministic, which the
+//! golden tests use to pin the format.
+
+use ca_analysis::experiments::{all_experiments, Experiment, Scale};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Configuration for one bench sweep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BenchConfig {
+    /// Use [`Scale::full`] instead of [`Scale::quick`].
+    pub full: bool,
+    /// Override the scale's trial count (for fast smoke runs).
+    pub trials: Option<u64>,
+    /// Zero out all clock readings so the report is byte-deterministic.
+    pub stable: bool,
+}
+
+impl BenchConfig {
+    /// The scale this configuration resolves to.
+    pub fn scale(&self) -> Scale {
+        let mut scale = if self.full {
+            Scale::full()
+        } else {
+            Scale::quick()
+        };
+        if let Some(trials) = self.trials {
+            scale.trials = trials;
+        }
+        scale
+    }
+}
+
+/// One experiment's timing.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchEntry {
+    /// Experiment id (`"E1"`, …).
+    pub id: String,
+    /// Whether the experiment's paper-shape checks passed.
+    pub passed: bool,
+    /// Wall time in milliseconds (0 when timing is suppressed).
+    pub wall_ms: f64,
+    /// Monte Carlo trials per wall second (0 when timing is suppressed).
+    ///
+    /// Uses the scale's per-probability trial count as the work unit — a
+    /// throughput proxy that is comparable release to release at a fixed
+    /// scale (exact-only experiments like E9 report their table rebuild
+    /// rate in the same unit).
+    pub trials_per_sec: f64,
+}
+
+/// The full bench report (`BENCH_experiments.json`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Report format version.
+    pub schema: u32,
+    /// `"quick"` or `"full"` (the base scale before any trial override).
+    pub scale: String,
+    /// Monte Carlo trials per estimated probability.
+    pub trials: u64,
+    /// Base seed of the sweep.
+    pub seed: u64,
+    /// Whether the clock readings are real (false under `--stable`).
+    pub timed: bool,
+    /// Per-experiment timings, in registry order.
+    pub experiments: Vec<BenchEntry>,
+    /// Total wall time across all experiments, milliseconds.
+    pub total_wall_ms: f64,
+}
+
+impl BenchReport {
+    /// Serializes the report as pretty JSON (deterministic field and
+    /// registry order).
+    pub fn to_json_pretty(&self) -> String {
+        serde::json::to_string_pretty(self).expect("bench reports are always serializable")
+    }
+}
+
+/// The full registry `ca bench` sweeps: the synchronous suite plus the
+/// asynchronous extension experiments.
+pub fn bench_registry() -> Vec<Box<dyn Experiment>> {
+    let mut registry = all_experiments();
+    registry.extend(ca_async::experiments::extension_experiments());
+    registry
+}
+
+/// Runs every experiment once at the configured scale, timing each.
+pub fn run_bench(config: &BenchConfig) -> BenchReport {
+    let scale = config.scale();
+    let mut experiments = Vec::new();
+    let mut total_ms = 0.0;
+    for experiment in bench_registry() {
+        let start = Instant::now();
+        let result = experiment.run(scale);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        total_ms += wall_ms;
+        let (wall_ms, trials_per_sec) = if config.stable {
+            (0.0, 0.0)
+        } else {
+            (wall_ms, scale.trials as f64 / (wall_ms / 1e3))
+        };
+        experiments.push(BenchEntry {
+            id: result.id,
+            passed: result.passed,
+            wall_ms,
+            trials_per_sec,
+        });
+    }
+    BenchReport {
+        schema: 1,
+        scale: if config.full { "full" } else { "quick" }.to_owned(),
+        trials: scale.trials,
+        seed: scale.seed,
+        timed: !config.stable,
+        experiments,
+        total_wall_ms: if config.stable { 0.0 } else { total_ms },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_reports_are_deterministic() {
+        let config = BenchConfig {
+            full: false,
+            trials: Some(50),
+            stable: true,
+        };
+        let a = run_bench(&config);
+        let b = run_bench(&config);
+        assert_eq!(a, b);
+        assert_eq!(a.to_json_pretty(), b.to_json_pretty());
+        assert_eq!(a.experiments.len(), 17, "16 sync experiments + X1");
+        assert!(!a.timed);
+        assert_eq!(a.total_wall_ms, 0.0);
+    }
+
+    #[test]
+    fn timed_reports_carry_positive_clocks() {
+        let config = BenchConfig {
+            full: false,
+            trials: Some(50),
+            stable: false,
+        };
+        let report = run_bench(&config);
+        assert!(report.timed);
+        assert!(report.total_wall_ms > 0.0);
+        assert!(report.experiments.iter().all(|e| e.trials_per_sec > 0.0));
+        assert_eq!(report.trials, 50);
+    }
+}

@@ -7,6 +7,7 @@
 //! ca exact    --graph star4 --rounds 8 --t 5 --cut 3
 //! ca chaos    --graph k3 --deadline 16 --t 4 --schedules 64 --seed 7
 //! ca chaos    --graph k3 --deadline 16 --t 4 --replay shrunk.json
+//! ca bench    --out BENCH_experiments.json         # time every experiment
 //! ca graphs                                        # list available topologies
 //! ```
 //!
@@ -83,6 +84,9 @@ struct Opts {
     mc_trials: u64,
     out: Option<String>,
     replay: Option<String>,
+    full: bool,
+    stable: bool,
+    bench_trials: Option<u64>,
 }
 
 impl Default for Opts {
@@ -103,6 +107,9 @@ impl Default for Opts {
             mc_trials: 200,
             out: None,
             replay: None,
+            full: false,
+            stable: false,
+            bench_trials: None,
         }
     }
 }
@@ -153,10 +160,14 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 ));
             }
             "--trials" => {
-                opts.trials = next("a count")?
+                let v: u64 = next("a count")?
                     .parse()
-                    .map_err(|_| "bad --trials".to_owned())?
+                    .map_err(|_| "bad --trials".to_owned())?;
+                opts.trials = v;
+                opts.bench_trials = Some(v);
             }
+            "--full" => opts.full = true,
+            "--stable" => opts.stable = true,
             "--seed" => {
                 opts.seed = next("a seed")?
                     .parse()
@@ -209,17 +220,21 @@ fn build_run(graph: &Graph, opts: &Opts) -> Run {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().map(String::as_str) else {
-        eprintln!("usage: ca <levels|trace|simulate|exact|graphs> [flags] (see --help)");
+        eprintln!(
+            "usage: ca <levels|trace|simulate|exact|chaos|bench|graphs> [flags] (see --help)"
+        );
         return ExitCode::FAILURE;
     };
     if command == "--help" || command == "-h" {
         println!(
             "ca — explore the coordinated-attack model\n\
-             commands: levels, trace, simulate, exact, chaos, graphs\n\
+             commands: levels, trace, simulate, exact, chaos, bench, graphs\n\
              flags: --graph NAME --rounds N --epsilon E | --t T --cut R \
              --drop-link F:T:R --trials K --seed S\n\
              chaos: --deadline T --schedules K --max-faults F --threads W \
-             --mc-trials K --out FILE --replay FILE"
+             --mc-trials K --out FILE --replay FILE\n\
+             bench: [--full] [--trials K] [--stable] [--out FILE] — time every \
+             experiment, write BENCH_experiments.json"
         );
         return ExitCode::SUCCESS;
     }
@@ -284,6 +299,21 @@ fn main() -> ExitCode {
                 "Pr[TA|R] = {}   Pr[NA|R] = {}   Pr[PA|R] = {}",
                 out.ta, out.na, out.pa
             );
+        }
+        "bench" => {
+            let config = ca_bench::bench::BenchConfig {
+                full: opts.full,
+                trials: opts.bench_trials,
+                stable: opts.stable,
+            };
+            let json = ca_bench::bench::run_bench(&config).to_json_pretty();
+            println!("{json}");
+            if let Some(path) = &opts.out {
+                if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                    eprintln!("error: cannot write `{path}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
         "chaos" => {
             let config = CampaignConfig {

@@ -1,6 +1,9 @@
-//! Benchmark support: shared fixtures for the Criterion benches.
+//! Benchmark support: the `ca bench` engine and shared fixtures for the
+//! Criterion benches.
 
 #![warn(missing_docs)]
+
+pub mod bench;
 
 use ca_core::graph::Graph;
 use ca_core::run::Run;

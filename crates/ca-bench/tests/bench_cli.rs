@@ -1,0 +1,62 @@
+//! Golden tests of the `ca bench` subcommand, driving the real binary.
+//!
+//! Pins the byte-stability contract: with `--stable`, two invocations with
+//! the same flags must write byte-identical `BENCH_experiments.json` files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn ca_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ca"))
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("ca_bench_cli_{}_{name}.json", std::process::id()));
+    path
+}
+
+#[test]
+fn stable_bench_output_is_byte_identical_across_invocations() {
+    let out_a = tmp_path("a");
+    let out_b = tmp_path("b");
+    for out in [&out_a, &out_b] {
+        let output = ca_bin()
+            .args(["bench", "--trials", "20", "--stable", "--out"])
+            .arg(out)
+            .output()
+            .expect("run ca bench");
+        assert!(
+            output.status.success(),
+            "ca bench exited with {}",
+            output.status
+        );
+    }
+    let a = std::fs::read(&out_a).expect("read first report");
+    let b = std::fs::read(&out_b).expect("read second report");
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "--stable reports must be byte-identical");
+    assert_eq!(a.last(), Some(&b'\n'), "report file ends with a newline");
+    let text = String::from_utf8(a).expect("report is UTF-8");
+    assert!(text.contains("\"schema\": 1"));
+    assert!(text.contains("\"timed\": false"));
+    assert!(text.contains("\"id\": \"E1\""));
+    assert!(text.contains("\"id\": \"X1\""));
+    let _ = std::fs::remove_file(&out_a);
+    let _ = std::fs::remove_file(&out_b);
+}
+
+#[test]
+fn timed_bench_reports_real_clocks() {
+    let output = ca_bin()
+        .args(["bench", "--trials", "20"])
+        .output()
+        .expect("run ca bench");
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).expect("stdout is UTF-8");
+    assert!(text.contains("\"timed\": true"));
+    assert!(
+        !text.contains("\"total_wall_ms\": 0.0"),
+        "timed run must report a positive total wall time"
+    );
+}

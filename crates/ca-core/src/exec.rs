@@ -187,8 +187,51 @@ pub fn execute<P: Protocol>(
     Execution { locals }
 }
 
+/// Reusable buffers for [`execute_outputs_into`].
+///
+/// The Monte Carlo engine runs millions of executions back to back; a
+/// scratch threaded through the per-trial loop lets every trial reuse the
+/// state, inbox, and output buffers of the previous one instead of
+/// allocating fresh `Vec`s. A scratch is tied to nothing: the same value can
+/// serve runs of different sizes, graphs, and horizons in any order.
+pub struct ExecScratch<P: Protocol> {
+    states: Vec<P::State>,
+    inboxes: Vec<Vec<(ProcessId, P::Msg)>>,
+    tape_pos: Vec<usize>,
+    outputs: Vec<bool>,
+}
+
+impl<P: Protocol> ExecScratch<P> {
+    /// An empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        ExecScratch {
+            states: Vec::new(),
+            inboxes: Vec::new(),
+            tape_pos: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+}
+
+impl<P: Protocol> Default for ExecScratch<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Protocol> fmt::Debug for ExecScratch<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecScratch")
+            .field("processes", &self.states.len())
+            .finish()
+    }
+}
+
 /// Runs the execution and returns only the output vector — the fast path for
 /// Monte Carlo sampling (no trace recording).
+///
+/// Equivalent to [`execute_outputs_into`] with a fresh scratch; hot loops
+/// should hold a scratch and call that instead.
 ///
 /// # Panics
 ///
@@ -199,48 +242,79 @@ pub fn execute_outputs<P: Protocol>(
     run: &Run,
     tapes: &TapeSet,
 ) -> Vec<bool> {
+    let mut scratch = ExecScratch::new();
+    execute_outputs_into(protocol, graph, run, tapes, &mut scratch);
+    scratch.outputs
+}
+
+/// [`execute_outputs`] with caller-provided buffers: writes the output
+/// vector into `scratch` and returns it as a slice, allocating nothing once
+/// the scratch has warmed up.
+///
+/// The produced outputs are identical to [`execute_outputs`] — the scratch
+/// only changes where intermediate state lives, never what is computed.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`execute`].
+pub fn execute_outputs_into<'s, P: Protocol>(
+    protocol: &P,
+    graph: &Graph,
+    run: &Run,
+    tapes: &TapeSet,
+    scratch: &'s mut ExecScratch<P>,
+) -> &'s [bool] {
     check_dimensions(graph, run, tapes);
     let m = graph.len();
     let n = run.horizon();
 
-    let mut readers: Vec<_> = graph.vertices().map(|i| tapes.tape(i).reader()).collect();
-    let mut states: Vec<P::State> = graph
-        .vertices()
-        .map(|i| {
-            protocol.init(
-                Ctx::new(graph, n, i),
-                run.has_input(i),
-                &mut readers[i.index()],
-            )
-        })
-        .collect();
+    // Tape read positions persist across rounds; readers are reconstructed
+    // per use so the scratch stays free of borrows into `tapes`.
+    scratch.tape_pos.clear();
+    scratch.tape_pos.resize(m, 0);
 
-    let mut inboxes: Vec<Vec<(ProcessId, P::Msg)>> = vec![Vec::new(); m];
+    scratch.states.clear();
+    for i in graph.vertices() {
+        let mut reader = tapes.tape(i).reader();
+        let state = protocol.init(Ctx::new(graph, n, i), run.has_input(i), &mut reader);
+        scratch.tape_pos[i.index()] = reader.bits_consumed();
+        scratch.states.push(state);
+    }
+
+    if scratch.inboxes.len() != m {
+        scratch.inboxes.resize_with(m, Vec::new);
+    }
+
     for r in Round::protocol_rounds(n) {
-        for inbox in inboxes.iter_mut() {
+        for inbox in scratch.inboxes.iter_mut() {
             inbox.clear();
         }
         for slot in run.messages_in_round(r) {
             let ctx = Ctx::new(graph, n, slot.from);
-            let msg = protocol.message(ctx, &states[slot.from.index()], slot.to);
-            inboxes[slot.to.index()].push((slot.from, msg));
+            let msg = protocol.message(ctx, &scratch.states[slot.from.index()], slot.to);
+            scratch.inboxes[slot.to.index()].push((slot.from, msg));
         }
         for j in graph.vertices() {
-            inboxes[j.index()].sort_by_key(|(from, _)| *from);
-            states[j.index()] = protocol.transition(
+            scratch.inboxes[j.index()].sort_by_key(|(from, _)| *from);
+            let mut reader = tapes.tape(j).reader_at(scratch.tape_pos[j.index()]);
+            scratch.states[j.index()] = protocol.transition(
                 Ctx::new(graph, n, j),
-                &states[j.index()],
+                &scratch.states[j.index()],
                 r,
-                &inboxes[j.index()],
-                &mut readers[j.index()],
+                &scratch.inboxes[j.index()],
+                &mut reader,
             );
+            scratch.tape_pos[j.index()] = reader.bits_consumed();
         }
     }
 
-    graph
-        .vertices()
-        .map(|i| protocol.output(Ctx::new(graph, n, i), &states[i.index()]))
-        .collect()
+    scratch.outputs.clear();
+    scratch.outputs.extend(
+        graph
+            .vertices()
+            .map(|i| protocol.output(Ctx::new(graph, n, i), &scratch.states[i.index()])),
+    );
+    &scratch.outputs
 }
 
 fn check_dimensions(graph: &Graph, run: &Run, tapes: &TapeSet) {

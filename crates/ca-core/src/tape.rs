@@ -44,6 +44,16 @@ impl BitTape {
         BitTape { words }
     }
 
+    /// Refills the tape in place with `j_bits` fresh uniform bits, reusing
+    /// the existing word buffer. Draws exactly the words [`BitTape::random`]
+    /// would draw, in the same order, so a refilled tape is
+    /// indistinguishable from a freshly sampled one.
+    pub fn fill_random<R: Rng + ?Sized>(&mut self, rng: &mut R, j_bits: usize) {
+        self.words.clear();
+        self.words
+            .extend((0..j_bits.div_ceil(64)).map(|_| rng.gen::<u64>()));
+    }
+
     /// Length of the tape in bits.
     pub fn len_bits(&self) -> usize {
         self.words.len() * 64
@@ -57,6 +67,22 @@ impl BitTape {
     /// Starts reading from the beginning.
     pub fn reader(&self) -> TapeReader<'_> {
         TapeReader { tape: self, pos: 0 }
+    }
+
+    /// Resumes reading at bit `pos` (as reported by
+    /// [`TapeReader::bits_consumed`]). Lets callers persist a read position
+    /// across borrows instead of keeping a live reader alive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` lies beyond the end of the tape.
+    pub fn reader_at(&self, pos: usize) -> TapeReader<'_> {
+        assert!(
+            pos <= self.len_bits(),
+            "reader position {pos} beyond tape of {} bits",
+            self.len_bits()
+        );
+        TapeReader { tape: self, pos }
     }
 }
 
@@ -218,6 +244,25 @@ impl TapeSet {
     /// Builds a tape set from explicit tapes.
     pub fn from_tapes(tapes: Vec<BitTape>) -> Self {
         TapeSet { tapes }
+    }
+
+    /// A tape set of `m` empty tapes — a placeholder to be populated via
+    /// [`TapeSet::fill_random`] (the allocation-free path used by the Monte
+    /// Carlo engine).
+    pub fn empty(m: usize) -> Self {
+        TapeSet {
+            tapes: (0..m).map(|_| BitTape::from_words(Vec::new())).collect(),
+        }
+    }
+
+    /// Refills every tape in place with `j_bits` fresh uniform bits, reusing
+    /// the word buffers. The draw order matches [`TapeSet::random`] exactly
+    /// (process 0's words first), so given the same RNG state the refilled
+    /// set equals a freshly sampled one.
+    pub fn fill_random<R: Rng + ?Sized>(&mut self, rng: &mut R, j_bits: usize) {
+        for tape in &mut self.tapes {
+            tape.fill_random(rng, j_bits);
+        }
     }
 
     /// The tape of process `i`.

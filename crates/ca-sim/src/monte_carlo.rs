@@ -12,11 +12,12 @@
 
 use crate::stats::{BernoulliEstimate, RunningStats};
 use crate::strategy::RunSampler;
-use ca_core::exec::execute_outputs;
+use ca_core::exec::{execute_outputs_into, ExecScratch};
 use ca_core::graph::Graph;
 use ca_core::level::modified_levels;
 use ca_core::outcome::{Outcome, OutcomeCounts};
 use ca_core::protocol::Protocol;
+use ca_core::run::Run;
 use ca_core::tape::TapeSet;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -141,8 +142,11 @@ where
         ml: RunningStats::new(),
     });
 
-    // Static partition of the trial indices across workers; per-trial RNGs
-    // keep the result independent of the partitioning.
+    // Static partition of the trial indices across workers; per-trial
+    // reseeding keeps the result independent of the partitioning. Each
+    // worker owns one RNG, one tape set, and one execution scratch for its
+    // whole trial range — the per-trial loop allocates nothing beyond what
+    // the sampler itself requires.
     crossbeam::thread::scope(|scope| {
         for w in 0..workers {
             let report = &report;
@@ -153,20 +157,43 @@ where
                     trials: 0,
                     ml: RunningStats::new(),
                 };
+                // For a fixed-run sampler the run (and hence ML(R)) is the
+                // same every trial, and sampling consumes no randomness: use
+                // the run by reference and compute ML once.
+                let fixed_run = sampler.fixed_run();
+                let fixed_ml = fixed_run.map(|r| modified_levels(r).min_level() as f64);
+                let j_bits = protocol.tape_bits().max(1);
+                let mut tapes = TapeSet::empty(m);
+                let mut scratch = ExecScratch::new();
+                let mut rng;
                 let mut t = w as u64;
                 while t < config.trials {
-                    let mut rng = StdRng::seed_from_u64(splitmix(config.seed, t));
-                    let run = sampler.sample(&mut rng);
-                    let tapes = TapeSet::random(&mut rng, m, protocol.tape_bits().max(1));
-                    let outputs = execute_outputs(protocol, graph, &run, &tapes);
-                    let outcome = Outcome::classify(&outputs);
+                    // One worker-local RNG, reseeded per trial from the
+                    // SplitMix stream: trial t's draws are a function of
+                    // (seed, t) alone, whatever worker runs it.
+                    rng = StdRng::seed_from_u64(splitmix(config.seed, t));
+                    let sampled;
+                    let run: &Run = match fixed_run {
+                        Some(run) => run,
+                        None => {
+                            sampled = sampler.sample(&mut rng);
+                            &sampled
+                        }
+                    };
+                    tapes.fill_random(&mut rng, j_bits);
+                    let outputs = execute_outputs_into(protocol, graph, run, &tapes, &mut scratch);
+                    let outcome = Outcome::classify(outputs);
                     local.counts.record(outcome);
                     for (i, &o) in outputs.iter().enumerate() {
                         if o {
                             local.attacks[i] += 1;
                         }
                     }
-                    local.ml.record(modified_levels(&run).min_level() as f64);
+                    let ml = match fixed_ml {
+                        Some(ml) => ml,
+                        None => modified_levels(run).min_level() as f64,
+                    };
+                    local.ml.record(ml);
                     local.trials += 1;
                     t += workers as u64;
                 }
@@ -182,6 +209,18 @@ where
 /// Estimates the worst-case disagreement probability of `protocol` over a
 /// family of candidate runs, simulating each and returning
 /// `(worst_index, reports)`.
+///
+/// Each family member `k` is simulated under its own derived seed
+/// `splitmix(seed, k + 0x5EED)` — a common-random-numbers scheme: run `k`
+/// always sees the same trial randomness no matter which other runs share
+/// the family, so estimates are comparable across invocations and adding or
+/// removing candidates never perturbs the others' numbers. (The `0x5EED`
+/// offset keeps these derived seeds disjoint from the per-trial stream
+/// `splitmix(seed, t)` used inside [`simulate`].)
+///
+/// Ties in the estimated disagreement are broken toward the **first** index
+/// in family order, so the reported worst run is stable under appending new
+/// candidates and independent of how equal maxima are arranged.
 ///
 /// # Panics
 ///
@@ -208,17 +247,13 @@ where
             simulate(protocol, graph, &sampler, cfg)
         })
         .collect();
-    let worst = reports
-        .iter()
-        .enumerate()
-        .max_by(|(_, a), (_, b)| {
-            a.disagreement()
-                .point()
-                .partial_cmp(&b.disagreement().point())
-                .expect("rates are finite")
-        })
-        .map(|(k, _)| k)
-        .expect("nonempty family");
+    let mut worst = 0;
+    for (k, report) in reports.iter().enumerate().skip(1) {
+        // Strict `>`: the first maximal index wins ties.
+        if report.disagreement().point() > reports[worst].disagreement().point() {
+            worst = k;
+        }
+    }
     (worst, reports)
 }
 
@@ -261,7 +296,9 @@ mod tests {
         let proto = ProtocolS::new(0.125);
         let sampler = FixedRun::new(Run::good(&g, 4));
         let report = simulate(&proto, &g, &sampler, SimConfig::new(4000, 11));
-        assert!(report.liveness().consistent_with(0.5), "{report}");
+        // Pass/fail verdicts use z = 4 (~1/16k false-failure rate); the 95%
+        // interval is for display only.
+        assert!(report.liveness().consistent_with_z(0.5, 4.0), "{report}");
         assert_eq!(report.ml.mean(), 4.0);
         assert_eq!(report.trials, 4000);
     }
@@ -276,8 +313,8 @@ mod tests {
         let report = simulate(&proto, &g, &sampler, SimConfig::new(6000, 13));
         let leader = report.attack_rate(ProcessId::new(0));
         let follower = report.attack_rate(ProcessId::new(1));
-        assert!(leader.consistent_with(0.625), "leader {leader}");
-        assert!(follower.consistent_with(0.5), "follower {follower}");
+        assert!(leader.consistent_with_z(0.625, 4.0), "leader {leader}");
+        assert!(follower.consistent_with_z(0.5, 4.0), "follower {follower}");
     }
 
     #[test]
@@ -304,7 +341,7 @@ mod tests {
         assert_eq!(worst, 2, "the mid-chain cut must be worst");
         assert!(reports[0].disagreement().point() < 1e-9);
         assert!(reports[1].disagreement().point() < 1e-9);
-        assert!(reports[2].disagreement().consistent_with(0.25));
+        assert!(reports[2].disagreement().consistent_with_z(0.25, 4.0));
     }
 
     #[test]

@@ -21,6 +21,18 @@ pub trait RunSampler: Sync {
 
     /// Produces the run for one trial.
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Run;
+
+    /// The constant run this sampler always produces, if any.
+    ///
+    /// Returning `Some` promises that [`RunSampler::sample`] returns a clone
+    /// of exactly this run on every call **and never touches the RNG** — the
+    /// Monte Carlo engine then skips the per-trial clone and hoists
+    /// run-derived quantities (like `ML(R)`) out of the trial loop without
+    /// changing any reported number. Samplers with any randomness must keep
+    /// the default `None`.
+    fn fixed_run(&self) -> Option<&Run> {
+        None
+    }
 }
 
 /// Always the same run (a deterministic, oblivious adversary).
@@ -48,6 +60,10 @@ impl RunSampler for FixedRun {
 
     fn sample<R: Rng + ?Sized>(&self, _rng: &mut R) -> Run {
         self.run.clone()
+    }
+
+    fn fixed_run(&self) -> Option<&Run> {
+        Some(&self.run)
     }
 }
 

@@ -1,0 +1,93 @@
+//! Determinism golden tests: the Monte Carlo engine's results are a function
+//! of `(protocol, graph, sampler, trials, seed)` only — never of the thread
+//! count or scheduling.
+//!
+//! Trial `t` draws all its randomness from an RNG seeded
+//! `splitmix(seed, t)`, so whichever worker executes trial `t` produces the
+//! same outcome, and the merged report is invariant under the static
+//! partition of trials across workers.
+
+use coordinated_attack::prelude::*;
+use coordinated_attack::sim::RandomRun;
+
+fn report_for_threads<P, S>(
+    protocol: &P,
+    graph: &Graph,
+    sampler: &S,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+) -> SimReport
+where
+    P: Protocol + Sync,
+    S: coordinated_attack::sim::RunSampler,
+{
+    let config = SimConfig {
+        trials,
+        seed,
+        threads,
+    };
+    simulate(protocol, graph, sampler, config)
+}
+
+fn assert_thread_invariant<P, S>(label: &str, protocol: &P, graph: &Graph, sampler: &S, seed: u64)
+where
+    P: Protocol + Sync,
+    S: coordinated_attack::sim::RunSampler,
+{
+    let baseline = report_for_threads(protocol, graph, sampler, 600, seed, 1);
+    for threads in [2usize, 8] {
+        let report = report_for_threads(protocol, graph, sampler, 600, seed, threads);
+        assert_eq!(
+            baseline, report,
+            "{label}: report at {threads} threads differs from the serial run"
+        );
+    }
+}
+
+#[test]
+fn protocol_s_reports_are_thread_count_invariant() {
+    let graph = Graph::complete(4).expect("graph");
+    let proto = ProtocolS::new(1.0 / 8.0);
+    assert_thread_invariant(
+        "S/fixed-good",
+        &proto,
+        &graph,
+        &FixedRun::new(Run::good(&graph, 6)),
+        7,
+    );
+    assert_thread_invariant(
+        "S/random-drop",
+        &proto,
+        &graph,
+        &RandomDrop::new(&graph, 6, 0.3),
+        11,
+    );
+    assert_thread_invariant(
+        "S/random-run",
+        &proto,
+        &graph,
+        &RandomRun::new(graph.clone(), 6, 0.8, 0.7),
+        13,
+    );
+}
+
+#[test]
+fn protocol_a_reports_are_thread_count_invariant() {
+    let graph = Graph::complete(2).expect("graph");
+    let proto = ProtocolA::new(8);
+    assert_thread_invariant(
+        "A/fixed-good",
+        &proto,
+        &graph,
+        &FixedRun::new(Run::good(&graph, 8)),
+        17,
+    );
+    assert_thread_invariant(
+        "A/random-drop",
+        &proto,
+        &graph,
+        &RandomDrop::new(&graph, 8, 0.2),
+        19,
+    );
+}
