@@ -76,11 +76,9 @@ pub fn ml_staircase(graph: &Graph, n: u32) -> Vec<Run> {
 pub fn isolated_pair_run(graph: &Graph, n: u32, a: ProcessId, b: ProcessId) -> Run {
     assert_ne!(a, b, "the pair must be distinct");
     let mut run = Run::good(graph, n);
-    let slots: Vec<_> = run.messages().collect();
-    for s in slots {
-        if s.to == a || s.to == b {
-            run.remove_message(s.from, s.to, s.round);
-        }
+    for from in graph.vertices() {
+        run.cut_link_from_round(from, a, Round::new(1));
+        run.cut_link_from_round(from, b, Round::new(1));
     }
     run
 }

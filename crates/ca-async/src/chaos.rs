@@ -25,7 +25,8 @@
 
 use crate::courier::{Courier, Fate, SendEvent, Time};
 use ca_core::error::CaError;
-use ca_core::ids::ProcessId;
+use ca_core::ids::{ProcessId, Round};
+use ca_core::run::Run;
 use ca_sim::chaos::mix64;
 use serde::json;
 use serde::{Deserialize, Serialize};
@@ -153,6 +154,18 @@ pub enum FaultPrimitive {
         /// When the partition holds (by send time).
         window: TimeWindow,
     },
+    /// Replays a synchronous [`Run`]: the send at tick `t` belongs to round
+    /// `t / ticks_per_round + 1`, and any message whose `(from, to, round)`
+    /// slot is *not* in `M(R)` is destroyed — including every send past the
+    /// run's horizon. The run serializes as its canonical sorted slot list,
+    /// so schedules embedding one stay readable, diffable, and
+    /// byte-deterministic (the coin-stream keying below depends on that).
+    ReplayRun {
+        /// The synchronous run to replay.
+        run: Run,
+        /// Ticks of virtual time per protocol round (≥ 1).
+        ticks_per_round: Time,
+    },
 }
 
 impl FaultPrimitive {
@@ -186,6 +199,15 @@ impl FaultPrimitive {
                 if burst_len > period {
                     return Err(CaError::malformed(format!(
                         "fault[{index}] burst_len {burst_len} exceeds period {period}"
+                    )));
+                }
+            }
+            FaultPrimitive::ReplayRun {
+                ticks_per_round, ..
+            } => {
+                if *ticks_per_round == 0 {
+                    return Err(CaError::malformed(format!(
+                        "fault[{index}] replay ticks_per_round must be at least 1"
                     )));
                 }
             }
@@ -417,6 +439,17 @@ impl ChaosCourier {
                     if window.contains(e.sent_at)
                         && group_a.contains(&e.from) != group_a.contains(&e.to)
                     {
+                        destroyed = true;
+                    }
+                }
+                FaultPrimitive::ReplayRun {
+                    run,
+                    ticks_per_round,
+                } => {
+                    let round = Round::new(
+                        u32::try_from(e.sent_at / ticks_per_round + 1).unwrap_or(u32::MAX),
+                    );
+                    if !run.delivers(e.from, e.to, round) {
                         destroyed = true;
                     }
                 }
@@ -682,6 +715,63 @@ mod tests {
             }],
         };
         assert!(ChaosCourier::new(bad_swap).is_err());
+    }
+
+    #[test]
+    fn replay_run_destroys_everything_outside_the_run() {
+        let mut run = Run::empty(2, 2);
+        run.add_message(ProcessId::new(0), ProcessId::new(1), Round::new(1));
+        run.add_message(ProcessId::new(1), ProcessId::new(0), Round::new(2));
+        let schedule = FaultSchedule {
+            seed: 5,
+            base_latency: 2,
+            faults: vec![FaultPrimitive::ReplayRun {
+                run,
+                ticks_per_round: 10,
+            }],
+        };
+        let mut c = ChaosCourier::new(schedule).unwrap();
+        // Round 1 (ticks 0..10): only 0→1 is in M(R).
+        assert_eq!(c.fate(event(0, 1, 0, 0)), Fate::Deliver(2));
+        assert_eq!(c.fate(event(1, 0, 9, 1)), Fate::Destroy);
+        // Round 2 (ticks 10..20): only 1→0.
+        assert_eq!(c.fate(event(1, 0, 10, 2)), Fate::Deliver(12));
+        assert_eq!(c.fate(event(0, 1, 19, 3)), Fate::Destroy);
+        // Past the horizon: everything dies.
+        assert_eq!(c.fate(event(0, 1, 20, 4)), Fate::Destroy);
+
+        // ticks_per_round = 0 is rejected by validation.
+        let bad = FaultSchedule {
+            seed: 0,
+            base_latency: 1,
+            faults: vec![FaultPrimitive::ReplayRun {
+                run: Run::empty(2, 1),
+                ticks_per_round: 0,
+            }],
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn replay_run_schedule_round_trips_through_json() {
+        let mut run = Run::empty(3, 2);
+        run.add_input(ProcessId::new(0));
+        run.add_message(ProcessId::new(0), ProcessId::new(2), Round::new(1));
+        run.add_message(ProcessId::new(2), ProcessId::new(1), Round::new(2));
+        let schedule = FaultSchedule {
+            seed: 11,
+            base_latency: 1,
+            faults: vec![FaultPrimitive::ReplayRun {
+                run,
+                ticks_per_round: 4,
+            }],
+        };
+        let text = schedule.to_json();
+        // The run appears as an explicit, readable slot list on the wire.
+        assert!(text.contains(r#""messages":[{"from":0"#), "{text}");
+        let back = FaultSchedule::from_json(&text).unwrap();
+        assert_eq!(schedule, back);
+        assert_eq!(text, back.to_json(), "serialization is deterministic");
     }
 
     #[test]

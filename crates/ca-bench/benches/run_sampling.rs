@@ -1,0 +1,99 @@
+//! Benchmarks of adversary run sampling: `sample` (allocating) vs
+//! `sample_into` (scratch-run reuse), plus the `delivers` point query.
+//!
+//! The Monte Carlo engine draws one run per trial, so sampling sits on the
+//! same `trials × probabilities × experiments` multiplier as the executor.
+//! These benches pin the win from the bit-packed run representation: the
+//! scratch path refills one round-major bit matrix (`clone_from` plus one
+//! coin per slot) instead of cloning a slot set and removing slots one by
+//! one, and `delivers` is a single word probe however dense the run is.
+
+use ca_bench::{bench_graphs, bench_run};
+use ca_core::ids::{ProcessId, Round};
+use ca_core::run::Run;
+use ca_sim::{RandomDrop, RandomRun, RunSampler};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const N: u32 = 16;
+
+fn bench_random_drop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("run_sampling/random_drop");
+    for (name, graph) in bench_graphs() {
+        let sampler = RandomDrop::new(&graph, N, 0.2);
+        group.bench_with_input(BenchmarkId::new("sample", name), &sampler, |b, sampler| {
+            let mut rng = StdRng::seed_from_u64(11);
+            b.iter(|| black_box(sampler.sample(&mut rng)).message_count())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("sample_into", name),
+            &sampler,
+            |b, sampler| {
+                let mut rng = StdRng::seed_from_u64(11);
+                let mut scratch = Run::empty(0, 0);
+                b.iter(|| {
+                    sampler.sample_into(&mut scratch, &mut rng);
+                    black_box(&scratch).message_count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_random_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("run_sampling/random_run");
+    for (name, graph) in bench_graphs() {
+        let sampler = RandomRun::new(graph.clone(), N, 0.8, 0.7);
+        group.bench_with_input(BenchmarkId::new("sample", name), &sampler, |b, sampler| {
+            let mut rng = StdRng::seed_from_u64(12);
+            b.iter(|| black_box(sampler.sample(&mut rng)).message_count())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("sample_into", name),
+            &sampler,
+            |b, sampler| {
+                let mut rng = StdRng::seed_from_u64(12);
+                let mut scratch = Run::empty(0, 0);
+                b.iter(|| {
+                    sampler.sample_into(&mut scratch, &mut rng);
+                    black_box(&scratch).message_count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_delivers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("run_sampling/delivers");
+    for (name, graph) in bench_graphs() {
+        let run = bench_run(&graph, N, 0.7, 9);
+        let m = graph.len() as u32;
+        group.bench_with_input(BenchmarkId::new("probe_all", name), &run, |b, run| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for r in 1..=N {
+                    for i in 0..m {
+                        for j in 0..m {
+                            if run.delivers(
+                                ProcessId::new(i),
+                                ProcessId::new(j),
+                                black_box(Round::new(r)),
+                            ) {
+                                hits += 1;
+                            }
+                        }
+                    }
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_random_drop, bench_random_run, bench_delivers);
+criterion_main!(benches);

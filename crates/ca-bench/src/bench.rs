@@ -88,11 +88,22 @@ impl BenchReport {
 }
 
 /// The full registry `ca bench` sweeps: the synchronous suite plus the
-/// asynchronous extension experiments.
+/// asynchronous extension experiments, in id order (E1–E12, X1–X5). The
+/// asynchronous X1 is merged into its numeric slot rather than appended, so
+/// the report order matches the registry ids.
 pub fn bench_registry() -> Vec<Box<dyn Experiment>> {
     let mut registry = all_experiments();
     registry.extend(ca_async::experiments::extension_experiments());
+    registry.sort_by_key(|e| id_sort_key(e.id()));
     registry
+}
+
+/// Orders ids like `"E9"` / `"E10"` / `"X1"` by (family letter, number) —
+/// lexicographic string order would put E10 before E2.
+fn id_sort_key(id: &str) -> (char, u32) {
+    let family = id.chars().next().unwrap_or('?');
+    let number = id[family.len_utf8()..].parse().unwrap_or(u32::MAX);
+    (family, number)
 }
 
 /// Runs every experiment once at the configured scale, timing each.
@@ -128,6 +139,136 @@ pub fn run_bench(config: &BenchConfig) -> BenchReport {
     }
 }
 
+/// Throughput drop (percent) beyond which [`compare_reports`] flags an
+/// experiment as regressed.
+pub const REGRESSION_THRESHOLD_PCT: f64 = 25.0;
+
+/// Wall-time floor (milliseconds) below which an experiment is too fast to
+/// regression-gate: at sub-10ms scale a single scheduler blip swings the
+/// reading past [`REGRESSION_THRESHOLD_PCT`], so such entries still report
+/// their deltas but never flag a regression.
+pub const MIN_REGRESSION_WALL_MS: f64 = 10.0;
+
+/// One experiment's wall/throughput deltas between two bench reports.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CompareEntry {
+    /// Experiment id (`"E1"`, …).
+    pub id: String,
+    /// Old wall time, milliseconds.
+    pub old_wall_ms: f64,
+    /// New wall time, milliseconds.
+    pub new_wall_ms: f64,
+    /// Old throughput, trials per second.
+    pub old_trials_per_sec: f64,
+    /// New throughput, trials per second.
+    pub new_trials_per_sec: f64,
+    /// Throughput change in percent (positive = faster). 0 when either side
+    /// is untimed.
+    pub throughput_delta_pct: f64,
+    /// Whether the throughput dropped by more than
+    /// [`REGRESSION_THRESHOLD_PCT`].
+    pub regression: bool,
+}
+
+/// The result of diffing two bench reports by experiment id.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchComparison {
+    /// Per-experiment deltas, in the new report's order.
+    pub entries: Vec<CompareEntry>,
+    /// Ids present only in the old report.
+    pub only_in_old: Vec<String>,
+    /// Ids present only in the new report.
+    pub only_in_new: Vec<String>,
+}
+
+impl BenchComparison {
+    /// Ids of the experiments whose throughput regressed past the threshold.
+    pub fn regressions(&self) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter(|e| e.regression)
+            .map(|e| e.id.as_str())
+            .collect()
+    }
+}
+
+impl std::fmt::Display for BenchComparison {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<5} {:>12} {:>12} {:>14} {:>14} {:>9}",
+            "id", "old ms", "new ms", "old trials/s", "new trials/s", "delta"
+        )?;
+        for e in &self.entries {
+            writeln!(
+                f,
+                "{:<5} {:>12.1} {:>12.1} {:>14.0} {:>14.0} {:>+8.1}%{}",
+                e.id,
+                e.old_wall_ms,
+                e.new_wall_ms,
+                e.old_trials_per_sec,
+                e.new_trials_per_sec,
+                e.throughput_delta_pct,
+                if e.regression { "  REGRESSION" } else { "" }
+            )?;
+        }
+        for id in &self.only_in_old {
+            writeln!(f, "{id:<5} only in old report")?;
+        }
+        for id in &self.only_in_new {
+            writeln!(f, "{id:<5} only in new report")?;
+        }
+        Ok(())
+    }
+}
+
+/// Diffs two bench reports by experiment id: per-experiment wall and
+/// throughput deltas, flagging any experiment whose throughput dropped by
+/// more than [`REGRESSION_THRESHOLD_PCT`]. Untimed entries (zero clocks, as
+/// produced under `--stable`'s suppressed timing or a zero-length run)
+/// compare with a zero delta and never regress — only real clock readings
+/// can fail a comparison. Entries faster than [`MIN_REGRESSION_WALL_MS`] on
+/// either side report their deltas but never flag a regression: at that
+/// scale the reading is timer noise, not throughput.
+pub fn compare_reports(old: &BenchReport, new: &BenchReport) -> BenchComparison {
+    let mut entries = Vec::new();
+    let mut only_in_new = Vec::new();
+    for entry in &new.experiments {
+        let Some(before) = old.experiments.iter().find(|e| e.id == entry.id) else {
+            only_in_new.push(entry.id.clone());
+            continue;
+        };
+        let timed = before.trials_per_sec > 0.0 && entry.trials_per_sec > 0.0;
+        let delta_pct = if timed {
+            (entry.trials_per_sec / before.trials_per_sec - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        let gateable =
+            before.wall_ms >= MIN_REGRESSION_WALL_MS && entry.wall_ms >= MIN_REGRESSION_WALL_MS;
+        entries.push(CompareEntry {
+            id: entry.id.clone(),
+            old_wall_ms: before.wall_ms,
+            new_wall_ms: entry.wall_ms,
+            old_trials_per_sec: before.trials_per_sec,
+            new_trials_per_sec: entry.trials_per_sec,
+            throughput_delta_pct: delta_pct,
+            regression: gateable && delta_pct < -REGRESSION_THRESHOLD_PCT,
+        });
+    }
+    let only_in_old = old
+        .experiments
+        .iter()
+        .filter(|e| new.experiments.iter().all(|n| n.id != e.id))
+        .map(|e| e.id.clone())
+        .collect();
+    BenchComparison {
+        entries,
+        only_in_old,
+        only_in_new,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +287,123 @@ mod tests {
         assert_eq!(a.experiments.len(), 17, "16 sync experiments + X1");
         assert!(!a.timed);
         assert_eq!(a.total_wall_ms, 0.0);
+    }
+
+    #[test]
+    fn report_order_matches_registry_order() {
+        let registry_ids: Vec<&str> = bench_registry().iter().map(|e| e.id()).collect();
+        // The registry itself is in id order: E1..E12 then X1..X5.
+        let mut sorted = registry_ids.clone();
+        sorted.sort_by_key(|id| id_sort_key(id));
+        assert_eq!(registry_ids, sorted, "registry must be in id order");
+        assert!(
+            registry_ids.windows(2).all(|w| w[0] != w[1]),
+            "ids are unique"
+        );
+        let x1 = registry_ids.iter().position(|id| *id == "X1").unwrap();
+        let x2 = registry_ids.iter().position(|id| *id == "X2").unwrap();
+        assert!(x1 < x2, "X1 must not be appended after the other X*");
+
+        // And the emitted JSON lists experiments in exactly that order.
+        let report = run_bench(&BenchConfig {
+            full: false,
+            trials: Some(10),
+            stable: true,
+        });
+        let report_ids: Vec<&str> = report.experiments.iter().map(|e| e.id.as_str()).collect();
+        assert_eq!(report_ids, registry_ids);
+        let json = report.to_json_pretty();
+        let mut last = 0;
+        for id in &registry_ids {
+            let needle = format!("\"id\": \"{id}\"");
+            let pos = json[last..]
+                .find(&needle)
+                .unwrap_or_else(|| panic!("{id} out of order in JSON"));
+            last += pos + needle.len();
+        }
+    }
+
+    fn report_with(entries: &[(&str, f64, f64)]) -> BenchReport {
+        BenchReport {
+            schema: 1,
+            scale: "quick".to_owned(),
+            trials: 100,
+            seed: 42,
+            timed: true,
+            experiments: entries
+                .iter()
+                .map(|(id, wall_ms, tps)| BenchEntry {
+                    id: (*id).to_owned(),
+                    passed: true,
+                    wall_ms: *wall_ms,
+                    trials_per_sec: *tps,
+                })
+                .collect(),
+            total_wall_ms: entries.iter().map(|(_, w, _)| w).sum(),
+        }
+    }
+
+    #[test]
+    fn compare_flags_only_large_throughput_drops() {
+        let old = report_with(&[("E1", 10.0, 1000.0), ("E2", 10.0, 1000.0)]);
+        // E1 is 20% slower (within tolerance), E2 is 50% slower (regressed).
+        let new = report_with(&[("E1", 12.5, 800.0), ("E2", 20.0, 500.0)]);
+        let cmp = compare_reports(&old, &new);
+        assert_eq!(cmp.regressions(), vec!["E2"]);
+        assert!(!cmp.entries[0].regression);
+        assert!((cmp.entries[0].throughput_delta_pct - -20.0).abs() < 1e-9);
+        assert!((cmp.entries[1].throughput_delta_pct - -50.0).abs() < 1e-9);
+        let shown = cmp.to_string();
+        assert!(shown.contains("REGRESSION"), "{shown}");
+
+        // Speedups are never regressions.
+        let faster = report_with(&[("E1", 2.0, 5000.0), ("E2", 2.0, 5000.0)]);
+        assert!(compare_reports(&old, &faster).regressions().is_empty());
+    }
+
+    #[test]
+    fn compare_never_gates_sub_floor_walls() {
+        // E1 sits below the 10ms floor on both sides; E2 crosses it on one
+        // side only. Both drop >25% in throughput, but neither can be a
+        // regression — only E3, timed above the floor on both sides, gates.
+        let old = report_with(&[
+            ("E1", 0.2, 10_000.0),
+            ("E2", 8.0, 250.0),
+            ("E3", 50.0, 40.0),
+        ]);
+        let new = report_with(&[
+            ("E1", 0.4, 5_000.0),
+            ("E2", 16.0, 125.0),
+            ("E3", 100.0, 20.0),
+        ]);
+        let cmp = compare_reports(&old, &new);
+        assert_eq!(cmp.regressions(), vec!["E3"]);
+        // The deltas are still reported for the sub-floor entries.
+        assert!((cmp.entries[0].throughput_delta_pct - -50.0).abs() < 1e-9);
+        assert!((cmp.entries[1].throughput_delta_pct - -50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compare_handles_untimed_and_mismatched_ids() {
+        let old = report_with(&[("E1", 10.0, 1000.0), ("E9", 5.0, 2000.0)]);
+        let mut new = report_with(&[("E1", 0.0, 0.0), ("X1", 3.0, 100.0)]);
+        new.timed = false;
+        let cmp = compare_reports(&old, &new);
+        // Untimed entries compare with zero delta and never regress.
+        assert!(cmp.regressions().is_empty());
+        assert_eq!(cmp.entries[0].throughput_delta_pct, 0.0);
+        assert_eq!(cmp.only_in_old, vec!["E9"]);
+        assert_eq!(cmp.only_in_new, vec!["X1"]);
+    }
+
+    #[test]
+    fn compare_round_trips_through_report_json() {
+        // A committed BENCH_experiments.json parses back into a comparable
+        // report — the shape `ca bench --compare` relies on.
+        let old = report_with(&[("E1", 10.0, 1000.0)]);
+        let parsed: BenchReport = serde::json::from_str(&old.to_json_pretty()).unwrap();
+        assert_eq!(parsed, old);
+        assert!(compare_reports(&parsed, &old).regressions().is_empty());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! ca chaos    --graph k3 --deadline 16 --t 4 --schedules 64 --seed 7
 //! ca chaos    --graph k3 --deadline 16 --t 4 --replay shrunk.json
 //! ca bench    --out BENCH_experiments.json         # time every experiment
+//! ca bench    --compare BENCH_experiments.json     # fail on >25% regression
 //! ca graphs                                        # list available topologies
 //! ```
 //!
@@ -87,6 +88,7 @@ struct Opts {
     full: bool,
     stable: bool,
     bench_trials: Option<u64>,
+    compare: Option<String>,
 }
 
 impl Default for Opts {
@@ -110,6 +112,7 @@ impl Default for Opts {
             full: false,
             stable: false,
             bench_trials: None,
+            compare: None,
         }
     }
 }
@@ -199,6 +202,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .map_err(|_| "bad --mc-trials".to_owned())?
             }
             "--out" => opts.out = Some(next("a file path")?),
+            "--compare" => opts.compare = Some(next("an old bench report")?),
             "--replay" => opts.replay = Some(next("a schedule file")?),
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -233,8 +237,10 @@ fn main() -> ExitCode {
              --drop-link F:T:R --trials K --seed S\n\
              chaos: --deadline T --schedules K --max-faults F --threads W \
              --mc-trials K --out FILE --replay FILE\n\
-             bench: [--full] [--trials K] [--stable] [--out FILE] — time every \
-             experiment, write BENCH_experiments.json"
+             bench: [--full] [--trials K] [--stable] [--out FILE] \
+             [--compare OLD.json] — time every experiment, write \
+             BENCH_experiments.json; --compare diffs against an old report \
+             and fails on a >25% throughput regression"
         );
         return ExitCode::SUCCESS;
     }
@@ -306,11 +312,46 @@ fn main() -> ExitCode {
                 trials: opts.bench_trials,
                 stable: opts.stable,
             };
-            let json = ca_bench::bench::run_bench(&config).to_json_pretty();
+            let report = ca_bench::bench::run_bench(&config);
+            let json = report.to_json_pretty();
             println!("{json}");
+            // Read the baseline before --out runs, so comparing against the
+            // very file being refreshed still diffs the committed bytes.
+            let old: Option<ca_bench::bench::BenchReport> = match &opts.compare {
+                Some(path) => {
+                    let text = match std::fs::read_to_string(path) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            eprintln!("error: cannot read `{path}`: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    match serde::json::from_str(&text) {
+                        Ok(r) => Some(r),
+                        Err(e) => {
+                            eprintln!("error: bad bench report in `{path}`: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                None => None,
+            };
             if let Some(path) = &opts.out {
                 if let Err(e) = std::fs::write(path, format!("{json}\n")) {
                     eprintln!("error: cannot write `{path}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let Some(old) = old {
+                let cmp = ca_bench::bench::compare_reports(&old, &report);
+                print!("{cmp}");
+                let regressions = cmp.regressions();
+                if !regressions.is_empty() {
+                    eprintln!(
+                        "error: throughput regressed >{}% on: {}",
+                        ca_bench::bench::REGRESSION_THRESHOLD_PCT,
+                        regressions.join(", ")
+                    );
                     return ExitCode::FAILURE;
                 }
             }

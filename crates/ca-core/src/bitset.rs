@@ -5,8 +5,30 @@
 //! round)` pairs. A compact bitset keeps those operations allocation-free in
 //! the inner simulation loops.
 
-use serde::{Deserialize, Serialize};
+use serde::ser::{Serialize, SerializeStruct, Serializer};
 use std::fmt;
+
+/// Small sets (up to `INLINE_WORDS * 64` elements) live entirely on the
+/// stack; only the large `(process, round)` reachability masks spill to the
+/// heap. Two words cover 128 bits, exactly `MAX_PROCESSES`, so every process
+/// set in the simulator clones without touching the allocator.
+const INLINE_WORDS: usize = 2;
+
+/// Number of `u64` words needed for `capacity` bits.
+#[inline]
+fn word_count(capacity: usize) -> usize {
+    capacity.div_ceil(64)
+}
+
+/// Storage for the bit words. The variant is a pure function of the
+/// capacity (inline iff `word_count(capacity) <= INLINE_WORDS`), and words
+/// past the logical count are kept at zero, so the derived equality and hash
+/// are consistent across sets of equal capacity.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Blocks {
+    Inline([u64; INLINE_WORDS]),
+    Heap(Vec<u64>),
+}
 
 /// A fixed-capacity set of small integers backed by `u64` blocks.
 ///
@@ -21,18 +43,62 @@ use std::fmt;
 /// assert_eq!(s.len(), 2);
 /// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 7]);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(PartialEq, Eq, Hash)]
 pub struct BitSet {
-    blocks: Vec<u64>,
+    blocks: Blocks,
     capacity: usize,
+}
+
+impl Clone for BitSet {
+    #[inline]
+    fn clone(&self) -> Self {
+        BitSet {
+            blocks: self.blocks.clone(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Clones without reallocating when the destination's block buffer is
+    /// already large enough (the scratch-run pattern in the Monte Carlo
+    /// engine clones into the same destination every trial).
+    #[inline]
+    fn clone_from(&mut self, source: &Self) {
+        match (&mut self.blocks, &source.blocks) {
+            (Blocks::Heap(dst), Blocks::Heap(src)) => dst.clone_from(src),
+            (dst, src) => *dst = src.clone(),
+        }
+        self.capacity = source.capacity;
+    }
 }
 
 impl BitSet {
     /// Creates an empty set with room for elements `0..capacity`.
+    #[inline]
     pub fn new(capacity: usize) -> Self {
-        BitSet {
-            blocks: vec![0; capacity.div_ceil(64)],
-            capacity,
+        let words = word_count(capacity);
+        let blocks = if words <= INLINE_WORDS {
+            Blocks::Inline([0; INLINE_WORDS])
+        } else {
+            Blocks::Heap(vec![0; words])
+        };
+        BitSet { blocks, capacity }
+    }
+
+    /// The logical words, exactly `word_count(capacity)` of them.
+    #[inline]
+    fn words(&self) -> &[u64] {
+        match &self.blocks {
+            Blocks::Inline(a) => &a[..word_count(self.capacity)],
+            Blocks::Heap(v) => v,
+        }
+    }
+
+    #[inline]
+    fn words_mut(&mut self) -> &mut [u64] {
+        let count = word_count(self.capacity);
+        match &mut self.blocks {
+            Blocks::Inline(a) => &mut a[..count],
+            Blocks::Heap(v) => v,
         }
     }
 
@@ -48,7 +114,7 @@ impl BitSet {
     /// ```
     pub fn full(capacity: usize) -> Self {
         let mut s = BitSet::new(capacity);
-        for b in s.blocks.iter_mut() {
+        for b in s.words_mut() {
             *b = u64::MAX;
         }
         s.trim();
@@ -69,6 +135,7 @@ impl BitSet {
     }
 
     /// The capacity (one past the largest storable element).
+    #[inline]
     pub fn capacity(&self) -> usize {
         self.capacity
     }
@@ -78,6 +145,7 @@ impl BitSet {
     /// # Panics
     ///
     /// Panics if `x >= capacity`.
+    #[inline]
     pub fn insert(&mut self, x: usize) -> bool {
         assert!(
             x < self.capacity,
@@ -85,45 +153,53 @@ impl BitSet {
             self.capacity
         );
         let (b, bit) = (x / 64, 1u64 << (x % 64));
-        let fresh = self.blocks[b] & bit == 0;
-        self.blocks[b] |= bit;
+        let word = &mut self.words_mut()[b];
+        let fresh = *word & bit == 0;
+        *word |= bit;
         fresh
     }
 
     /// Removes `x`, returning whether it was present.
+    #[inline]
     pub fn remove(&mut self, x: usize) -> bool {
         if x >= self.capacity {
             return false;
         }
         let (b, bit) = (x / 64, 1u64 << (x % 64));
-        let present = self.blocks[b] & bit != 0;
-        self.blocks[b] &= !bit;
+        let word = &mut self.words_mut()[b];
+        let present = *word & bit != 0;
+        *word &= !bit;
         present
     }
 
     /// Returns whether `x` is in the set.
+    #[inline]
     pub fn contains(&self, x: usize) -> bool {
-        x < self.capacity && self.blocks[x / 64] & (1u64 << (x % 64)) != 0
+        x < self.capacity && self.words()[x / 64] & (1u64 << (x % 64)) != 0
     }
 
     /// Number of elements in the set.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+        self.words().iter().map(|b| b.count_ones() as usize).sum()
     }
 
     /// Returns whether the set is empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.blocks.iter().all(|&b| b == 0)
+        self.words().iter().all(|&b| b == 0)
     }
 
     /// Returns whether the set contains all of `0..capacity`.
+    #[inline]
     pub fn is_full(&self) -> bool {
         self.len() == self.capacity
     }
 
     /// Removes all elements.
+    #[inline]
     pub fn clear(&mut self) {
-        for b in self.blocks.iter_mut() {
+        for b in self.words_mut() {
             *b = 0;
         }
     }
@@ -133,9 +209,10 @@ impl BitSet {
     /// # Panics
     ///
     /// Panics if capacities differ.
+    #[inline]
     pub fn union_with(&mut self, other: &BitSet) {
         assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
-        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
             *a |= b;
         }
     }
@@ -145,38 +222,77 @@ impl BitSet {
     /// # Panics
     ///
     /// Panics if capacities differ.
+    #[inline]
     pub fn intersect_with(&mut self, other: &BitSet) {
         assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
-        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
             *a &= b;
         }
     }
 
     /// Returns whether `self` is a subset of `other`.
+    #[inline]
     pub fn is_subset(&self, other: &BitSet) -> bool {
         assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
-        self.blocks
+        self.words()
             .iter()
-            .zip(&other.blocks)
+            .zip(other.words())
             .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates over the elements in increasing order.
+    #[inline]
     pub fn iter(&self) -> Iter<'_> {
+        let words = self.words();
         Iter {
-            set: self,
+            words,
             block: 0,
-            bits: self.blocks.first().copied().unwrap_or(0),
+            bits: words.first().copied().unwrap_or(0),
         }
     }
 
+    #[inline]
     fn trim(&mut self) {
-        let extra = self.blocks.len() * 64 - self.capacity;
+        let extra = word_count(self.capacity) * 64 - self.capacity;
         if extra > 0 {
-            if let Some(last) = self.blocks.last_mut() {
+            if let Some(last) = self.words_mut().last_mut() {
                 *last &= u64::MAX >> extra;
             }
         }
+    }
+}
+
+impl Serialize for BitSet {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Keep the wire format of the old derived impl, when the words were a
+        // plain `Vec<u64>` field: `{"blocks":[...],"capacity":N}`.
+        let mut st = serializer.serialize_struct("BitSet", 2)?;
+        st.serialize_field("blocks", &self.words())?;
+        st.serialize_field("capacity", &self.capacity)?;
+        st.end()
+    }
+}
+
+impl serde::de::Deserialize for BitSet {
+    fn deserialize(value: &serde::json::Value) -> Result<Self, serde::json::Error> {
+        let obj = value.as_object().ok_or_else(|| {
+            serde::json::Error::custom(format!("expected object for BitSet, got {}", value.kind()))
+        })?;
+        let capacity: usize = serde::de::field(obj, "capacity")?;
+        let words: Vec<u64> = serde::de::field(obj, "blocks")?;
+        if words.len() != word_count(capacity) {
+            return Err(serde::json::Error::custom(format!(
+                "bitset with capacity {capacity} needs {} block(s), got {}",
+                word_count(capacity),
+                words.len()
+            )));
+        }
+        let mut s = BitSet::new(capacity);
+        s.words_mut().copy_from_slice(&words);
+        // Clearing bits beyond the capacity keeps the derived equality and
+        // hash honest even for hostile input.
+        s.trim();
+        Ok(s)
     }
 }
 
@@ -197,7 +313,7 @@ impl Extend<usize> for BitSet {
 /// Iterator over the elements of a [`BitSet`] in increasing order.
 #[derive(Clone, Debug)]
 pub struct Iter<'a> {
-    set: &'a BitSet,
+    words: &'a [u64],
     block: usize,
     bits: u64,
 }
@@ -205,6 +321,7 @@ pub struct Iter<'a> {
 impl Iterator for Iter<'_> {
     type Item = usize;
 
+    #[inline]
     fn next(&mut self) -> Option<usize> {
         loop {
             if self.bits != 0 {
@@ -213,10 +330,10 @@ impl Iterator for Iter<'_> {
                 return Some(self.block * 64 + tz);
             }
             self.block += 1;
-            if self.block >= self.set.blocks.len() {
+            if self.block >= self.words.len() {
                 return None;
             }
-            self.bits = self.set.blocks[self.block];
+            self.bits = self.words[self.block];
         }
     }
 }

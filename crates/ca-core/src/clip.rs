@@ -41,9 +41,11 @@ pub fn clip(run: &Run, i: ProcessId) -> Run {
             out.add_input(j);
         }
     }
-    for slot in run.messages() {
-        if back.contains(slot.to, slot.round) {
-            out.add_message(slot.from, slot.to, slot.round);
+    for r in Round::protocol_rounds(n) {
+        for slot in run.messages_in_round(r) {
+            if back.contains(slot.to, r) {
+                out.add_message(slot.from, slot.to, r);
+            }
         }
     }
     out

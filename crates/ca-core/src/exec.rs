@@ -289,13 +289,22 @@ pub fn execute_outputs_into<'s, P: Protocol>(
         for inbox in scratch.inboxes.iter_mut() {
             inbox.clear();
         }
-        for slot in run.messages_in_round(r) {
+        let states = &scratch.states;
+        let inboxes = &mut scratch.inboxes;
+        run.for_each_message_in_round(r, |slot| {
             let ctx = Ctx::new(graph, n, slot.from);
-            let msg = protocol.message(ctx, &scratch.states[slot.from.index()], slot.to);
-            scratch.inboxes[slot.to.index()].push((slot.from, msg));
-        }
+            let msg = protocol.message(ctx, &states[slot.from.index()], slot.to);
+            inboxes[slot.to.index()].push((slot.from, msg));
+        });
         for j in graph.vertices() {
-            scratch.inboxes[j.index()].sort_by_key(|(from, _)| *from);
+            // `messages_in_round` yields slots sorted by (from, to), so each
+            // inbox is filled in sender order already — no sort needed.
+            debug_assert!(
+                scratch.inboxes[j.index()]
+                    .windows(2)
+                    .all(|w| w[0].0 <= w[1].0),
+                "inbox fill order must follow the canonical slot order"
+            );
             let mut reader = tapes.tape(j).reader_at(scratch.tape_pos[j.index()]);
             scratch.states[j.index()] = protocol.transition(
                 Ctx::new(graph, n, j),

@@ -34,8 +34,8 @@ impl FlowGraph {
     pub fn new(run: &Run) -> Self {
         let n = run.horizon();
         let mut by_round = vec![Vec::new(); n as usize + 1];
-        for s in run.messages() {
-            by_round[s.round.index()].push((s.from, s.to));
+        for r in Round::protocol_rounds(n) {
+            by_round[r.index()].extend(run.messages_in_round(r).map(|s| (s.from, s.to)));
         }
         let mut inputs = BitSet::new(run.process_count());
         for p in run.inputs() {

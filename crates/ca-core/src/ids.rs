@@ -34,16 +34,19 @@ impl ProcessId {
     pub const LEADER: ProcessId = ProcessId(0);
 
     /// Creates a process id from a dense index.
+    #[inline]
     pub const fn new(index: u32) -> Self {
         ProcessId(index)
     }
 
     /// Returns the dense index of this process.
+    #[inline]
     pub const fn index(self) -> usize {
         self.0 as usize
     }
 
     /// Returns the raw `u32` value.
+    #[inline]
     pub const fn as_u32(self) -> u32 {
         self.0
     }
@@ -101,21 +104,25 @@ impl Round {
     pub const INPUT: Round = Round(0);
 
     /// Creates a round from its number (`0` = input round, `1..=N` protocol rounds).
+    #[inline]
     pub const fn new(r: u32) -> Self {
         Round(r)
     }
 
     /// Returns the round number.
+    #[inline]
     pub const fn get(self) -> u32 {
         self.0
     }
 
     /// Returns the round number as a `usize` (for indexing).
+    #[inline]
     pub const fn index(self) -> usize {
         self.0 as usize
     }
 
     /// The next round.
+    #[inline]
     pub const fn next(self) -> Round {
         Round(self.0 + 1)
     }
@@ -125,6 +132,7 @@ impl Round {
     /// # Panics
     ///
     /// Panics in debug builds if called on round 0.
+    #[inline]
     pub const fn prev(self) -> Round {
         debug_assert!(self.0 > 0, "round 0 has no predecessor");
         Round(self.0 - 1)

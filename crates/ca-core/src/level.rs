@@ -140,6 +140,119 @@ fn ensure_two_processes(run: &Run) -> Result<(), CaError> {
     Ok(())
 }
 
+/// Reusable buffers for [`min_level_into`] / [`min_modified_level_into`].
+///
+/// The Monte Carlo engine asks for one number per trial — `min_i L_i(R)` —
+/// millions of times; a scratch threaded through the loop keeps the gossip
+/// working vectors alive across trials instead of reallocating them.
+#[derive(Debug, Default)]
+pub struct LevelScratch {
+    valid: Vec<bool>,
+    heard_leader: Vec<bool>,
+    /// `heard[j * m + i]`: best level of `i` known (via flow) to `j`.
+    heard: Vec<u32>,
+    snap_heard: Vec<u32>,
+    snap_valid: Vec<bool>,
+    snap_leader: Vec<bool>,
+}
+
+impl LevelScratch {
+    /// An empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// `L(R) = min_i L_i(R)` without building the full [`LevelTable`] —
+/// allocation-free once the scratch has warmed up, and identical to
+/// `levels(run).min_level()`.
+///
+/// # Panics
+///
+/// Panics if the run has fewer than 2 processes.
+pub fn min_level_into(run: &Run, scratch: &mut LevelScratch) -> u32 {
+    gossip_min_level(run, false, scratch)
+}
+
+/// `ML(R) = min_i ML_i(R)` without building the full [`LevelTable`] —
+/// allocation-free once the scratch has warmed up, and identical to
+/// `modified_levels(run).min_level()`.
+///
+/// # Panics
+///
+/// Panics if the run has fewer than 2 processes.
+pub fn min_modified_level_into(run: &Run, scratch: &mut LevelScratch) -> u32 {
+    gossip_min_level(run, true, scratch)
+}
+
+/// The same gossip dynamic program as [`gossip_levels`], but on flat scratch
+/// buffers and keeping only the final per-process levels.
+fn gossip_min_level(run: &Run, modified: bool, s: &mut LevelScratch) -> u32 {
+    let m = run.process_count();
+    let n = run.horizon();
+    assert!(m >= 2, "levels are defined for m >= 2 (paper's model)");
+
+    s.valid.clear();
+    s.valid
+        .extend((0..m).map(|j| run.has_input(ProcessId::new(j as u32))));
+    s.heard_leader.clear();
+    s.heard_leader.resize(m, false);
+    s.heard_leader[ProcessId::LEADER.index()] = true;
+    s.heard.clear();
+    s.heard.resize(m * m, 0);
+
+    let base_holds = |valid_j: bool, heard_leader_j: bool| -> bool {
+        if modified {
+            valid_j && heard_leader_j
+        } else {
+            valid_j
+        }
+    };
+
+    for j in 0..m {
+        if base_holds(s.valid[j], s.heard_leader[j]) {
+            s.heard[j * m + j] = 1;
+        }
+    }
+
+    for r in Round::protocol_rounds(n) {
+        s.snap_heard.clear();
+        s.snap_heard.extend_from_slice(&s.heard);
+        s.snap_valid.clear();
+        s.snap_valid.extend_from_slice(&s.valid);
+        s.snap_leader.clear();
+        s.snap_leader.extend_from_slice(&s.heard_leader);
+        run.for_each_message_in_round(r, |slot| {
+            let (i, j) = (slot.from.index(), slot.to.index());
+            for k in 0..m {
+                if s.snap_heard[i * m + k] > s.heard[j * m + k] {
+                    s.heard[j * m + k] = s.snap_heard[i * m + k];
+                }
+            }
+            s.valid[j] |= s.snap_valid[i];
+            s.heard_leader[j] |= s.snap_leader[i];
+        });
+        for j in 0..m {
+            if base_holds(s.valid[j], s.heard_leader[j]) && s.heard[j * m + j] == 0 {
+                s.heard[j * m + j] = 1;
+            }
+            let min_other = (0..m)
+                .filter(|&i| i != j)
+                .map(|i| s.heard[j * m + i])
+                .min()
+                .expect("m >= 2");
+            if min_other >= 1 && min_other + 1 > s.heard[j * m + j] {
+                s.heard[j * m + j] = min_other + 1;
+            }
+        }
+    }
+
+    (0..m)
+        .map(|j| s.heard[j * m + j])
+        .min()
+        .expect("at least one process")
+}
+
 /// The gossip dynamic program shared by [`levels`] and [`modified_levels`].
 ///
 /// Each process `j` carries a vector `heard[j][i]` = the highest level of `i`
@@ -549,6 +662,33 @@ mod tests {
         // Construct a degenerate 1-process run directly.
         let run = Run::empty(1, 2);
         let _ = levels(&run);
+    }
+
+    #[test]
+    fn scratch_min_level_matches_table_min_level() {
+        // One scratch reused across runs of different graphs and horizons —
+        // exactly the Monte Carlo engine's usage pattern.
+        let mut scratch = LevelScratch::new();
+        let mut rng = StdRng::seed_from_u64(404);
+        for g in [
+            Graph::complete(2).unwrap(),
+            Graph::complete(3).unwrap(),
+            Graph::ring(4).unwrap(),
+        ] {
+            for _ in 0..25 {
+                let run = random_run(&g, 4, 0.55, &mut rng);
+                assert_eq!(
+                    min_level_into(&run, &mut scratch),
+                    levels(&run).min_level(),
+                    "L mismatch in {run:?}"
+                );
+                assert_eq!(
+                    min_modified_level_into(&run, &mut scratch),
+                    modified_levels(&run).min_level(),
+                    "ML mismatch in {run:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -5,18 +5,42 @@
 //! (tuples `(v₀, i, 0)` in the paper), and `M(R)` is the set of delivered
 //! messages (tuples `(i, j, r)` with `(i,j) ∈ E` and `1 ≤ r ≤ N`). Every
 //! message *not* in `M(R)` is destroyed by the adversary.
+//!
+//! # Representation
+//!
+//! `M(R)` is stored as a round-major bit matrix: one block of `u64` words per
+//! round `1..=n`, each block a dense `m × m` matrix of ordered process pairs
+//! (bit `from·m + to`). Membership ([`Run::delivers`]) is a single mask test,
+//! per-round iteration walks set bits with `trailing_zeros`, and
+//! equality/subset/union are word-wise compares — the same machinery as
+//! [`crate::bitset::BitSet`]. Slots outside the matrix (a round beyond the
+//! horizon, a process id `≥ m`) are kept in a small sorted side list so a
+//! `Run` can still hold — and [`Run::validate`] can still reject — arbitrary
+//! slots, exactly as the previous `BTreeSet` representation did.
+//!
+//! The canonical slot order is unchanged: [`Run::messages`] yields slots
+//! sorted by `(from, to, round)` and [`Run::messages_in_round`] by
+//! `(from, to)`. Samplers draw per-slot randomness in this order, which is
+//! what keeps the Monte Carlo determinism goldens stable across
+//! representations (see DESIGN.md).
+//!
+//! On the wire a run is still the explicit slot list
+//! `{m, n, inputs, messages: [{from, to, round}, ...]}` — chaos-schedule
+//! replay files stay readable, and files written by older versions parse
+//! unchanged.
 
 use crate::bitset::BitSet;
 use crate::error::{CaError, ModelError};
 use crate::graph::Graph;
 use crate::ids::{ProcessId, Round};
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use serde::ser::{Serialize, SerializeSeq, SerializeStruct, Serializer};
 use std::fmt;
 
 /// A directed message slot `(from, to, round)`: the message sent by `from` to
 /// `to` in the given protocol round (`1..=N`).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize,
+)]
 pub struct MsgSlot {
     /// Sending process.
     pub from: ProcessId,
@@ -28,6 +52,7 @@ pub struct MsgSlot {
 
 impl MsgSlot {
     /// Creates a message slot.
+    #[inline]
     pub const fn new(from: ProcessId, to: ProcessId, round: Round) -> Self {
         MsgSlot { from, to, round }
     }
@@ -58,12 +83,19 @@ impl fmt::Display for MsgSlot {
 /// assert_eq!(run.message_count(), 2 * 4); // 2 directed edges × 4 rounds
 /// # Ok::<(), ca_core::error::ModelError>(())
 /// ```
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(PartialEq, Eq, Hash)]
 pub struct Run {
     m: usize,
     n: u32,
     inputs: BitSet,
-    messages: BTreeSet<MsgSlot>,
+    /// Round-major delivery matrix: `words_per_round` words per round
+    /// `1..=n`, bit `from·m + to` within a round's block.
+    words: Vec<u64>,
+    /// Slots outside the matrix (round ∉ `1..=n` or a process id ≥ `m`),
+    /// sorted by `(from, to, round)`.
+    overflow: Vec<MsgSlot>,
+    /// Cached `|M(R)|` (matrix bits + overflow slots).
+    msg_count: usize,
 }
 
 impl Run {
@@ -74,7 +106,9 @@ impl Run {
             m,
             n,
             inputs: BitSet::new(m),
-            messages: BTreeSet::new(),
+            words: vec![0; n as usize * Self::words_per_round(m)],
+            overflow: Vec::new(),
+            msg_count: 0,
         }
     }
 
@@ -87,7 +121,7 @@ impl Run {
         }
         for (a, b) in graph.directed_edges() {
             for r in Round::protocol_rounds(n) {
-                run.messages.insert(MsgSlot::new(a, b, r));
+                run.add_message(a, b, r);
             }
         }
         run
@@ -104,6 +138,23 @@ impl Run {
         run
     }
 
+    fn words_per_round(m: usize) -> usize {
+        (m * m).div_ceil(64)
+    }
+
+    /// The `(word index, bit mask)` of an in-matrix slot, or `None` for a
+    /// slot the matrix cannot represent (stored in the overflow list).
+    fn slot_pos(&self, from: ProcessId, to: ProcessId, round: Round) -> Option<(usize, u64)> {
+        let (f, t, r) = (from.index(), to.index(), round.get());
+        if f < self.m && t < self.m && r >= 1 && r <= self.n {
+            let bit = f * self.m + t;
+            let word = (r as usize - 1) * Self::words_per_round(self.m) + bit / 64;
+            Some((word, 1u64 << (bit % 64)))
+        } else {
+            None
+        }
+    }
+
     /// Number of processes `m`.
     pub fn process_count(&self) -> usize {
         self.m
@@ -115,6 +166,7 @@ impl Run {
     }
 
     /// Returns whether process `i` receives the input signal (tuple `(v₀,i,0)`).
+    #[inline]
     pub fn has_input(&self, i: ProcessId) -> bool {
         self.inputs.contains(i.index())
     }
@@ -146,13 +198,21 @@ impl Run {
     }
 
     /// Returns whether the message `(from, to, round)` is delivered.
+    #[inline]
     pub fn delivers(&self, from: ProcessId, to: ProcessId, round: Round) -> bool {
-        self.messages.contains(&MsgSlot::new(from, to, round))
+        match self.slot_pos(from, to, round) {
+            Some((w, mask)) => self.words[w] & mask != 0,
+            None => self
+                .overflow
+                .binary_search(&MsgSlot::new(from, to, round))
+                .is_ok(),
+        }
     }
 
     /// Returns whether the slot is delivered.
+    #[inline]
     pub fn delivers_slot(&self, slot: MsgSlot) -> bool {
-        self.messages.contains(&slot)
+        self.delivers(slot.from, slot.to, slot.round)
     }
 
     /// Adds a delivered message `(from, to, round)`.
@@ -160,31 +220,195 @@ impl Run {
     /// The caller is responsible for only adding slots that correspond to
     /// graph edges and rounds `1..=n`; [`Run::validate`] checks this.
     pub fn add_message(&mut self, from: ProcessId, to: ProcessId, round: Round) -> &mut Self {
-        self.messages.insert(MsgSlot::new(from, to, round));
+        match self.slot_pos(from, to, round) {
+            Some((w, mask)) => {
+                if self.words[w] & mask == 0 {
+                    self.words[w] |= mask;
+                    self.msg_count += 1;
+                }
+            }
+            None => {
+                let slot = MsgSlot::new(from, to, round);
+                if let Err(i) = self.overflow.binary_search(&slot) {
+                    self.overflow.insert(i, slot);
+                    self.msg_count += 1;
+                }
+            }
+        }
         self
     }
 
     /// Removes (destroys) a delivered message, returning whether it was present.
     pub fn remove_message(&mut self, from: ProcessId, to: ProcessId, round: Round) -> bool {
-        self.messages.remove(&MsgSlot::new(from, to, round))
+        match self.slot_pos(from, to, round) {
+            Some((w, mask)) => {
+                let present = self.words[w] & mask != 0;
+                if present {
+                    self.words[w] &= !mask;
+                    self.msg_count -= 1;
+                }
+                present
+            }
+            None => {
+                if let Ok(i) = self.overflow.binary_search(&MsgSlot::new(from, to, round)) {
+                    self.overflow.remove(i);
+                    self.msg_count -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Iterates over the matrix slots in canonical `(from, to, round)` order.
+    ///
+    /// An occupancy pass first ORs every round block together, so only pairs
+    /// delivered in at least one round get their per-round probe — sparse
+    /// runs skip absent pairs wholesale instead of probing `m² · n` bits.
+    fn matrix_slots(&self) -> impl Iterator<Item = MsgSlot> + '_ {
+        let m = self.m;
+        let n = self.n;
+        let wpr = Self::words_per_round(m);
+        let words = &self.words;
+        let mut occupied = vec![0u64; wpr];
+        for (w, word) in self.words.iter().enumerate() {
+            occupied[w % wpr.max(1)] |= word;
+        }
+        let mut word = 0usize;
+        let mut bits = occupied.first().copied().unwrap_or(0);
+        let pairs = std::iter::from_fn(move || loop {
+            if bits != 0 {
+                let tz = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                return Some(word * 64 + tz);
+            }
+            word += 1;
+            if word >= occupied.len() {
+                return None;
+            }
+            bits = occupied[word];
+        });
+        pairs.flat_map(move |pair| {
+            let (word, mask) = (pair / 64, 1u64 << (pair % 64));
+            (1..=n)
+                .filter(move |&r| words[(r as usize - 1) * wpr + word] & mask != 0)
+                .map(move |r| {
+                    MsgSlot::new(
+                        ProcessId::new((pair / m) as u32),
+                        ProcessId::new((pair % m) as u32),
+                        Round::new(r),
+                    )
+                })
+        })
+    }
+
+    /// Merges two slot iterators that are each sorted in canonical order.
+    /// (Matrix and overflow slots are disjoint, so `<=` never ties.)
+    fn merge_sorted<'a>(
+        a: impl Iterator<Item = MsgSlot> + 'a,
+        b: impl Iterator<Item = MsgSlot> + 'a,
+    ) -> impl Iterator<Item = MsgSlot> + 'a {
+        let mut a = a.peekable();
+        let mut b = b.peekable();
+        std::iter::from_fn(move || match (a.peek(), b.peek()) {
+            (Some(x), Some(y)) => {
+                if x <= y {
+                    a.next()
+                } else {
+                    b.next()
+                }
+            }
+            (Some(_), None) => a.next(),
+            (None, _) => b.next(),
+        })
     }
 
     /// Iterates over the delivered message slots in sorted order.
     pub fn messages(&self) -> impl Iterator<Item = MsgSlot> + '_ {
-        self.messages.iter().copied()
+        Self::merge_sorted(self.matrix_slots(), self.overflow.iter().copied())
     }
 
-    /// Iterates over delivered messages of one round.
+    /// Iterates over delivered messages of one round, sorted by `(from, to)`.
     pub fn messages_in_round(&self, round: Round) -> impl Iterator<Item = MsgSlot> + '_ {
-        self.messages
+        let m = self.m;
+        let r = round.get();
+        let wpr = Self::words_per_round(m);
+        let block = if r >= 1 && r <= self.n {
+            &self.words[(r as usize - 1) * wpr..(r as usize) * wpr]
+        } else {
+            &[]
+        };
+        let mut word = 0usize;
+        let mut bits = block.first().copied().unwrap_or(0);
+        let matrix = std::iter::from_fn(move || loop {
+            if bits != 0 {
+                let tz = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let pair = word * 64 + tz;
+                return Some(MsgSlot::new(
+                    ProcessId::new((pair / m) as u32),
+                    ProcessId::new((pair % m) as u32),
+                    round,
+                ));
+            }
+            word += 1;
+            if word >= block.len() {
+                return None;
+            }
+            bits = block[word];
+        });
+        let over = self
+            .overflow
             .iter()
             .copied()
-            .filter(move |s| s.round == round)
+            .filter(move |s| s.round == round);
+        Self::merge_sorted(matrix, over)
+    }
+
+    /// Calls `f` for every delivered slot of `round` in canonical `(from,
+    /// to)` order — the internal-iteration twin of [`Self::messages_in_round`].
+    ///
+    /// Hot loops (the execution engine, the level gossip) visit every round
+    /// of a run once per trial; driving the word scan directly avoids
+    /// constructing the merge iterator 2·N times per trial.
+    pub fn for_each_message_in_round(&self, round: Round, mut f: impl FnMut(MsgSlot)) {
+        let m = self.m;
+        let r = round.get();
+        let wpr = Self::words_per_round(m);
+        let mut over = self
+            .overflow
+            .iter()
+            .filter(|s| s.round == round)
+            .copied()
+            .peekable();
+        if r >= 1 && r <= self.n {
+            let block = &self.words[(r as usize - 1) * wpr..(r as usize) * wpr];
+            for (word, &bits) in block.iter().enumerate() {
+                let mut bits = bits;
+                while bits != 0 {
+                    let pair = word * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let slot = MsgSlot::new(
+                        ProcessId::new((pair / m) as u32),
+                        ProcessId::new((pair % m) as u32),
+                        round,
+                    );
+                    while over.peek().is_some_and(|o| *o < slot) {
+                        f(over.next().expect("peeked"));
+                    }
+                    f(slot);
+                }
+            }
+        }
+        for slot in over {
+            f(slot);
+        }
     }
 
     /// Number of delivered messages `|M(R)|`.
     pub fn message_count(&self) -> usize {
-        self.messages.len()
+        self.msg_count
     }
 
     /// Number of input tuples `|I(R)|`.
@@ -197,7 +421,15 @@ impl Run {
     /// This is the "cut at round `round`" adversary move that defeats chains
     /// of acknowledgements (§3).
     pub fn cut_from_round(&mut self, round: Round) -> &mut Self {
-        self.messages.retain(|s| s.round < round);
+        let wpr = Self::words_per_round(self.m);
+        let start = ((round.get().max(1) as usize - 1) * wpr).min(self.words.len());
+        for w in self.words[start..].iter_mut() {
+            self.msg_count -= w.count_ones() as usize;
+            *w = 0;
+        }
+        let before = self.overflow.len();
+        self.overflow.retain(|s| s.round < round);
+        self.msg_count -= before - self.overflow.len();
         self
     }
 
@@ -208,8 +440,22 @@ impl Run {
         to: ProcessId,
         round: Round,
     ) -> &mut Self {
-        self.messages
+        if from.index() < self.m && to.index() < self.m {
+            let bit = from.index() * self.m + to.index();
+            let wpr = Self::words_per_round(self.m);
+            let (word, mask) = (bit / 64, 1u64 << (bit % 64));
+            for r in round.get().max(1)..=self.n {
+                let w = (r as usize - 1) * wpr + word;
+                if self.words[w] & mask != 0 {
+                    self.words[w] &= !mask;
+                    self.msg_count -= 1;
+                }
+            }
+        }
+        let before = self.overflow.len();
+        self.overflow
             .retain(|s| !(s.from == from && s.to == to && s.round >= round));
+        self.msg_count -= before - self.overflow.len();
         self
     }
 
@@ -218,7 +464,15 @@ impl Run {
         self.m == other.m
             && self.n == other.n
             && self.inputs.is_subset(&other.inputs)
-            && self.messages.is_subset(&other.messages)
+            && self
+                .words
+                .iter()
+                .zip(&other.words)
+                .all(|(a, b)| a & !b == 0)
+            && self
+                .overflow
+                .iter()
+                .all(|s| other.overflow.binary_search(s).is_ok())
     }
 
     /// The union of two runs.
@@ -231,7 +485,20 @@ impl Run {
         assert_eq!(self.n, other.n, "run horizon mismatch");
         let mut out = self.clone();
         out.inputs.union_with(&other.inputs);
-        out.messages.extend(other.messages.iter().copied());
+        for (a, b) in out.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+        for s in &other.overflow {
+            if let Err(i) = out.overflow.binary_search(s) {
+                out.overflow.insert(i, *s);
+            }
+        }
+        out.msg_count = out
+            .words
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum::<usize>()
+            + out.overflow.len();
         out
     }
 
@@ -248,7 +515,7 @@ impl Run {
                 reason: "graph size does not match run process count",
             });
         }
-        for s in &self.messages {
+        for s in self.messages() {
             if s.round.get() < 1 || s.round.get() > self.n {
                 return Err(ModelError::InvalidMessageSlot {
                     reason: "round outside 1..=N",
@@ -298,12 +565,77 @@ impl Run {
             }
             for (k, s) in slots.iter().enumerate() {
                 if mask & (1 << (graph.len() + k)) != 0 {
-                    run.messages.insert(*s);
+                    run.add_message(s.from, s.to, s.round);
                 }
             }
             out.push(run);
         }
         Ok(out)
+    }
+}
+
+impl Clone for Run {
+    fn clone(&self) -> Self {
+        Run {
+            m: self.m,
+            n: self.n,
+            inputs: self.inputs.clone(),
+            words: self.words.clone(),
+            overflow: self.overflow.clone(),
+            msg_count: self.msg_count,
+        }
+    }
+
+    /// Clones without reallocating: the scratch-run pattern in the Monte
+    /// Carlo engine (`sample_into`) leans on this to reuse the destination's
+    /// buffers trial after trial.
+    fn clone_from(&mut self, source: &Self) {
+        self.m = source.m;
+        self.n = source.n;
+        self.inputs.clone_from(&source.inputs);
+        self.words.clone_from(&source.words);
+        self.overflow.clone_from(&source.overflow);
+        self.msg_count = source.msg_count;
+    }
+}
+
+impl Serialize for Run {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Keep the wire format of the old derived impl: the message matrix
+        // goes out as the explicit sorted slot list.
+        struct SlotList<'a>(&'a Run);
+        impl Serialize for SlotList<'_> {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let mut seq = serializer.serialize_seq(Some(self.0.message_count()))?;
+                for s in self.0.messages() {
+                    seq.serialize_element(&s)?;
+                }
+                seq.end()
+            }
+        }
+        let mut st = serializer.serialize_struct("Run", 4)?;
+        st.serialize_field("m", &self.m)?;
+        st.serialize_field("n", &self.n)?;
+        st.serialize_field("inputs", &self.inputs)?;
+        st.serialize_field("messages", &SlotList(self))?;
+        st.end()
+    }
+}
+
+impl serde::de::Deserialize for Run {
+    fn deserialize(value: &serde::json::Value) -> Result<Self, serde::json::Error> {
+        let obj = value.as_object().ok_or_else(|| {
+            serde::json::Error::custom(format!("expected object for Run, got {}", value.kind()))
+        })?;
+        let m: usize = serde::de::field(obj, "m")?;
+        let n: u32 = serde::de::field(obj, "n")?;
+        let mut run = Run::empty(m, n);
+        run.inputs = serde::de::field(obj, "inputs")?;
+        let messages: Vec<MsgSlot> = serde::de::field(obj, "messages")?;
+        for s in messages {
+            run.add_message(s.from, s.to, s.round);
+        }
+        Ok(run)
     }
 }
 
@@ -313,7 +645,7 @@ impl fmt::Debug for Run {
             .field("m", &self.m)
             .field("n", &self.n)
             .field("inputs", &self.inputs)
-            .field("messages", &self.messages)
+            .field("messages", &self.messages().collect::<Vec<_>>())
             .finish()
     }
 }
@@ -465,5 +797,83 @@ mod tests {
         let small = Graph::complete(2).unwrap();
         let runs = Run::try_enumerate_all(&small, 1).unwrap();
         assert_eq!(runs.len(), Run::enumerate_all(&small, 1).len());
+    }
+
+    #[test]
+    fn messages_are_in_canonical_slot_order() {
+        let g = Graph::complete(3).unwrap();
+        let run = Run::good(&g, 3);
+        let slots: Vec<_> = run.messages().collect();
+        let mut sorted = slots.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(slots, sorted, "messages() must yield sorted unique slots");
+        for round in Round::protocol_rounds(3) {
+            let per_round: Vec<_> = run.messages_in_round(round).collect();
+            let expected: Vec<_> = slots.iter().copied().filter(|s| s.round == round).collect();
+            assert_eq!(per_round, expected);
+        }
+    }
+
+    #[test]
+    fn out_of_matrix_slots_round_trip_through_overflow() {
+        let mut run = Run::empty(2, 2);
+        run.add_message(p(0), p(1), r(9)); // round beyond the horizon
+        run.add_message(p(7), p(0), r(1)); // process beyond m
+        assert!(run.delivers(p(0), p(1), r(9)));
+        assert!(run.delivers_slot(MsgSlot::new(p(7), p(0), r(1))));
+        assert_eq!(run.message_count(), 2);
+        let slots: Vec<_> = run.messages().collect();
+        assert_eq!(
+            slots,
+            vec![
+                MsgSlot::new(p(0), p(1), r(9)),
+                MsgSlot::new(p(7), p(0), r(1)),
+            ]
+        );
+        assert_eq!(run.messages_in_round(r(9)).count(), 1);
+        assert!(run.remove_message(p(0), p(1), r(9)));
+        assert!(!run.delivers(p(0), p(1), r(9)));
+        run.cut_from_round(r(1));
+        assert_eq!(run.message_count(), 0);
+    }
+
+    #[test]
+    fn clone_from_reuses_and_matches_clone() {
+        let g = Graph::complete(4).unwrap();
+        let big = Run::good(&g, 6);
+        let mut scratch = Run::empty(0, 0);
+        scratch.clone_from(&big);
+        assert_eq!(scratch, big);
+        let small = Run::empty(2, 1);
+        scratch.clone_from(&small);
+        assert_eq!(scratch, small);
+        assert_eq!(scratch.message_count(), 0);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_equality() {
+        let g = Graph::complete(3).unwrap();
+        let mut run = Run::good_with_inputs(&g, 4, &[p(0), p(2)]);
+        run.remove_message(p(1), p(2), r(3));
+        let json = serde::json::to_string(&run).unwrap();
+        let back: Run = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, run);
+    }
+
+    #[test]
+    fn deserializes_old_format_slot_list() {
+        // A fixture produced by the previous BTreeSet-backed representation:
+        // messages as an explicit sorted slot array.
+        let json = r#"{"m":2,"n":2,"inputs":{"blocks":[3],"capacity":2},"messages":[{"from":0,"to":1,"round":1},{"from":1,"to":0,"round":2}]}"#;
+        let run: Run = serde::json::from_str(json).unwrap();
+        assert_eq!(run.process_count(), 2);
+        assert_eq!(run.horizon(), 2);
+        assert_eq!(run.input_count(), 2);
+        assert!(run.delivers(p(0), p(1), r(1)));
+        assert!(!run.delivers(p(0), p(1), r(2)));
+        assert!(run.delivers(p(1), p(0), r(2)));
+        // And it re-serializes to the same wire format.
+        assert_eq!(serde::json::to_string(&run).unwrap(), json);
     }
 }

@@ -55,6 +55,7 @@ impl BitTape {
     }
 
     /// Length of the tape in bits.
+    #[inline]
     pub fn len_bits(&self) -> usize {
         self.words.len() * 64
     }
@@ -65,6 +66,7 @@ impl BitTape {
     }
 
     /// Starts reading from the beginning.
+    #[inline]
     pub fn reader(&self) -> TapeReader<'_> {
         TapeReader { tape: self, pos: 0 }
     }
@@ -76,6 +78,7 @@ impl BitTape {
     /// # Panics
     ///
     /// Panics if `pos` lies beyond the end of the tape.
+    #[inline]
     pub fn reader_at(&self, pos: usize) -> TapeReader<'_> {
         assert!(
             pos <= self.len_bits(),
@@ -108,6 +111,7 @@ impl TapeReader<'_> {
     /// # Panics
     ///
     /// Panics if the tape is exhausted.
+    #[inline]
     pub fn draw_bit(&mut self) -> bool {
         assert!(
             self.pos < self.tape.len_bits(),
@@ -222,6 +226,7 @@ impl TapeReader<'_> {
     }
 
     /// Number of bits consumed so far.
+    #[inline]
     pub fn bits_consumed(&self) -> usize {
         self.pos
     }
@@ -270,6 +275,7 @@ impl TapeSet {
     /// # Panics
     ///
     /// Panics if `i` is out of range.
+    #[inline]
     pub fn tape(&self, i: crate::ids::ProcessId) -> &BitTape {
         &self.tapes[i.index()]
     }

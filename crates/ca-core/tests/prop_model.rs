@@ -211,6 +211,47 @@ proptest! {
         prop_assert_eq!(bs.iter().collect::<Vec<_>>(), model.into_iter().collect::<Vec<_>>());
     }
 
+    /// The bit-packed run representation agrees with a reference
+    /// `BTreeSet<MsgSlot>` model under arbitrary add/remove sequences —
+    /// membership, count, canonical iteration order, per-round iteration —
+    /// including out-of-matrix slots (process ≥ m, round outside `1..=n`)
+    /// that live on the overflow path, and a serde round trip preserves
+    /// equality.
+    #[test]
+    fn run_matches_btreeset_model(
+        ops in proptest::collection::vec((0u32..6, 0u32..6, 0u32..6, any::<bool>()), 0..80)
+    ) {
+        let mut run = Run::empty(4, 3);
+        let mut model = std::collections::BTreeSet::new();
+        for (from, to, round, insert) in ops {
+            let (f, t, r) = (ProcessId::new(from), ProcessId::new(to), Round::new(round));
+            if insert {
+                run.add_message(f, t, r);
+                model.insert((from, to, round));
+            } else {
+                prop_assert_eq!(run.remove_message(f, t, r), model.remove(&(from, to, round)));
+            }
+            prop_assert_eq!(run.delivers(f, t, r), model.contains(&(from, to, round)));
+        }
+        prop_assert_eq!(run.message_count(), model.len());
+        let listed: Vec<_> = run.messages()
+            .map(|s| (s.from.as_u32(), s.to.as_u32(), s.round.get()))
+            .collect();
+        let expected: Vec<_> = model.iter().copied().collect();
+        prop_assert_eq!(&listed, &expected, "canonical (from, to, round) order");
+        for r in 0..6u32 {
+            let in_round: Vec<_> = run.messages_in_round(Round::new(r))
+                .map(|s| (s.from.as_u32(), s.to.as_u32(), s.round.get()))
+                .collect();
+            let model_round: Vec<_> = expected.iter().copied()
+                .filter(|&(_, _, sr)| sr == r)
+                .collect();
+            prop_assert_eq!(in_round, model_round, "round {} slots", r);
+        }
+        let back: Run = serde::json::from_str(&serde::json::to_string(&run).unwrap()).unwrap();
+        prop_assert_eq!(back, run);
+    }
+
     /// Runs: union is an upper bound; subset is a partial order.
     #[test]
     fn run_lattice((g, run) in run_strategy(2), (g2, run2) in run_strategy(2)) {

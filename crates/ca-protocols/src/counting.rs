@@ -76,14 +76,30 @@ impl<T: Clone> CountingState<T> {
     ///
     /// `m` is the total number of processes (`|V|`); `id` is this process.
     pub fn process_messages(&mut self, m: usize, id: ProcessId, received: &[CountingMsg<T>]) {
+        self.process_messages_from(m, id, received.iter());
+    }
+
+    /// [`Self::process_messages`] over borrowed messages: protocols hand the
+    /// engine's `(sender, msg)` inbox straight in without collecting the
+    /// messages into an owned `Vec` first. The iterator must be cloneable —
+    /// the merge makes several passes.
+    pub fn process_messages_from<'a>(
+        &mut self,
+        m: usize,
+        id: ProcessId,
+        received: impl Iterator<Item = &'a CountingMsg<T>> + Clone,
+    ) where
+        T: 'a,
+    {
+        debug_assert_eq!(self.seen.capacity(), m, "seen must span all of V");
         // Line 1: adopt the token from any message that carries one.
         if self.token.is_none() {
-            if let Some(msg) = received.iter().find(|msg| msg.token.is_some()) {
+            if let Some(msg) = received.clone().find(|msg| msg.token.is_some()) {
                 self.token = msg.token.clone();
             }
         }
         // Line 2: adopt validity.
-        if !self.valid && received.iter().any(|msg| msg.valid) {
+        if !self.valid && received.clone().any(|msg| msg.valid) {
             self.valid = true;
         }
         // Line 3: start counting.
@@ -92,24 +108,22 @@ impl<T: Clone> CountingState<T> {
             self.seen.clear();
             self.seen.insert(id.index());
         }
-        // Main block: merge counts and seen-sets.
-        if self.count >= 1 && !received.is_empty() {
-            let highcount = received
-                .iter()
-                .map(|msg| msg.count)
-                .max()
-                .expect("nonempty");
-            let mut highseen = BitSet::new(m);
-            for msg in received.iter().filter(|msg| msg.count == highcount) {
-                highseen.union_with(&msg.seen);
+        // Main block: merge counts and seen-sets. Adopting a strictly higher
+        // count is "clear then union", so the merge works directly on
+        // `self.seen` with no scratch set.
+        if self.count >= 1 {
+            let Some(highcount) = received.clone().map(|msg| msg.count).max() else {
+                return;
+            };
+            if highcount > self.count {
+                self.seen.clear();
+                self.count = highcount;
             }
             if highcount == self.count {
-                self.seen.union_with(&highseen);
+                for msg in received.filter(|msg| msg.count == highcount) {
+                    self.seen.union_with(&msg.seen);
+                }
                 self.seen.insert(id.index());
-            } else if highcount > self.count {
-                self.seen = highseen;
-                self.seen.insert(id.index());
-                self.count = highcount;
             }
             if self.seen.is_full() {
                 self.count += 1;

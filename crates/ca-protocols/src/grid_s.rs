@@ -101,8 +101,7 @@ impl Protocol for GridS {
         _tape: &mut TapeReader<'_>,
     ) -> GridSState {
         let mut next = state.clone();
-        let msgs: Vec<GridSMsg> = received.iter().map(|(_, msg)| msg.clone()).collect();
-        next.process_messages(ctx.m(), ctx.id, &msgs);
+        next.process_messages_from(ctx.m(), ctx.id, received.iter().map(|(_, msg)| msg));
         next
     }
 

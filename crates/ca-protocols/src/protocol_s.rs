@@ -173,8 +173,7 @@ impl Protocol for ProtocolS {
         _tape: &mut TapeReader<'_>,
     ) -> SState {
         let mut next = state.clone();
-        let msgs: Vec<SMsg> = received.iter().map(|(_, msg)| msg.clone()).collect();
-        next.process_messages(ctx.m(), ctx.id, &msgs);
+        next.process_messages_from(ctx.m(), ctx.id, received.iter().map(|(_, msg)| msg));
         next
     }
 

@@ -93,8 +93,7 @@ impl Protocol for FixedThreshold {
         _tape: &mut TapeReader<'_>,
     ) -> ThresholdState {
         let mut next = state.clone();
-        let msgs: Vec<ThresholdMsg> = received.iter().map(|(_, msg)| msg.clone()).collect();
-        next.process_messages(ctx.m(), ctx.id, &msgs);
+        next.process_messages_from(ctx.m(), ctx.id, received.iter().map(|(_, msg)| msg));
         next
     }
 

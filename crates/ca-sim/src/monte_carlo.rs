@@ -14,7 +14,7 @@ use crate::stats::{BernoulliEstimate, RunningStats};
 use crate::strategy::RunSampler;
 use ca_core::exec::{execute_outputs_into, ExecScratch};
 use ca_core::graph::Graph;
-use ca_core::level::modified_levels;
+use ca_core::level::{min_modified_level_into, modified_levels, LevelScratch};
 use ca_core::outcome::{Outcome, OutcomeCounts};
 use ca_core::protocol::Protocol;
 use ca_core::run::Run;
@@ -165,6 +165,11 @@ where
                 let j_bits = protocol.tape_bits().max(1);
                 let mut tapes = TapeSet::empty(m);
                 let mut scratch = ExecScratch::new();
+                // One scratch run per worker: randomized samplers refill it
+                // in place (`sample_into`), so the per-trial loop performs no
+                // run allocation at all once the buffers have warmed up.
+                let mut sampled = Run::empty(0, 0);
+                let mut level_scratch = LevelScratch::new();
                 let mut rng;
                 let mut t = w as u64;
                 while t < config.trials {
@@ -172,11 +177,10 @@ where
                     // SplitMix stream: trial t's draws are a function of
                     // (seed, t) alone, whatever worker runs it.
                     rng = StdRng::seed_from_u64(splitmix(config.seed, t));
-                    let sampled;
                     let run: &Run = match fixed_run {
                         Some(run) => run,
                         None => {
-                            sampled = sampler.sample(&mut rng);
+                            sampler.sample_into(&mut sampled, &mut rng);
                             &sampled
                         }
                     };
@@ -191,7 +195,7 @@ where
                     }
                     let ml = match fixed_ml {
                         Some(ml) => ml,
-                        None => modified_levels(run).min_level() as f64,
+                        None => min_modified_level_into(run, &mut level_scratch) as f64,
                     };
                     local.ml.record(ml);
                     local.trials += 1;

@@ -10,7 +10,7 @@
 use ca_core::adversary::prefix_cut_runs;
 use ca_core::graph::Graph;
 use ca_core::ids::Round;
-use ca_core::run::Run;
+use ca_core::run::{MsgSlot, Run};
 use rand::Rng;
 use std::fmt::Debug;
 
@@ -21,6 +21,15 @@ pub trait RunSampler: Sync {
 
     /// Produces the run for one trial.
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Run;
+
+    /// Writes the run for one trial into `run`, overwriting whatever it
+    /// held. Semantically identical to `*run = self.sample(rng)` — same run,
+    /// same RNG draws in the same order — but implementations can reuse
+    /// `run`'s buffers instead of allocating a fresh `Run` per trial. The
+    /// Monte Carlo engine calls this with one scratch run per worker.
+    fn sample_into<R: Rng + ?Sized>(&self, run: &mut Run, rng: &mut R) {
+        *run = self.sample(rng);
+    }
 
     /// The constant run this sampler always produces, if any.
     ///
@@ -62,6 +71,10 @@ impl RunSampler for FixedRun {
         self.run.clone()
     }
 
+    fn sample_into<R: Rng + ?Sized>(&self, run: &mut Run, _rng: &mut R) {
+        run.clone_from(&self.run);
+    }
+
     fn fixed_run(&self) -> Option<&Run> {
         Some(&self.run)
     }
@@ -73,6 +86,9 @@ impl RunSampler for FixedRun {
 #[derive(Clone, Debug)]
 pub struct RandomDrop {
     base: Run,
+    /// The base run's slots in canonical order, cached so each trial draws
+    /// its coins over a flat list instead of re-walking the bit matrix.
+    slots: Vec<MsgSlot>,
     p: f64,
 }
 
@@ -96,7 +112,8 @@ impl RandomDrop {
             (0.0..=1.0).contains(&p),
             "drop probability must be in [0,1]"
         );
-        RandomDrop { base, p }
+        let slots = base.messages().collect();
+        RandomDrop { base, slots, p }
     }
 
     /// The drop probability.
@@ -112,13 +129,25 @@ impl RunSampler for RandomDrop {
 
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Run {
         let mut run = self.base.clone();
-        let slots: Vec<_> = run.messages().collect();
-        for s in slots {
+        self.drop_slots(&mut run, rng);
+        run
+    }
+
+    fn sample_into<R: Rng + ?Sized>(&self, run: &mut Run, rng: &mut R) {
+        run.clone_from(&self.base);
+        self.drop_slots(run, rng);
+    }
+}
+
+impl RandomDrop {
+    /// Draws one destroy/keep coin per base slot in canonical slot order —
+    /// the draw-order contract the determinism goldens pin down.
+    fn drop_slots<R: Rng + ?Sized>(&self, run: &mut Run, rng: &mut R) {
+        for s in &self.slots {
             if rng.gen_bool(self.p) {
                 run.remove_message(s.from, s.to, s.round);
             }
         }
-        run
     }
 }
 
@@ -128,7 +157,9 @@ impl RunSampler for RandomDrop {
 #[derive(Clone, Debug)]
 pub struct RandomRun {
     graph: Graph,
-    n: u32,
+    base: Run,
+    /// The good run's slots in canonical order (see [`RandomDrop::slots`]).
+    slots: Vec<MsgSlot>,
     input_keep: f64,
     msg_keep: f64,
 }
@@ -145,9 +176,12 @@ impl RandomRun {
             "input_keep must be in [0,1]"
         );
         assert!((0.0..=1.0).contains(&msg_keep), "msg_keep must be in [0,1]");
+        let base = Run::good(&graph, n);
+        let slots = base.messages().collect();
         RandomRun {
             graph,
-            n,
+            base,
+            slots,
             input_keep,
             msg_keep,
         }
@@ -163,19 +197,31 @@ impl RunSampler for RandomRun {
     }
 
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Run {
-        let mut run = Run::good(&self.graph, self.n);
+        let mut run = self.base.clone();
+        self.thin(&mut run, rng);
+        run
+    }
+
+    fn sample_into<R: Rng + ?Sized>(&self, run: &mut Run, rng: &mut R) {
+        run.clone_from(&self.base);
+        self.thin(run, rng);
+    }
+}
+
+impl RandomRun {
+    /// Input coins first (in vertex order), then one coin per good-run slot
+    /// in canonical slot order — the historical draw order.
+    fn thin<R: Rng + ?Sized>(&self, run: &mut Run, rng: &mut R) {
         for i in self.graph.vertices() {
             if !rng.gen_bool(self.input_keep) {
                 run.remove_input(i);
             }
         }
-        let slots: Vec<_> = run.messages().collect();
-        for s in slots {
+        for s in &self.slots {
             if !rng.gen_bool(self.msg_keep) {
                 run.remove_message(s.from, s.to, s.round);
             }
         }
-        run
     }
 }
 
