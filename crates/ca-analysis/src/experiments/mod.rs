@@ -121,6 +121,21 @@ pub trait Experiment: Sync {
     fn title(&self) -> &'static str;
     /// Runs the experiment at the given scale.
     fn run(&self, scale: Scale) -> ExperimentResult;
+
+    /// Runs the experiment inside an `expt.experiment` observability span,
+    /// so profiles attribute engine counters (trials, transitions, sampled
+    /// runs…) experiment by experiment. Identical results to
+    /// [`Experiment::run`]; with observability compiled out it *is*
+    /// [`Experiment::run`].
+    fn run_observed(&self, scale: Scale) -> ExperimentResult {
+        let obs = ca_obs::Metrics::new();
+        let result = {
+            let _span = obs.span(ca_obs::SpanId::ExptExperiment);
+            self.run(scale)
+        };
+        obs.flush();
+        result
+    }
 }
 
 /// All experiments, in order: the paper suite E1–E12 plus the extension /
@@ -158,7 +173,9 @@ pub fn all_experiments() -> Vec<Box<dyn Experiment>> {
 /// `paper_claims` suite and `ca bench` use to exploit all cores.
 pub fn run_all(scale: Scale, workers: usize) -> Vec<ExperimentResult> {
     let experiments = all_experiments();
-    ca_sim::chaos::parallel_map(experiments.len(), workers, |k| experiments[k].run(scale))
+    ca_sim::chaos::parallel_map(experiments.len(), workers, |k| {
+        experiments[k].run_observed(scale)
+    })
 }
 
 /// Looks up an experiment by id (case-insensitive).

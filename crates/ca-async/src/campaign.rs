@@ -328,12 +328,64 @@ fn sample_fault(rng: &mut StdRng, m: usize, deadline: Time) -> FaultPrimitive {
     }
 }
 
+/// The observability counter charged for one fault primitive.
+fn fault_counter(fault: &FaultPrimitive) -> ca_obs::CounterId {
+    use ca_obs::CounterId as C;
+    match fault {
+        FaultPrimitive::DropLink { .. } => C::ChaosFaultsDropLink,
+        FaultPrimitive::DropProb { .. } => C::ChaosFaultsDropProb,
+        FaultPrimitive::DelayJitter { .. } => C::ChaosFaultsDelayJitter,
+        FaultPrimitive::Duplicate { .. } => C::ChaosFaultsDuplicate,
+        FaultPrimitive::Reorder { .. } => C::ChaosFaultsReorder,
+        FaultPrimitive::BurstLoss { .. } => C::ChaosFaultsBurstLoss,
+        FaultPrimitive::CrashWindow { .. } => C::ChaosFaultsCrashWindow,
+        FaultPrimitive::Partition { .. } => C::ChaosFaultsPartition,
+        FaultPrimitive::ReplayRun { .. } => C::ChaosFaultsReplayRun,
+    }
+}
+
 /// Evaluates one schedule against all oracles.
 pub fn evaluate_schedule(
     graph: &Graph,
     config: &CampaignConfig,
     index: u64,
     schedule: FaultSchedule,
+) -> ScheduleResult {
+    use ca_obs::{CounterId, HistId, SpanId};
+    // One local sink per evaluation, flushed on exit: evaluations run on
+    // `parallel_map` workers, and per-schedule attribution is what keeps
+    // every counter a thread-count-independent function of the campaign
+    // seed.
+    let obs = ca_obs::Metrics::new();
+    let result = {
+        let _span = obs.span(SpanId::ChaosEvaluate);
+        evaluate_schedule_inner(graph, config, index, schedule, &obs)
+    };
+    obs.inc(CounterId::ChaosSchedules);
+    if result.rejected.is_some() {
+        obs.inc(CounterId::ChaosSchedulesRejected);
+    }
+    for fault in &result.schedule.faults {
+        obs.inc(fault_counter(fault));
+    }
+    obs.record(
+        HistId::ChaosFaultsPerSchedule,
+        result.schedule.faults.len() as u64,
+    );
+    obs.add(
+        CounterId::ChaosOracleFailures,
+        u64::from(result.verdicts.failed()),
+    );
+    obs.flush();
+    result
+}
+
+fn evaluate_schedule_inner(
+    graph: &Graph,
+    config: &CampaignConfig,
+    index: u64,
+    schedule: FaultSchedule,
+    obs: &ca_obs::Metrics,
 ) -> ScheduleResult {
     let rejected = |schedule: FaultSchedule, why: String| ScheduleResult {
         index,
@@ -367,6 +419,7 @@ pub fn evaluate_schedule(
     });
 
     // Structural oracles on the final states.
+    let oracle_span = obs.span(ca_obs::SpanId::ChaosOracles);
     let counts: Vec<u32> = out.states.iter().map(|s| s.count).collect();
     let mincount = counts.iter().copied().min().unwrap_or(0);
     let maxcount = counts.iter().copied().max().unwrap_or(0);
@@ -385,11 +438,13 @@ pub fn evaluate_schedule(
     let safety_ok = exact.pa <= eps;
     let liveness_bound = Rational::from(mincount).min(t_rat) / t_rat; // min(1, ε·C)
     let liveness_ok = exact.ta >= liveness_bound;
+    drop(oracle_span);
 
     // Monte Carlo cross-check over random tapes.
     let mc_consistent = if config.mc_trials == 0 {
         true
     } else {
+        let _mc_span = obs.span(ca_obs::SpanId::ChaosMcCrossCheck);
         let mut est = BernoulliEstimate::new(0, 0);
         for trial in 0..config.mc_trials {
             let mut rng = StdRng::seed_from_u64(mix64(mix64(config.seed, index), trial));
@@ -438,8 +493,11 @@ fn shrink_worst(
         },
         ..*config
     };
+    let obs = ca_obs::Metrics::new();
+    let _span = obs.span(ca_obs::SpanId::ChaosShrink);
     let violation = worst.is_violation();
     let reproduces = |faults: &[FaultPrimitive]| {
+        obs.inc(ca_obs::CounterId::ChaosShrinkEvals);
         let candidate = FaultSchedule {
             seed: worst.schedule.seed,
             base_latency: worst.schedule.base_latency,
@@ -460,6 +518,8 @@ fn shrink_worst(
     };
     let verdicts = evaluate_schedule(graph, config, worst.index, shrunk.clone()).verdicts;
     let diff = worst.schedule.diff(&shrunk);
+    drop(_span);
+    obs.flush();
     (shrunk, verdicts, diff)
 }
 
@@ -467,6 +527,8 @@ fn shrink_worst(
 /// schedule, shrink it. Deterministic given `config` (independent of the
 /// thread count).
 pub fn run_campaign(graph: &Graph, config: &CampaignConfig) -> ChaosReport {
+    let campaign_obs = ca_obs::Metrics::new();
+    let campaign_span = campaign_obs.span(ca_obs::SpanId::ChaosCampaign);
     let results: Vec<ScheduleResult> =
         parallel_map(config.schedules as usize, config.threads, |k| {
             let schedule = sample_schedule(
@@ -507,6 +569,8 @@ pub fn run_campaign(graph: &Graph, config: &CampaignConfig) -> ChaosReport {
         Some(w) => (Some(w.schedule.clone()), Some(w.verdicts), Vec::new()),
         None => (None, None, Vec::new()),
     };
+    drop(campaign_span);
+    campaign_obs.flush();
 
     ChaosReport {
         m: graph.len(),

@@ -9,6 +9,8 @@
 //! ca chaos    --graph k3 --deadline 16 --t 4 --replay shrunk.json
 //! ca bench    --out BENCH_experiments.json         # time every experiment
 //! ca bench    --compare BENCH_experiments.json     # fail on >25% regression
+//! ca profile  --out profile.json                   # per-experiment engine metrics
+//! ca profile  --compare profile.json               # fail if stable counters drift
 //! ca graphs                                        # list available topologies
 //! ```
 //!
@@ -87,6 +89,8 @@ struct Opts {
     replay: Option<String>,
     full: bool,
     stable: bool,
+    timed: bool,
+    spans: bool,
     bench_trials: Option<u64>,
     compare: Option<String>,
 }
@@ -111,6 +115,8 @@ impl Default for Opts {
             replay: None,
             full: false,
             stable: false,
+            timed: false,
+            spans: false,
             bench_trials: None,
             compare: None,
         }
@@ -171,6 +177,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--full" => opts.full = true,
             "--stable" => opts.stable = true,
+            "--timed" => opts.timed = true,
+            "--spans" => opts.spans = true,
             "--seed" => {
                 opts.seed = next("a seed")?
                     .parse()
@@ -225,22 +233,27 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().map(String::as_str) else {
         eprintln!(
-            "usage: ca <levels|trace|simulate|exact|chaos|bench|graphs> [flags] (see --help)"
+            "usage: ca <levels|trace|simulate|exact|chaos|bench|profile|graphs> [flags] (see --help)"
         );
         return ExitCode::FAILURE;
     };
     if command == "--help" || command == "-h" {
         println!(
             "ca — explore the coordinated-attack model\n\
-             commands: levels, trace, simulate, exact, chaos, bench, graphs\n\
+             commands: levels, trace, simulate, exact, chaos, bench, profile, graphs\n\
              flags: --graph NAME --rounds N --epsilon E | --t T --cut R \
              --drop-link F:T:R --trials K --seed S\n\
              chaos: --deadline T --schedules K --max-faults F --threads W \
-             --mc-trials K --out FILE --replay FILE\n\
+             --mc-trials K --out FILE --replay FILE [--spans]\n\
              bench: [--full] [--trials K] [--stable] [--out FILE] \
              [--compare OLD.json] — time every experiment, write \
              BENCH_experiments.json; --compare diffs against an old report \
-             and fails on a >25% throughput regression"
+             and fails on a >25% throughput regression\n\
+             profile: [--full] [--trials K] [--threads W] [--timed] [--spans] \
+             [--out FILE] [--compare OLD.json] — capture engine counters, \
+             histograms, and span trees per experiment (byte-stable by \
+             default; --timed adds clocks); --compare fails if any stable \
+             counter drifted (needs an obs-enabled build)"
         );
         return ExitCode::SUCCESS;
     }
@@ -356,6 +369,72 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "profile" => {
+            if !ca_obs::ENABLED {
+                eprintln!(
+                    "error: this `ca` was built without observability; \
+                     rebuild with the default features (or `--features obs`) \
+                     to use `ca profile`"
+                );
+                return ExitCode::FAILURE;
+            }
+            if opts.threads > 0 {
+                // Pin the worker count process-wide (experiments size their
+                // own pools): profiles must be identical at any width, and
+                // this is how the golden test proves it.
+                std::env::set_var("CA_THREADS", opts.threads.to_string());
+            }
+            let config = ca_bench::profile::ProfileConfig {
+                full: opts.full,
+                trials: opts.bench_trials,
+                timed: opts.timed,
+            };
+            let profiled = ca_bench::profile::run_profile(&config);
+            let json = profiled.report.to_json_pretty();
+            println!("{json}");
+            if opts.spans {
+                // Human-readable dump on stderr, keeping stdout pure JSON.
+                eprint!("{}", ca_obs::render(&profiled.totals_snapshot, opts.timed));
+            }
+            // Baseline is read before --out, like `ca bench --compare`.
+            let old: Option<ca_bench::profile::ProfileReport> = match &opts.compare {
+                Some(path) => {
+                    let text = match std::fs::read_to_string(path) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            eprintln!("error: cannot read `{path}`: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    match serde::json::from_str(&text) {
+                        Ok(r) => Some(r),
+                        Err(e) => {
+                            eprintln!("error: bad profile report in `{path}`: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                None => None,
+            };
+            if let Some(path) = &opts.out {
+                if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                    eprintln!("error: cannot write `{path}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let Some(old) = old {
+                let cmp = ca_bench::profile::compare_profiles(&old, &profiled.report);
+                print!("{cmp}");
+                let changed = cmp.changed();
+                if !changed.is_empty() {
+                    eprintln!(
+                        "error: stable counters drifted from the baseline: {}",
+                        changed.join(", ")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
         "chaos" => {
             let config = CampaignConfig {
                 schedules: opts.schedules,
@@ -390,6 +469,18 @@ fn main() -> ExitCode {
                 run_campaign(&graph, &config).to_json_pretty()
             };
             println!("{json}");
+            if opts.spans {
+                if ca_obs::ENABLED {
+                    // Campaign metrics land in the global sink; dump the
+                    // span tree (with real clocks) on stderr.
+                    eprint!("{}", ca_obs::render(&ca_obs::global_snapshot(), true));
+                } else {
+                    eprintln!(
+                        "note: --spans needs an observability-enabled build \
+                         (the default `ca`); nothing was recorded"
+                    );
+                }
+            }
             if let Some(path) = &opts.out {
                 if let Err(e) = std::fs::write(path, format!("{json}\n")) {
                     eprintln!("error: cannot write `{path}`: {e}");

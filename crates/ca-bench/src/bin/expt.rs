@@ -5,6 +5,7 @@
 //! expt --full          # paper-grade trial counts
 //! expt e4 e5           # only the named experiments
 //! expt --csv out/      # additionally dump each table as CSV
+//! expt --spans         # per-experiment engine metrics + span tree (stderr)
 //! expt --list          # list experiment ids and titles
 //! ```
 //!
@@ -17,6 +18,7 @@ use std::process::ExitCode;
 struct Args {
     full: bool,
     list: bool,
+    spans: bool,
     csv_dir: Option<PathBuf>,
     ids: Vec<String>,
     trials: Option<u64>,
@@ -27,6 +29,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         full: false,
         list: false,
+        spans: false,
         csv_dir: None,
         ids: Vec::new(),
         trials: None,
@@ -37,6 +40,7 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--full" => args.full = true,
             "--list" => args.list = true,
+            "--spans" => args.spans = true,
             "--csv" => {
                 let dir = it.next().ok_or("--csv requires a directory")?;
                 args.csv_dir = Some(PathBuf::from(dir));
@@ -51,7 +55,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: expt [--full] [--list] [--csv DIR] [--trials N] [--seed S] [EXPERIMENT_ID ...]\n\
+                    "usage: expt [--full] [--list] [--spans] [--csv DIR] [--trials N] [--seed S] [EXPERIMENT_ID ...]\n\
                      runs the E1-E12 paper suite plus the X1-X3 extensions\n\
                      reproducing Varghese & Lynch (PODC 1992)"
                 );
@@ -136,12 +140,27 @@ fn main() -> ExitCode {
 
     let mut all_passed = true;
     let mut summary: Vec<(String, String, bool, f64)> = Vec::new();
+    if args.spans && !ca_obs::ENABLED {
+        eprintln!(
+            "note: --spans needs an observability-enabled build \
+             (the default `expt`); nothing will be recorded"
+        );
+    }
+
     for experiment in &experiments {
+        if args.spans {
+            ca_obs::reset_global();
+        }
         let start = std::time::Instant::now();
-        let result = experiment.run(scale);
+        let result = experiment.run_observed(scale);
         let secs = start.elapsed().as_secs_f64();
         println!("{result}");
         println!("({secs:.1}s)\n");
+        if args.spans {
+            eprintln!("-- {} engine metrics --", result.id);
+            eprint!("{}", ca_obs::render(&ca_obs::global_snapshot(), true));
+            eprintln!();
+        }
         all_passed &= result.passed;
         summary.push((result.id.clone(), result.title.clone(), result.passed, secs));
         if let Some(dir) = &args.csv_dir {

@@ -4,6 +4,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod profile;
 
 use ca_core::graph::Graph;
 use ca_core::run::Run;

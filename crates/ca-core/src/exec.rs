@@ -264,9 +264,44 @@ pub fn execute_outputs_into<'s, P: Protocol>(
     tapes: &TapeSet,
     scratch: &'s mut ExecScratch<P>,
 ) -> &'s [bool] {
+    execute_outputs_impl(protocol, graph, run, tapes, scratch, None)
+}
+
+/// [`execute_outputs_into`] reporting per-execution engine counters
+/// (transitions, messages delivered/destroyed, tape bits consumed) to an
+/// observability sink.
+///
+/// Computes exactly what [`execute_outputs_into`] computes; with the `obs`
+/// feature off the extra argument is zero-sized and the whole instrumentation
+/// folds away.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`execute`].
+pub fn execute_outputs_observed<'s, P: Protocol>(
+    protocol: &P,
+    graph: &Graph,
+    run: &Run,
+    tapes: &TapeSet,
+    scratch: &'s mut ExecScratch<P>,
+    obs: &ca_obs::Metrics,
+) -> &'s [bool] {
+    execute_outputs_impl(protocol, graph, run, tapes, scratch, Some(obs))
+}
+
+fn execute_outputs_impl<'s, P: Protocol>(
+    protocol: &P,
+    graph: &Graph,
+    run: &Run,
+    tapes: &TapeSet,
+    scratch: &'s mut ExecScratch<P>,
+    obs: Option<&ca_obs::Metrics>,
+) -> &'s [bool] {
+    let _span = obs.map(|o| o.span(ca_obs::SpanId::ExecExecute));
     check_dimensions(graph, run, tapes);
     let m = graph.len();
     let n = run.horizon();
+    let mut delivered: u64 = 0;
 
     // Tape read positions persist across rounds; readers are reconstructed
     // per use so the scratch stays free of borrows into `tapes`.
@@ -295,6 +330,7 @@ pub fn execute_outputs_into<'s, P: Protocol>(
             let ctx = Ctx::new(graph, n, slot.from);
             let msg = protocol.message(ctx, &states[slot.from.index()], slot.to);
             inboxes[slot.to.index()].push((slot.from, msg));
+            delivered += 1;
         });
         for j in graph.vertices() {
             // `messages_in_round` yields slots sorted by (from, to), so each
@@ -323,6 +359,20 @@ pub fn execute_outputs_into<'s, P: Protocol>(
             .vertices()
             .map(|i| protocol.output(Ctx::new(graph, n, i), &scratch.states[i.index()])),
     );
+
+    if let Some(o) = obs {
+        use ca_obs::{CounterId, HistId};
+        // One δ application per process per protocol round.
+        o.add(CounterId::ExecTransitions, (m as u64) * u64::from(n));
+        o.add(CounterId::ExecMessagesDelivered, delivered);
+        // Potential slots = directed edges × rounds; the adversary destroyed
+        // whatever was not delivered.
+        let slots = (graph.edge_count() as u64) * 2 * u64::from(n);
+        o.add(CounterId::ExecMessagesDestroyed, slots - delivered);
+        let bits: u64 = scratch.tape_pos.iter().map(|&p| p as u64).sum();
+        o.add(CounterId::ExecTapeBitsConsumed, bits);
+        o.record(HistId::ExecDeliveredPerTrial, delivered);
+    }
     &scratch.outputs
 }
 

@@ -7,8 +7,9 @@
 //! In code the generals are `ProcessId(0) .. ProcessId(m-1)` (so the paper's
 //! "process 1" — the one that chooses `rfire` — is [`ProcessId::LEADER`],
 //! i.e. `ProcessId(0)`), and rounds are kept non-negative: round `r` in code
-//! is round `r` in the paper, with the environment round `-1` represented
-//! implicitly by [`Node::Env`] paired with [`Round::ENV`].
+//! is round `r` in the paper, with the environment's send at round `-1`
+//! represented implicitly by [`Node::Env`] and its arrival by
+//! [`Round::INPUT`].
 
 use serde::{Deserialize, Serialize};
 use std::fmt;

@@ -416,6 +416,16 @@ impl Run {
         self.inputs.len()
     }
 
+    /// Number of delivered slots stored in the sorted overflow vector rather
+    /// than the bit matrix (slots beyond the matrix's round capacity).
+    ///
+    /// Always 0 for runs whose messages all fit the packed representation —
+    /// the common case, and the fast path the Monte Carlo engine relies on;
+    /// the observability layer surfaces it as `run.overflow_slots`.
+    pub fn overflow_slot_count(&self) -> usize {
+        self.overflow.len()
+    }
+
     /// Destroys every message sent in rounds `>= round`, on every edge.
     ///
     /// This is the "cut at round `round`" adversary move that defeats chains

@@ -1,0 +1,860 @@
+//! Observability for the coordinated-attack engine: spans, counters, and
+//! log2-bucketed histograms.
+//!
+//! The engine crates (`ca-core`, `ca-sim`, `ca-async`, `ca-analysis`) are
+//! instrumented against this crate's [`Metrics`] handle. The design rules,
+//! in order of importance:
+//!
+//! 1. **The disabled path compiles to nothing.** Without the `enabled`
+//!    cargo feature (each engine crate forwards it as its own `obs`
+//!    feature), `Metrics` is a zero-sized type and every instrumentation
+//!    call is an empty `#[inline(always)]` function — no clocks, no
+//!    atomics, no branches survive optimization.
+//! 2. **No locks, no `dyn` on the fast path.** A `Metrics` value is a
+//!    per-worker struct of `Cell`s, mirroring the one-RNG-per-worker scheme
+//!    of the Monte Carlo engine: each worker owns one and merges it into
+//!    the process-wide [`Snapshot`] sink exactly once, at join
+//!    ([`Metrics::flush`]). The only lock in the crate guards that merge.
+//! 3. **Static registry.** Every metric is a compile-time enum variant
+//!    ([`CounterId`], [`HistId`], [`SpanId`]) so recording is an array
+//!    index and reports have a fixed, byte-stable order.
+//!
+//! # Stability contract
+//!
+//! Reports built from a [`Snapshot`] distinguish two kinds of values:
+//!
+//! * **stable** — counters, histogram contents of value histograms, and
+//!   span/histogram *counts*: deterministic functions of the workload's
+//!   `(scale, seed)`, identical whatever the thread count, because every
+//!   recorded event is a per-trial (or per-schedule) fact and merging is
+//!   commutative. `ca profile` pins these byte-for-byte.
+//! * **timing** — span `total_ns` and the contents of time histograms
+//!   ([`HistId::is_time_ns`]): machine- and run-dependent, suppressed
+//!   unless explicitly requested (`ca profile --timed`), exactly like
+//!   `ca bench --stable` zeroes its clock readings.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::sync::Mutex;
+
+/// Whether the instrumentation layer was compiled in.
+///
+/// `false` means every [`Metrics`] operation is a no-op and snapshots are
+/// permanently zero; front ends use this to refuse to emit empty profiles.
+pub const ENABLED: bool = cfg!(feature = "enabled");
+
+// ---------------------------------------------------------------------------
+// Metric registry
+// ---------------------------------------------------------------------------
+
+/// Monotonic counters. All counters are **stable**: exact across thread
+/// counts for a fixed workload seed (see the crate docs).
+///
+/// Units are events unless the name says otherwise (`bits`, `slots`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(usize)]
+pub enum CounterId {
+    /// Protocol state transitions executed (`δ_i` applications), one per
+    /// process per round per execution.
+    ExecTransitions,
+    /// Messages delivered into inboxes by the execution engine.
+    ExecMessagesDelivered,
+    /// Messages destroyed by the adversary: potential slots
+    /// (directed edges × rounds) minus delivered, summed per execution.
+    ExecMessagesDestroyed,
+    /// Random-tape bits consumed across all processes of an execution.
+    ExecTapeBitsConsumed,
+    /// Adversary runs sampled (`RunSampler::sample_into` calls observed by
+    /// the Monte Carlo engine).
+    RunSamples,
+    /// Delivery slots flipped (messages destroyed) by adversary samplers
+    /// while producing a run.
+    RunSlotsFlipped,
+    /// Slots that landed in the run's sorted overflow vector instead of the
+    /// bit matrix, summed over sampled runs (0 on the fast path).
+    RunOverflowSlots,
+    /// Monte Carlo trials completed.
+    SimTrials,
+    /// Trials that took the fixed-run fast path (no sampling, hoisted
+    /// `ML(R)`).
+    SimFixedRunTrials,
+    /// In-place tape refills (`TapeSet::fill_random`), one per trial.
+    SimTapeRefills,
+    /// Chaos schedules evaluated against the oracle suite (campaign
+    /// sampling plus every shrink re-evaluation).
+    ChaosSchedules,
+    /// Chaos schedules the engine rejected with a typed error instead of
+    /// running (graceful degradation, not violations).
+    ChaosSchedulesRejected,
+    /// `DropLink` fault primitives injected.
+    ChaosFaultsDropLink,
+    /// `DropProb` fault primitives injected.
+    ChaosFaultsDropProb,
+    /// `DelayJitter` fault primitives injected.
+    ChaosFaultsDelayJitter,
+    /// `Duplicate` fault primitives injected.
+    ChaosFaultsDuplicate,
+    /// `Reorder` fault primitives injected.
+    ChaosFaultsReorder,
+    /// `BurstLoss` fault primitives injected.
+    ChaosFaultsBurstLoss,
+    /// `CrashWindow` fault primitives injected.
+    ChaosFaultsCrashWindow,
+    /// `Partition` fault primitives injected.
+    ChaosFaultsPartition,
+    /// `ReplayRun` fault primitives injected.
+    ChaosFaultsReplayRun,
+    /// Individual oracle failures across evaluated schedules (0 while the
+    /// paper's theorems hold).
+    ChaosOracleFailures,
+    /// Candidate fault lists evaluated by `ddmin` while shrinking the worst
+    /// schedule.
+    ChaosShrinkEvals,
+}
+
+impl CounterId {
+    /// Number of counters in the registry.
+    pub const COUNT: usize = 23;
+
+    /// Every counter, in canonical registry (report) order.
+    pub const ALL: [CounterId; Self::COUNT] = [
+        CounterId::ExecTransitions,
+        CounterId::ExecMessagesDelivered,
+        CounterId::ExecMessagesDestroyed,
+        CounterId::ExecTapeBitsConsumed,
+        CounterId::RunSamples,
+        CounterId::RunSlotsFlipped,
+        CounterId::RunOverflowSlots,
+        CounterId::SimTrials,
+        CounterId::SimFixedRunTrials,
+        CounterId::SimTapeRefills,
+        CounterId::ChaosSchedules,
+        CounterId::ChaosSchedulesRejected,
+        CounterId::ChaosFaultsDropLink,
+        CounterId::ChaosFaultsDropProb,
+        CounterId::ChaosFaultsDelayJitter,
+        CounterId::ChaosFaultsDuplicate,
+        CounterId::ChaosFaultsReorder,
+        CounterId::ChaosFaultsBurstLoss,
+        CounterId::ChaosFaultsCrashWindow,
+        CounterId::ChaosFaultsPartition,
+        CounterId::ChaosFaultsReplayRun,
+        CounterId::ChaosOracleFailures,
+        CounterId::ChaosShrinkEvals,
+    ];
+
+    /// The counter's stable report name (`layer.metric`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CounterId::ExecTransitions => "exec.transitions",
+            CounterId::ExecMessagesDelivered => "exec.messages_delivered",
+            CounterId::ExecMessagesDestroyed => "exec.messages_destroyed",
+            CounterId::ExecTapeBitsConsumed => "exec.tape_bits_consumed",
+            CounterId::RunSamples => "run.samples",
+            CounterId::RunSlotsFlipped => "run.slots_flipped",
+            CounterId::RunOverflowSlots => "run.overflow_slots",
+            CounterId::SimTrials => "sim.trials",
+            CounterId::SimFixedRunTrials => "sim.fixed_run_trials",
+            CounterId::SimTapeRefills => "sim.tape_refills",
+            CounterId::ChaosSchedules => "chaos.schedules",
+            CounterId::ChaosSchedulesRejected => "chaos.schedules_rejected",
+            CounterId::ChaosFaultsDropLink => "chaos.faults.drop_link",
+            CounterId::ChaosFaultsDropProb => "chaos.faults.drop_prob",
+            CounterId::ChaosFaultsDelayJitter => "chaos.faults.delay_jitter",
+            CounterId::ChaosFaultsDuplicate => "chaos.faults.duplicate",
+            CounterId::ChaosFaultsReorder => "chaos.faults.reorder",
+            CounterId::ChaosFaultsBurstLoss => "chaos.faults.burst_loss",
+            CounterId::ChaosFaultsCrashWindow => "chaos.faults.crash_window",
+            CounterId::ChaosFaultsPartition => "chaos.faults.partition",
+            CounterId::ChaosFaultsReplayRun => "chaos.faults.replay_run",
+            CounterId::ChaosOracleFailures => "chaos.oracle_failures",
+            CounterId::ChaosShrinkEvals => "chaos.shrink_evals",
+        }
+    }
+}
+
+/// Log2-bucketed histograms. Value histograms are **stable**; time
+/// histograms ([`HistId::is_time_ns`]) carry machine-dependent nanosecond
+/// values and only their sample `count` is stable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(usize)]
+pub enum HistId {
+    /// Wall time of one Monte Carlo trial, nanoseconds.
+    SimTrialNs,
+    /// Modified level `ML(R)` of the run each trial executed.
+    SimTrialMl,
+    /// Messages delivered per execution.
+    ExecDeliveredPerTrial,
+    /// Wall time of one schedule's oracle checks, nanoseconds.
+    ChaosOracleNs,
+    /// Fault primitives per evaluated chaos schedule.
+    ChaosFaultsPerSchedule,
+}
+
+impl HistId {
+    /// Number of histograms in the registry.
+    pub const COUNT: usize = 5;
+
+    /// Every histogram, in canonical registry order.
+    pub const ALL: [HistId; Self::COUNT] = [
+        HistId::SimTrialNs,
+        HistId::SimTrialMl,
+        HistId::ExecDeliveredPerTrial,
+        HistId::ChaosOracleNs,
+        HistId::ChaosFaultsPerSchedule,
+    ];
+
+    /// The histogram's stable report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            HistId::SimTrialNs => "sim.trial_ns",
+            HistId::SimTrialMl => "sim.trial_ml",
+            HistId::ExecDeliveredPerTrial => "exec.delivered_per_trial",
+            HistId::ChaosOracleNs => "chaos.oracle_check_ns",
+            HistId::ChaosFaultsPerSchedule => "chaos.faults_per_schedule",
+        }
+    }
+
+    /// Whether the recorded values are wall-clock nanoseconds (suppressed
+    /// in stable reports; only the sample count is deterministic).
+    pub fn is_time_ns(self) -> bool {
+        matches!(self, HistId::SimTrialNs | HistId::ChaosOracleNs)
+    }
+}
+
+/// Span timers. Spans nest at fixed positions ([`SpanId::parent`]) so the
+/// merged tree is byte-stable; a span's `count` is stable, its `total_ns`
+/// is timing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(usize)]
+pub enum SpanId {
+    /// One experiment run (`Experiment::run_observed`).
+    ExptExperiment,
+    /// One `simulate` call (all trials, all workers).
+    SimSimulate,
+    /// One Monte Carlo trial.
+    SimTrial,
+    /// Adversary run sampling within a trial.
+    RunSample,
+    /// Protocol execution (`execute_outputs_observed`) within a trial.
+    ExecExecute,
+    /// Outcome classification + `ML(R)` bookkeeping within a trial.
+    SimVerdict,
+    /// One chaos campaign (`run_campaign`).
+    ChaosCampaign,
+    /// One schedule evaluation against the oracle suite.
+    ChaosEvaluate,
+    /// The exact/structural oracle block of a schedule evaluation.
+    ChaosOracles,
+    /// The Monte Carlo cross-check of a schedule evaluation.
+    ChaosMcCrossCheck,
+    /// Delta-debug shrinking of the worst schedule.
+    ChaosShrink,
+}
+
+impl SpanId {
+    /// Number of spans in the registry.
+    pub const COUNT: usize = 11;
+
+    /// Every span, in canonical registry order (parents before children).
+    pub const ALL: [SpanId; Self::COUNT] = [
+        SpanId::ExptExperiment,
+        SpanId::SimSimulate,
+        SpanId::SimTrial,
+        SpanId::RunSample,
+        SpanId::ExecExecute,
+        SpanId::SimVerdict,
+        SpanId::ChaosCampaign,
+        SpanId::ChaosEvaluate,
+        SpanId::ChaosOracles,
+        SpanId::ChaosMcCrossCheck,
+        SpanId::ChaosShrink,
+    ];
+
+    /// The span's stable report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanId::ExptExperiment => "expt.experiment",
+            SpanId::SimSimulate => "sim.simulate",
+            SpanId::SimTrial => "sim.trial",
+            SpanId::RunSample => "run.sample",
+            SpanId::ExecExecute => "exec.execute",
+            SpanId::SimVerdict => "sim.verdict",
+            SpanId::ChaosCampaign => "chaos.campaign",
+            SpanId::ChaosEvaluate => "chaos.evaluate",
+            SpanId::ChaosOracles => "chaos.oracles",
+            SpanId::ChaosMcCrossCheck => "chaos.mc_cross_check",
+            SpanId::ChaosShrink => "chaos.shrink",
+        }
+    }
+
+    /// The span's static parent in the rendered tree, if any.
+    pub fn parent(self) -> Option<SpanId> {
+        match self {
+            SpanId::ExptExperiment | SpanId::SimSimulate | SpanId::ChaosCampaign => None,
+            SpanId::SimTrial => Some(SpanId::SimSimulate),
+            SpanId::RunSample | SpanId::ExecExecute | SpanId::SimVerdict => Some(SpanId::SimTrial),
+            SpanId::ChaosEvaluate | SpanId::ChaosShrink => Some(SpanId::ChaosCampaign),
+            SpanId::ChaosOracles | SpanId::ChaosMcCrossCheck => Some(SpanId::ChaosEvaluate),
+        }
+    }
+
+    /// A histogram fed with this span's per-entry durations, if any.
+    pub fn linked_hist(self) -> Option<HistId> {
+        match self {
+            SpanId::SimTrial => Some(HistId::SimTrialNs),
+            SpanId::ChaosOracles => Some(HistId::ChaosOracleNs),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot (always compiled)
+// ---------------------------------------------------------------------------
+
+/// Number of log2 buckets: bucket `b` holds values with bit length `b`
+/// (bucket 0 is the exact value 0, bucket 64 covers `≥ 2^63`).
+pub const BUCKETS: usize = 65;
+
+/// The log2 bucket index of a value: its bit length.
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Aggregated data of one histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistData {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Minimum recorded value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Maximum recorded value (0 when empty).
+    pub max: u64,
+    /// Per-bucket sample counts (see [`bucket_of`]).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl HistData {
+    const ZERO: HistData = HistData {
+        count: 0,
+        sum: 0,
+        min: u64::MAX,
+        max: 0,
+        buckets: [0; BUCKETS],
+    };
+
+    fn merge(&mut self, other: &HistData) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+}
+
+/// Aggregated data of one span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanData {
+    /// Number of completed span entries (stable).
+    pub count: u64,
+    /// Total wall time inside the span, nanoseconds (timing).
+    pub total_ns: u64,
+}
+
+impl SpanData {
+    const ZERO: SpanData = SpanData {
+        count: 0,
+        total_ns: 0,
+    };
+}
+
+/// A merged, read-only view of everything recorded: what per-worker
+/// [`Metrics`] flush into and reports are built from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    counters: [u64; CounterId::COUNT],
+    hists: [HistData; HistId::COUNT],
+    spans: [SpanData; SpanId::COUNT],
+}
+
+impl Snapshot {
+    /// The all-zero snapshot.
+    pub const ZERO: Snapshot = Snapshot {
+        counters: [0; CounterId::COUNT],
+        hists: [HistData::ZERO; HistId::COUNT],
+        spans: [SpanData::ZERO; SpanId::COUNT],
+    };
+
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Snapshot::ZERO
+    }
+
+    /// The value of a counter.
+    pub fn counter(&self, id: CounterId) -> u64 {
+        self.counters[id as usize]
+    }
+
+    /// The aggregated data of a histogram.
+    pub fn hist(&self, id: HistId) -> &HistData {
+        &self.hists[id as usize]
+    }
+
+    /// The aggregated data of a span.
+    pub fn span(&self, id: SpanId) -> &SpanData {
+        &self.spans[id as usize]
+    }
+
+    /// Merges another snapshot into this one (commutative, associative —
+    /// worker merge order never shows in the result).
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+            *a += b;
+        }
+        for (a, b) in self.hists.iter_mut().zip(&other.hists) {
+            a.merge(b);
+        }
+        for (a, b) in self.spans.iter_mut().zip(&other.spans) {
+            a.count += b.count;
+            a.total_ns += b.total_ns;
+        }
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.iter().all(|&c| c == 0)
+            && self.hists.iter().all(|h| h.count == 0)
+            && self.spans.iter().all(|s| s.count == 0)
+    }
+}
+
+impl Default for Snapshot {
+    fn default() -> Self {
+        Snapshot::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global sink (always compiled; never on the fast path)
+// ---------------------------------------------------------------------------
+
+static GLOBAL: Mutex<Snapshot> = Mutex::new(Snapshot::ZERO);
+
+/// Zeroes the process-wide sink. Profilers call this before a workload
+/// section, then read the section's totals with [`global_snapshot`].
+pub fn reset_global() {
+    *GLOBAL.lock().expect("observability sink poisoned") = Snapshot::ZERO;
+}
+
+/// A copy of the process-wide sink: everything flushed since the last
+/// [`reset_global`].
+pub fn global_snapshot() -> Snapshot {
+    GLOBAL.lock().expect("observability sink poisoned").clone()
+}
+
+// ---------------------------------------------------------------------------
+// Metrics handle — enabled implementation
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "enabled")]
+mod handle {
+    use super::*;
+    use std::cell::Cell;
+    use std::time::Instant;
+
+    struct HistCells {
+        count: Cell<u64>,
+        sum: Cell<u64>,
+        min: Cell<u64>,
+        max: Cell<u64>,
+        buckets: [Cell<u64>; BUCKETS],
+    }
+
+    struct SpanCells {
+        count: Cell<u64>,
+        total_ns: Cell<u64>,
+    }
+
+    /// A per-worker metrics sink: plain `Cell`s, `&self` everywhere, no
+    /// locks. Create one per worker, record freely, [`Metrics::flush`] at
+    /// join.
+    pub struct Metrics {
+        counters: [Cell<u64>; CounterId::COUNT],
+        hists: [HistCells; HistId::COUNT],
+        spans: [SpanCells; SpanId::COUNT],
+    }
+
+    impl std::fmt::Debug for Metrics {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Metrics").field("enabled", &true).finish()
+        }
+    }
+
+    impl Metrics {
+        /// A fresh all-zero sink.
+        pub fn new() -> Self {
+            Metrics {
+                counters: std::array::from_fn(|_| Cell::new(0)),
+                hists: std::array::from_fn(|_| HistCells {
+                    count: Cell::new(0),
+                    sum: Cell::new(0),
+                    min: Cell::new(u64::MAX),
+                    max: Cell::new(0),
+                    buckets: std::array::from_fn(|_| Cell::new(0)),
+                }),
+                spans: std::array::from_fn(|_| SpanCells {
+                    count: Cell::new(0),
+                    total_ns: Cell::new(0),
+                }),
+            }
+        }
+
+        /// Adds 1 to a counter.
+        #[inline]
+        pub fn inc(&self, id: CounterId) {
+            self.add(id, 1);
+        }
+
+        /// Adds `v` to a counter.
+        #[inline]
+        pub fn add(&self, id: CounterId, v: u64) {
+            let c = &self.counters[id as usize];
+            c.set(c.get().wrapping_add(v));
+        }
+
+        /// Records one histogram sample.
+        #[inline]
+        pub fn record(&self, id: HistId, v: u64) {
+            let h = &self.hists[id as usize];
+            h.count.set(h.count.get() + 1);
+            h.sum.set(h.sum.get().wrapping_add(v));
+            h.min.set(h.min.get().min(v));
+            h.max.set(h.max.get().max(v));
+            let b = &h.buckets[bucket_of(v)];
+            b.set(b.get() + 1);
+        }
+
+        /// Opens a span; the guard records the elapsed time (and a sample
+        /// in the span's linked histogram, if any) when dropped.
+        #[inline]
+        pub fn span(&self, id: SpanId) -> SpanGuard<'_> {
+            SpanGuard {
+                metrics: self,
+                id,
+                start: Instant::now(),
+            }
+        }
+
+        /// Merges this sink into the process-wide snapshot and zeroes it,
+        /// so a worker can flush exactly once at join without double
+        /// counting on reuse.
+        pub fn flush(&self) {
+            let mut delta = Snapshot::ZERO;
+            for (a, b) in delta.counters.iter_mut().zip(&self.counters) {
+                *a = b.replace(0);
+            }
+            for (a, b) in delta.hists.iter_mut().zip(&self.hists) {
+                a.count = b.count.replace(0);
+                a.sum = b.sum.replace(0);
+                a.min = b.min.replace(u64::MAX);
+                a.max = b.max.replace(0);
+                for (x, y) in a.buckets.iter_mut().zip(&b.buckets) {
+                    *x = y.replace(0);
+                }
+            }
+            for (a, b) in delta.spans.iter_mut().zip(&self.spans) {
+                a.count = b.count.replace(0);
+                a.total_ns = b.total_ns.replace(0);
+            }
+            GLOBAL
+                .lock()
+                .expect("observability sink poisoned")
+                .merge(&delta);
+        }
+    }
+
+    impl Default for Metrics {
+        fn default() -> Self {
+            Metrics::new()
+        }
+    }
+
+    /// Open-span guard: records on drop.
+    pub struct SpanGuard<'a> {
+        metrics: &'a Metrics,
+        id: SpanId,
+        start: Instant,
+    }
+
+    impl std::fmt::Debug for SpanGuard<'_> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("SpanGuard").field("id", &self.id).finish()
+        }
+    }
+
+    impl Drop for SpanGuard<'_> {
+        fn drop(&mut self) {
+            let ns = self.start.elapsed().as_nanos() as u64;
+            let s = &self.metrics.spans[self.id as usize];
+            s.count.set(s.count.get() + 1);
+            s.total_ns.set(s.total_ns.get() + ns);
+            if let Some(hist) = self.id.linked_hist() {
+                self.metrics.record(hist, ns);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics handle — disabled implementation (all no-ops)
+// ---------------------------------------------------------------------------
+
+#[cfg(not(feature = "enabled"))]
+mod handle {
+    use super::*;
+
+    /// Disabled metrics sink: zero-sized, every method an empty inline.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Metrics;
+
+    impl Metrics {
+        /// A fresh (zero-sized) sink.
+        #[inline(always)]
+        pub fn new() -> Self {
+            Metrics
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn inc(&self, _id: CounterId) {}
+
+        /// No-op.
+        #[inline(always)]
+        pub fn add(&self, _id: CounterId, _v: u64) {}
+
+        /// No-op.
+        #[inline(always)]
+        pub fn record(&self, _id: HistId, _v: u64) {}
+
+        /// No-op; the guard is zero-sized and records nothing.
+        #[inline(always)]
+        pub fn span(&self, _id: SpanId) -> SpanGuard<'_> {
+            SpanGuard {
+                _life: std::marker::PhantomData,
+            }
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn flush(&self) {}
+    }
+
+    /// Disabled span guard: zero-sized, drops silently.
+    #[derive(Debug)]
+    pub struct SpanGuard<'a> {
+        _life: std::marker::PhantomData<&'a ()>,
+    }
+
+    // An explicit (empty) Drop keeps callers' `drop(span)` scope ends
+    // meaningful to the compiler and lints in both feature configurations.
+    impl Drop for SpanGuard<'_> {
+        #[inline(always)]
+        fn drop(&mut self) {}
+    }
+}
+
+pub use handle::{Metrics, SpanGuard};
+
+// ---------------------------------------------------------------------------
+// Human-readable rendering
+// ---------------------------------------------------------------------------
+
+/// Renders a snapshot as a human-readable report: nonzero counters,
+/// histogram summaries, and the span tree. With `timed` false, durations
+/// and time-histogram values are omitted (they are suppressed in stable
+/// reports anyway).
+pub fn render(snapshot: &Snapshot, timed: bool) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "counters:");
+    for id in CounterId::ALL {
+        let v = snapshot.counter(id);
+        if v != 0 {
+            let _ = writeln!(out, "  {:<26} {v}", id.name());
+        }
+    }
+    let _ = writeln!(out, "histograms:");
+    for id in HistId::ALL {
+        let h = snapshot.hist(id);
+        if h.count == 0 {
+            continue;
+        }
+        if id.is_time_ns() && !timed {
+            let _ = writeln!(out, "  {:<26} count={}", id.name(), h.count);
+        } else {
+            let mean = h.sum as f64 / h.count as f64;
+            let _ = writeln!(
+                out,
+                "  {:<26} count={} mean={mean:.1} min={} max={}",
+                id.name(),
+                h.count,
+                if h.count == 0 { 0 } else { h.min },
+                h.max,
+            );
+        }
+    }
+    let _ = writeln!(out, "spans:");
+    for id in SpanId::ALL {
+        if snapshot.span(id).count == 0 {
+            continue;
+        }
+        let mut depth = 0;
+        let mut p = id.parent();
+        while let Some(parent) = p {
+            depth += 1;
+            p = parent.parent();
+        }
+        let s = snapshot.span(id);
+        let label = format!("{}{}", "  ".repeat(depth), id.name());
+        if timed {
+            let _ = writeln!(
+                out,
+                "  {label:<26} count={:<9} total={:.3} ms",
+                s.count,
+                s.total_ns as f64 / 1e6
+            );
+        } else {
+            let _ = writeln!(out, "  {label:<26} count={}", s.count);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_of_is_bit_length() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_ordered() {
+        let mut names: Vec<&str> = CounterId::ALL.iter().map(|c| c.name()).collect();
+        names.extend(HistId::ALL.iter().map(|h| h.name()));
+        names.extend(SpanId::ALL.iter().map(|s| s.name()));
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total, "duplicate metric names");
+        // Registry index matches enum discriminant (reports rely on it).
+        for (k, id) in CounterId::ALL.iter().enumerate() {
+            assert_eq!(*id as usize, k);
+        }
+        for (k, id) in HistId::ALL.iter().enumerate() {
+            assert_eq!(*id as usize, k);
+        }
+        for (k, id) in SpanId::ALL.iter().enumerate() {
+            assert_eq!(*id as usize, k);
+        }
+    }
+
+    #[test]
+    fn span_parents_precede_children_in_registry_order() {
+        for id in SpanId::ALL {
+            if let Some(parent) = id.parent() {
+                assert!(
+                    (parent as usize) < (id as usize),
+                    "{} must come after its parent {}",
+                    id.name(),
+                    parent.name()
+                );
+            }
+        }
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn record_flush_and_merge_roundtrip() {
+        // One test exercises the whole global path to avoid cross-test
+        // interference on the process-wide sink.
+        reset_global();
+        let m = Metrics::new();
+        m.inc(CounterId::SimTrials);
+        m.add(CounterId::ExecTransitions, 41);
+        m.inc(CounterId::ExecTransitions);
+        m.record(HistId::SimTrialMl, 3);
+        m.record(HistId::SimTrialMl, 5);
+        {
+            let _g = m.span(SpanId::SimTrial);
+        }
+        m.flush();
+        // Flushing zeroes the local sink: a second flush adds nothing.
+        m.flush();
+        let snap = global_snapshot();
+        assert_eq!(snap.counter(CounterId::SimTrials), 1);
+        assert_eq!(snap.counter(CounterId::ExecTransitions), 42);
+        let ml = snap.hist(HistId::SimTrialMl);
+        assert_eq!((ml.count, ml.sum, ml.min, ml.max), (2, 8, 3, 5));
+        assert_eq!(ml.buckets[bucket_of(3)], 1);
+        assert_eq!(ml.buckets[bucket_of(5)], 1);
+        let trial = snap.span(SpanId::SimTrial);
+        assert_eq!(trial.count, 1);
+        // The linked histogram got the span's duration sample.
+        assert_eq!(snap.hist(HistId::SimTrialNs).count, 1);
+
+        // Merge is additive.
+        let mut doubled = snap.clone();
+        doubled.merge(&snap);
+        assert_eq!(doubled.counter(CounterId::ExecTransitions), 84);
+        assert_eq!(doubled.hist(HistId::SimTrialMl).count, 4);
+        assert_eq!(doubled.hist(HistId::SimTrialMl).min, 3);
+
+        reset_global();
+        assert!(global_snapshot().is_empty());
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn disabled_handle_is_zero_sized_and_inert() {
+        assert_eq!(std::mem::size_of::<Metrics>(), 0);
+        let m = Metrics::new();
+        m.inc(CounterId::SimTrials);
+        m.record(HistId::SimTrialMl, 3);
+        {
+            let _g = m.span(SpanId::SimTrial);
+        }
+        m.flush();
+        assert!(global_snapshot().is_empty());
+        assert!(!ENABLED);
+    }
+
+    #[test]
+    fn render_shows_nonzero_entries() {
+        let mut snap = Snapshot::new();
+        snap.counters[CounterId::SimTrials as usize] = 7;
+        snap.spans[SpanId::SimTrial as usize] = SpanData {
+            count: 7,
+            total_ns: 7_000_000,
+        };
+        let text = render(&snap, true);
+        assert!(text.contains("sim.trials"), "{text}");
+        assert!(text.contains("sim.trial "), "{text}");
+        assert!(text.contains("7.000 ms"), "{text}");
+        let stable = render(&snap, false);
+        assert!(!stable.contains("total="), "{stable}");
+    }
+}

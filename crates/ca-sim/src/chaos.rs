@@ -28,8 +28,32 @@ pub fn mix64(seed: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Resolves a requested worker count into an actual one.
+///
+/// A positive request wins unchanged. A request of 0 ("pick for me") defers
+/// first to the `CA_THREADS` environment variable — which is how
+/// `ca profile --threads` pins the whole process, including nested
+/// `parallel_map` fan-out, to a fixed width — and then to the machine's
+/// available parallelism.
+pub fn resolve_workers(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(var) = std::env::var("CA_THREADS") {
+        if let Ok(n) = var.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Applies `f` to `0..count` on `workers` threads (0 = available
-/// parallelism), returning results in index order.
+/// parallelism, honoring `CA_THREADS` — see [`resolve_workers`]), returning
+/// results in index order.
 ///
 /// Work is handed out by a shared counter, but the output slot is fixed by
 /// the index, so the result is identical to the serial map whenever `f` is a
@@ -43,14 +67,7 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    let workers = if workers > 0 {
-        workers
-    } else {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    }
-    .min(count.max(1));
+    let workers = resolve_workers(workers).min(count.max(1));
 
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..count).map(|_| None).collect());
     let next = std::sync::atomic::AtomicUsize::new(0);

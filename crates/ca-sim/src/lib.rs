@@ -26,7 +26,7 @@ pub mod strategy;
 pub mod trace;
 pub mod wire;
 
-pub use chaos::{ddmin, mix64, parallel_map};
+pub use chaos::{ddmin, mix64, parallel_map, resolve_workers};
 pub use monte_carlo::{simulate, worst_disagreement, SimConfig, SimReport};
 pub use stats::{BernoulliEstimate, RunningStats};
 pub use strategy::{

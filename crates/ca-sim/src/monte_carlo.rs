@@ -12,7 +12,7 @@
 
 use crate::stats::{BernoulliEstimate, RunningStats};
 use crate::strategy::RunSampler;
-use ca_core::exec::{execute_outputs_into, ExecScratch};
+use ca_core::exec::{execute_outputs_observed, ExecScratch};
 use ca_core::graph::Graph;
 use ca_core::level::{min_modified_level_into, modified_levels, LevelScratch};
 use ca_core::outcome::{Outcome, OutcomeCounts};
@@ -104,13 +104,7 @@ impl SimConfig {
     }
 
     fn worker_count(&self) -> usize {
-        if self.threads > 0 {
-            self.threads
-        } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        }
+        crate::chaos::resolve_workers(self.threads)
     }
 }
 
@@ -142,6 +136,12 @@ where
         ml: RunningStats::new(),
     });
 
+    // The whole-call span lives on its own sink so its count is 1 per
+    // `simulate` call (a stable number), never 1 per worker (which would
+    // vary with the thread count and break profile byte-stability).
+    let outer_obs = ca_obs::Metrics::new();
+    let outer_span = outer_obs.span(ca_obs::SpanId::SimSimulate);
+
     // Static partition of the trial indices across workers; per-trial
     // reseeding keeps the result independent of the partitioning. Each
     // worker owns one RNG, one tape set, and one execution scratch for its
@@ -151,6 +151,11 @@ where
         for w in 0..workers {
             let report = &report;
             scope.spawn(move |_| {
+                use ca_obs::{CounterId, HistId, SpanId};
+                // Per-worker observability sink, merged into the global
+                // snapshot at join — same discipline as `local` below, so
+                // the fast path records into plain `Cell`s.
+                let obs = ca_obs::Metrics::new();
                 let mut local = SimReport {
                     counts: OutcomeCounts::new(),
                     attacks: vec![0; m],
@@ -173,19 +178,27 @@ where
                 let mut rng;
                 let mut t = w as u64;
                 while t < config.trials {
+                    let _trial_span = obs.span(SpanId::SimTrial);
                     // One worker-local RNG, reseeded per trial from the
                     // SplitMix stream: trial t's draws are a function of
                     // (seed, t) alone, whatever worker runs it.
                     rng = StdRng::seed_from_u64(splitmix(config.seed, t));
                     let run: &Run = match fixed_run {
-                        Some(run) => run,
+                        Some(run) => {
+                            obs.inc(CounterId::SimFixedRunTrials);
+                            run
+                        }
                         None => {
-                            sampler.sample_into(&mut sampled, &mut rng);
+                            let _sample_span = obs.span(SpanId::RunSample);
+                            sampler.sample_into_observed(&mut sampled, &mut rng, &obs);
                             &sampled
                         }
                     };
                     tapes.fill_random(&mut rng, j_bits);
-                    let outputs = execute_outputs_into(protocol, graph, run, &tapes, &mut scratch);
+                    obs.inc(CounterId::SimTapeRefills);
+                    let outputs =
+                        execute_outputs_observed(protocol, graph, run, &tapes, &mut scratch, &obs);
+                    let verdict_span = obs.span(SpanId::SimVerdict);
                     let outcome = Outcome::classify(outputs);
                     local.counts.record(outcome);
                     for (i, &o) in outputs.iter().enumerate() {
@@ -197,16 +210,22 @@ where
                         Some(ml) => ml,
                         None => min_modified_level_into(run, &mut level_scratch) as f64,
                     };
+                    drop(verdict_span);
                     local.ml.record(ml);
+                    obs.record(HistId::SimTrialMl, ml as u64);
+                    obs.inc(CounterId::SimTrials);
                     local.trials += 1;
                     t += workers as u64;
                 }
+                obs.flush();
                 report.lock().merge(&local);
             });
         }
     })
     .expect("simulation worker panicked");
 
+    drop(outer_span);
+    outer_obs.flush();
     report.into_inner()
 }
 

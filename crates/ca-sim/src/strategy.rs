@@ -31,6 +31,26 @@ pub trait RunSampler: Sync {
         *run = self.sample(rng);
     }
 
+    /// [`RunSampler::sample_into`] reporting sampling counters (runs drawn,
+    /// slots flipped, overflow-vector hits) to an observability sink.
+    ///
+    /// Produces exactly the run and RNG draws of [`RunSampler::sample_into`];
+    /// the default implementation records only the sample count, and
+    /// randomized samplers override it to attribute their slot flips too.
+    fn sample_into_observed<R: Rng + ?Sized>(
+        &self,
+        run: &mut Run,
+        rng: &mut R,
+        obs: &ca_obs::Metrics,
+    ) {
+        self.sample_into(run, rng);
+        obs.inc(ca_obs::CounterId::RunSamples);
+        obs.add(
+            ca_obs::CounterId::RunOverflowSlots,
+            run.overflow_slot_count() as u64,
+        );
+    }
+
     /// The constant run this sampler always produces, if any.
     ///
     /// Returning `Some` promises that [`RunSampler::sample`] returns a clone
@@ -137,17 +157,36 @@ impl RunSampler for RandomDrop {
         run.clone_from(&self.base);
         self.drop_slots(run, rng);
     }
+
+    fn sample_into_observed<R: Rng + ?Sized>(
+        &self,
+        run: &mut Run,
+        rng: &mut R,
+        obs: &ca_obs::Metrics,
+    ) {
+        run.clone_from(&self.base);
+        let flipped = self.drop_slots(run, rng);
+        obs.inc(ca_obs::CounterId::RunSamples);
+        obs.add(ca_obs::CounterId::RunSlotsFlipped, flipped);
+        obs.add(
+            ca_obs::CounterId::RunOverflowSlots,
+            run.overflow_slot_count() as u64,
+        );
+    }
 }
 
 impl RandomDrop {
     /// Draws one destroy/keep coin per base slot in canonical slot order —
-    /// the draw-order contract the determinism goldens pin down.
-    fn drop_slots<R: Rng + ?Sized>(&self, run: &mut Run, rng: &mut R) {
+    /// the draw-order contract the determinism goldens pin down. Returns the
+    /// number of slots destroyed.
+    fn drop_slots<R: Rng + ?Sized>(&self, run: &mut Run, rng: &mut R) -> u64 {
+        let mut flipped = 0;
         for s in &self.slots {
-            if rng.gen_bool(self.p) {
-                run.remove_message(s.from, s.to, s.round);
+            if rng.gen_bool(self.p) && run.remove_message(s.from, s.to, s.round) {
+                flipped += 1;
             }
         }
+        flipped
     }
 }
 
@@ -206,22 +245,41 @@ impl RunSampler for RandomRun {
         run.clone_from(&self.base);
         self.thin(run, rng);
     }
+
+    fn sample_into_observed<R: Rng + ?Sized>(
+        &self,
+        run: &mut Run,
+        rng: &mut R,
+        obs: &ca_obs::Metrics,
+    ) {
+        run.clone_from(&self.base);
+        let flipped = self.thin(run, rng);
+        obs.inc(ca_obs::CounterId::RunSamples);
+        obs.add(ca_obs::CounterId::RunSlotsFlipped, flipped);
+        obs.add(
+            ca_obs::CounterId::RunOverflowSlots,
+            run.overflow_slot_count() as u64,
+        );
+    }
 }
 
 impl RandomRun {
     /// Input coins first (in vertex order), then one coin per good-run slot
-    /// in canonical slot order — the historical draw order.
-    fn thin<R: Rng + ?Sized>(&self, run: &mut Run, rng: &mut R) {
+    /// in canonical slot order — the historical draw order. Returns the
+    /// number of message slots destroyed (inputs are not counted).
+    fn thin<R: Rng + ?Sized>(&self, run: &mut Run, rng: &mut R) -> u64 {
         for i in self.graph.vertices() {
             if !rng.gen_bool(self.input_keep) {
                 run.remove_input(i);
             }
         }
+        let mut flipped = 0;
         for s in &self.slots {
-            if !rng.gen_bool(self.msg_keep) {
-                run.remove_message(s.from, s.to, s.round);
+            if !rng.gen_bool(self.msg_keep) && run.remove_message(s.from, s.to, s.round) {
+                flipped += 1;
             }
         }
+        flipped
     }
 }
 
