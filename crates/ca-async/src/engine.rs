@@ -85,6 +85,21 @@ pub trait AsyncProtocol {
 /// beat `k` is `period · backoff^k`, so `backoff = 2` fires at
 /// `h, 3h, 7h, 15h, …`. Bounding retransmission is what keeps a chaos
 /// schedule from turning loss tolerance into unbounded send amplification.
+///
+/// # Exhaustion semantics
+///
+/// When a bounded policy runs out of beats before the deadline, the process
+/// simply stops retransmitting: no further timer events are scheduled, the
+/// event queue drains, and the execution terminates at (or before) the
+/// deadline with whatever state gossip reached — there is **no livelock and
+/// no error**. A general whose beats ran out without completing the
+/// conversation reaches a clean non-decided outcome (it never heard `rfire`,
+/// so it outputs 0 by token discipline). Exhaustion is thus a *liveness*
+/// degradation only; callers that need a typed signal should inspect the
+/// outcome (e.g. the serve runtime classifies an execution where some
+/// process never obtained the token as `Undecided` and retries it against a
+/// fresh coin stream). The total number of sends is bounded by
+/// `(1 + max_beats)` broadcasts per state change per process.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HeartbeatPolicy {
     /// Ticks before the first beat, and the base gap between beats.
@@ -201,6 +216,11 @@ pub struct AsyncOutcome<S> {
     /// Extra copies of already-delivered messages suppressed by
     /// sequence-number dedup (nonzero only under duplicating couriers).
     pub duplicates_suppressed: u64,
+    /// Virtual time of the last processed event (delivery or timer): the
+    /// tick at which the execution quiesced. 0 when nothing happened. The
+    /// serve runtime reads this as the instance's decision latency — an
+    /// upper bound on when the final decision stabilized.
+    pub last_event_at: Time,
 }
 
 impl<S> AsyncOutcome<S> {
@@ -478,7 +498,9 @@ where
     }
 
     // Event loop: deliveries and timers in (time, slot) order.
+    let mut last_event_at: Time = 0;
     while let Some((now, event)) = net.next_event() {
+        last_event_at = now;
         let (who, state, outbox) = match event {
             Event::Deliver { from, to, msg, .. } => {
                 let ctx = Ctx::new(graph, n_for_ctx, to);
@@ -512,6 +534,7 @@ where
         sent: net.sent,
         delivered: net.delivered,
         duplicates_suppressed: net.duplicates_suppressed,
+        last_event_at,
     }
 }
 
@@ -765,6 +788,42 @@ mod tests {
         let config = AsyncConfig::all_inputs(&g, 100).with_heartbeat(10);
         let out = run_async(&TickCounter, &g, &config, &tapes(2), &mut courier);
         assert_eq!(out.states, vec![10, 10]);
+    }
+
+    #[test]
+    fn bounded_heartbeat_exhaustion_is_a_clean_non_decided_outcome() {
+        use crate::protocol::AsyncS;
+        use ca_core::tape::BitTape;
+
+        // AsyncS on K2 under total silence: the gossip conversation can
+        // never complete, so a bounded policy's beats run out. Exhaustion
+        // must terminate the run with a bounded number of sends and a clean
+        // non-decided (NoAttack) outcome — no livelock at the deadline.
+        let g = Graph::complete(2).unwrap();
+        // All-ones tapes make the leader draw rfire ≈ 1/ε = 8, far above
+        // any count reachable in silence, so nobody attacks.
+        let tapes = TapeSet::from_tapes(vec![
+            BitTape::from_words(vec![u64::MAX]),
+            BitTape::from_words(vec![u64::MAX]),
+        ]);
+        let proto = AsyncS::new(0.125);
+        // Beats at 2, 6, 14, 30, 62; the cap stops the sixth (t = 126)
+        // even though the deadline would allow many more.
+        let config = AsyncConfig::all_inputs(&g, 1000)
+            .with_heartbeat_policy(HeartbeatPolicy::bounded(2, 5, 2));
+        let out = run_async(&proto, &g, &config, &tapes, &mut SilenceCourier);
+
+        assert_eq!(out.outcome(), Outcome::NoAttack, "clean non-decided");
+        assert_eq!(out.outputs, vec![false, false]);
+        // 1 init broadcast + 5 beat retransmissions, per process, 1 neighbor
+        // each: sends are bounded by the beat cap, not the deadline.
+        assert_eq!(out.sent, 2 * (1 + 5));
+        assert_eq!(out.delivered, 0);
+        // The run quiesced at the final beat, far before the deadline.
+        assert_eq!(out.last_event_at, 62);
+        // The follower never heard rfire: token discipline kept it at 0.
+        assert!(out.states[0].token.is_some());
+        assert!(out.states[1].token.is_none());
     }
 
     #[test]

@@ -32,6 +32,8 @@ pub mod exact;
 pub mod experiments;
 pub mod log;
 pub mod protocol;
+pub mod serve;
+pub mod supervisor;
 
 pub use campaign::{run_campaign, CampaignConfig, ChaosReport, OracleVerdicts, ScheduleResult};
 pub use chaos::{ChaosCourier, FaultPrimitive, FaultSchedule, TimeWindow};
@@ -41,3 +43,8 @@ pub use engine::{
 };
 pub use exact::async_s_outcomes;
 pub use protocol::AsyncS;
+pub use serve::{
+    compare_reports, run_serve, Arrival, CourierSpec, Log2Hist, ServeConfig, ServeReport,
+    ServeTotals, ShardStats,
+};
+pub use supervisor::{supervise, Progress, ShardRun, SuperviseOutcome};

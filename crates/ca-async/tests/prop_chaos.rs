@@ -5,12 +5,16 @@
 //!   saved counterexamples replayable.
 //! * A [`ChaosCourier`] with an empty schedule is observationally
 //!   equivalent to a [`ReliableCourier`] of the same latency: injecting no
-//!   faults perturbs nothing.
+//!   faults perturbs nothing — and the equivalence lifts through the whole
+//!   serve loop: a service run over an empty chaos schedule produces the
+//!   same aggregate totals and per-shard stats as one over the reliable
+//!   courier.
 //! * Chaos executions are a pure function of `(schedule, tapes, config)`.
 
 use ca_async::campaign::sample_schedule;
 use ca_async::{
-    run_async, try_run_async, AsyncConfig, AsyncS, ChaosCourier, FaultSchedule, ReliableCourier,
+    run_async, run_serve, try_run_async, Arrival, AsyncConfig, AsyncS, ChaosCourier, CourierSpec,
+    FaultSchedule, ReliableCourier, ServeConfig,
 };
 use ca_core::graph::Graph;
 use ca_core::tape::TapeSet;
@@ -77,6 +81,44 @@ proptest! {
             b.states.iter().map(|s| s.count).collect(),
         );
         prop_assert_eq!(sa, sb);
+    }
+
+    /// The empty-schedule equivalence extends to the serve loop: queueing,
+    /// shedding, retries, verdict counts, and latency histograms are all
+    /// identical whether the instances share an empty [`ChaosCourier`] or a
+    /// [`ReliableCourier`] of the same latency. (Reports embed the courier
+    /// spec in `params`, so the comparison is on totals and shard stats.)
+    #[test]
+    fn empty_schedule_serve_loop_equals_reliable(
+        m in 2usize..4,
+        instances in 8u64..48,
+        seed in any::<u64>(),
+        latency in 1u64..3,
+        mean_gap in prop::option::of(2u64..12),
+    ) {
+        let mut chaos = ServeConfig::new(m, 8, instances, seed);
+        chaos.shards = 3;
+        chaos.queue_bound = 2;
+        chaos.stall_warn_ms = None;
+        chaos.arrival = match mean_gap {
+            Some(gap) => Arrival::Open { mean_gap: gap },
+            None => Arrival::Closed,
+        };
+        let mut reliable = chaos.clone();
+        chaos.courier = CourierSpec::Chaos {
+            schedule: FaultSchedule::reliable(latency),
+        };
+        reliable.courier = CourierSpec::Reliable { latency };
+        let a = run_serve(&chaos).expect("chaos serve runs");
+        let b = run_serve(&reliable).expect("reliable serve runs");
+        prop_assert_eq!(
+            serde::json::to_string(&a.totals).expect("totals serialize"),
+            serde::json::to_string(&b.totals).expect("totals serialize"),
+        );
+        prop_assert_eq!(
+            serde::json::to_string(&a.shards).expect("shards serialize"),
+            serde::json::to_string(&b.shards).expect("shards serialize"),
+        );
     }
 
     /// Replaying a sampled schedule reproduces the execution exactly.

@@ -11,6 +11,8 @@
 //! ca bench    --compare BENCH_experiments.json     # fail on >25% regression
 //! ca profile  --out profile.json                   # per-experiment engine metrics
 //! ca profile  --compare profile.json               # fail if stable counters drift
+//! ca serve    --smoke --report                     # sharded service under chaos load
+//! ca serve    --smoke --compare serve_smoke.json   # fail on drift / p99 regression
 //! ca graphs                                        # list available topologies
 //! ```
 //!
@@ -20,7 +22,7 @@
 use ca_analysis::exact::protocol_s_outcomes;
 use ca_analysis::report::Table;
 use ca_async::campaign::{evaluate_schedule, run_campaign, CampaignConfig};
-use ca_async::FaultSchedule;
+use ca_async::{Arrival, CourierSpec, FaultSchedule, ServeConfig, ServeReport};
 use ca_core::exec::execute;
 use ca_core::graph::Graph;
 use ca_core::ids::{ProcessId, Round};
@@ -93,6 +95,22 @@ struct Opts {
     spans: bool,
     bench_trials: Option<u64>,
     compare: Option<String>,
+    // `serve` flags. Options so a preset (`--smoke`) keeps its tuning unless
+    // a flag is given explicitly.
+    instances: Option<u64>,
+    shards: Option<usize>,
+    queue_bound: Option<usize>,
+    budget: Option<u64>,
+    retries: Option<u32>,
+    arrival_gap: Option<u64>,
+    closed: bool,
+    smoke: bool,
+    report: bool,
+    schedule: Option<String>,
+    latency: Option<u64>,
+    p99_budget: u64,
+    deadline_set: bool,
+    t_set: bool,
 }
 
 impl Default for Opts {
@@ -119,6 +137,20 @@ impl Default for Opts {
             spans: false,
             bench_trials: None,
             compare: None,
+            instances: None,
+            shards: None,
+            queue_bound: None,
+            budget: None,
+            retries: None,
+            arrival_gap: None,
+            closed: false,
+            smoke: false,
+            report: false,
+            schedule: None,
+            latency: None,
+            p99_budget: 25,
+            deadline_set: false,
+            t_set: false,
         }
     }
 }
@@ -144,10 +176,12 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .parse()
                     .map_err(|_| "bad --epsilon".to_owned())?;
                 opts.t = (1.0 / opts.epsilon).round() as u64;
+                opts.t_set = true;
             }
             "--t" => {
                 opts.t = next("a value")?.parse().map_err(|_| "bad --t".to_owned())?;
                 opts.epsilon = 1.0 / opts.t as f64;
+                opts.t_set = true;
             }
             "--cut" => {
                 opts.cut = Some(
@@ -187,7 +221,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--deadline" => {
                 opts.deadline = next("a time")?
                     .parse()
-                    .map_err(|_| "bad --deadline".to_owned())?
+                    .map_err(|_| "bad --deadline".to_owned())?;
+                opts.deadline_set = true;
             }
             "--schedules" => {
                 opts.schedules = next("a count")?
@@ -212,6 +247,64 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--out" => opts.out = Some(next("a file path")?),
             "--compare" => opts.compare = Some(next("an old bench report")?),
             "--replay" => opts.replay = Some(next("a schedule file")?),
+            "--instances" => {
+                opts.instances = Some(
+                    next("a count")?
+                        .parse()
+                        .map_err(|_| "bad --instances".to_owned())?,
+                )
+            }
+            "--shards" => {
+                opts.shards = Some(
+                    next("a count")?
+                        .parse()
+                        .map_err(|_| "bad --shards".to_owned())?,
+                )
+            }
+            "--queue-bound" => {
+                opts.queue_bound = Some(
+                    next("a count")?
+                        .parse()
+                        .map_err(|_| "bad --queue-bound".to_owned())?,
+                )
+            }
+            "--budget" => {
+                opts.budget = Some(
+                    next("ticks")?
+                        .parse()
+                        .map_err(|_| "bad --budget".to_owned())?,
+                )
+            }
+            "--retries" => {
+                opts.retries = Some(
+                    next("a count")?
+                        .parse()
+                        .map_err(|_| "bad --retries".to_owned())?,
+                )
+            }
+            "--arrival-gap" => {
+                opts.arrival_gap = Some(
+                    next("ticks")?
+                        .parse()
+                        .map_err(|_| "bad --arrival-gap".to_owned())?,
+                )
+            }
+            "--closed" => opts.closed = true,
+            "--smoke" => opts.smoke = true,
+            "--report" => opts.report = true,
+            "--schedule" => opts.schedule = Some(next("a schedule file")?),
+            "--latency" => {
+                opts.latency = Some(
+                    next("ticks")?
+                        .parse()
+                        .map_err(|_| "bad --latency".to_owned())?,
+                )
+            }
+            "--p99-budget" => {
+                opts.p99_budget = next("a percentage")?
+                    .parse()
+                    .map_err(|_| "bad --p99-budget".to_owned())?
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -233,14 +326,15 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().map(String::as_str) else {
         eprintln!(
-            "usage: ca <levels|trace|simulate|exact|chaos|bench|profile|graphs> [flags] (see --help)"
+            "usage: ca <levels|trace|simulate|exact|chaos|bench|profile|serve|graphs> \
+             [flags] (see --help)"
         );
         return ExitCode::FAILURE;
     };
     if command == "--help" || command == "-h" {
         println!(
             "ca — explore the coordinated-attack model\n\
-             commands: levels, trace, simulate, exact, chaos, bench, profile, graphs\n\
+             commands: levels, trace, simulate, exact, chaos, bench, profile, serve, graphs\n\
              flags: --graph NAME --rounds N --epsilon E | --t T --cut R \
              --drop-link F:T:R --trials K --seed S\n\
              chaos: --deadline T --schedules K --max-faults F --threads W \
@@ -253,7 +347,17 @@ fn main() -> ExitCode {
              [--out FILE] [--compare OLD.json] — capture engine counters, \
              histograms, and span trees per experiment (byte-stable by \
              default; --timed adds clocks); --compare fails if any stable \
-             counter drifted (needs an obs-enabled build)"
+             counter drifted (needs an obs-enabled build)\n\
+             serve: [--smoke] [--instances N] [--shards N] [--queue-bound N] \
+             [--budget T] [--retries N] [--deadline T] [--t T] \
+             [--arrival-gap G | --closed] [--schedule FILE | --latency L] \
+             [--seed S] [--threads W] [--timed] [--report] [--out FILE] \
+             [--compare OLD.json] [--p99-budget PCT] — run a sharded \
+             coordination service (instances of async S over one courier) \
+             under load; the aggregate report is byte-stable in (scale, \
+             seed) at any --threads; --compare fails if stable counters \
+             drift or p99 decision latency regresses past the budget \
+             (default 25%)"
         );
         return ExitCode::SUCCESS;
     }
@@ -433,6 +537,156 @@ fn main() -> ExitCode {
                     );
                     return ExitCode::FAILURE;
                 }
+            }
+        }
+        "serve" => {
+            // Base config: the fixed smoke preset (chaos schedule + open-loop
+            // overload) or a plain reliable closed-loop service sized by
+            // --graph. Explicit flags override either base.
+            let mut config = if opts.smoke {
+                ServeConfig::smoke(opts.seed)
+            } else {
+                ServeConfig::new(graph.len(), opts.t, 512, opts.seed)
+            };
+            if opts.smoke && opts.t_set {
+                config.t = opts.t;
+            }
+            if opts.deadline_set {
+                config.deadline = opts.deadline;
+            }
+            if let Some(v) = opts.instances {
+                config.instances = v;
+            }
+            if let Some(v) = opts.shards {
+                config.shards = v;
+            }
+            if let Some(v) = opts.queue_bound {
+                config.queue_bound = v;
+            }
+            if let Some(v) = opts.budget {
+                config.budget = v;
+            }
+            if let Some(v) = opts.retries {
+                config.retries = v;
+            }
+            match (opts.arrival_gap, opts.closed) {
+                (Some(_), true) => {
+                    eprintln!("error: --arrival-gap and --closed are mutually exclusive");
+                    return ExitCode::FAILURE;
+                }
+                (Some(gap), false) => config.arrival = Arrival::Open { mean_gap: gap },
+                (None, true) => config.arrival = Arrival::Closed,
+                (None, false) => {}
+            }
+            if opts.schedule.is_some() && opts.latency.is_some() {
+                eprintln!("error: --schedule and --latency are mutually exclusive");
+                return ExitCode::FAILURE;
+            }
+            if let Some(path) = &opts.schedule {
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("error: cannot read `{path}`: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let schedule = match FaultSchedule::from_json(&text) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("error: bad schedule in `{path}`: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                config.courier = CourierSpec::Chaos { schedule };
+            } else if let Some(latency) = opts.latency {
+                config.courier = CourierSpec::Reliable { latency };
+            }
+            config.threads = opts.threads;
+            config.timed = opts.timed;
+            let report = match ca_async::run_serve(&config) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let json = report.to_json_pretty();
+            if opts.report {
+                // Pure JSON on stdout, like `ca profile`.
+                println!("{json}");
+            } else {
+                let t = &report.totals;
+                println!(
+                    "serve: {} instances over {} shards — {} decided, {} shed, \
+                     {} timed out, {} undecided, {} failed",
+                    t.instances,
+                    config.shards,
+                    t.decided,
+                    t.shed,
+                    t.timed_out,
+                    t.undecided,
+                    t.failed
+                );
+                println!(
+                    "verdicts: TA={} NA={} PA={}; retries={}, attempts={}",
+                    t.verdicts.total_attack,
+                    t.verdicts.no_attack,
+                    t.verdicts.partial_attack,
+                    t.retries,
+                    t.attempts
+                );
+                println!(
+                    "p99 decision latency <= {} ticks; virtual makespan {} ticks; \
+                     restarts={}, poisoned={}",
+                    t.p99_decision_ticks, t.virtual_makespan, t.shard_restarts, t.shards_poisoned
+                );
+                if opts.timed {
+                    println!(
+                        "wall: {} ms ({:.0} instances/sec)",
+                        t.wall_ms, t.instances_per_sec
+                    );
+                }
+            }
+            // Baseline is read before --out, like `ca bench --compare`.
+            let old: Option<ServeReport> = match &opts.compare {
+                Some(path) => {
+                    let text = match std::fs::read_to_string(path) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            eprintln!("error: cannot read `{path}`: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    match ServeReport::from_json(&text) {
+                        Ok(r) => Some(r),
+                        Err(e) => {
+                            eprintln!("error: bad serve report in `{path}`: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                None => None,
+            };
+            if let Some(path) = &opts.out {
+                if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                    eprintln!("error: cannot write `{path}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let Some(old) = old {
+                let problems = ca_async::compare_reports(&old, &report, opts.p99_budget);
+                if !problems.is_empty() {
+                    for p in &problems {
+                        eprintln!("  {p}");
+                    }
+                    eprintln!(
+                        "error: serve report regressed from the baseline \
+                         ({} problem(s))",
+                        problems.len()
+                    );
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("serve compare: stable counters match, p99 within budget");
             }
         }
         "chaos" => {

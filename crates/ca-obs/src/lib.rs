@@ -111,11 +111,29 @@ pub enum CounterId {
     /// Candidate fault lists evaluated by `ddmin` while shrinking the worst
     /// schedule.
     ChaosShrinkEvals,
+    /// Service instances that arrived at a shard (admitted or shed).
+    ServeInstances,
+    /// Instances shed by per-shard back-pressure (admission queue over its
+    /// bound) — never executed, always counted.
+    ServeShed,
+    /// Admitted instances whose sojourn (queue wait + service) exceeded the
+    /// per-instance deadline budget.
+    ServeTimedOut,
+    /// Admitted instances whose gossip never completed within the retry
+    /// allowance (degraded verdict: some process never heard `rfire`).
+    ServeUndecided,
+    /// Instances that ended in a typed engine error, plus instances drained
+    /// from a shard the supervisor gave up on.
+    ServeFailed,
+    /// Extra execution attempts beyond each instance's first.
+    ServeRetries,
+    /// Shard restarts performed by the supervisor after a panic.
+    ServeShardRestarts,
 }
 
 impl CounterId {
     /// Number of counters in the registry.
-    pub const COUNT: usize = 23;
+    pub const COUNT: usize = 30;
 
     /// Every counter, in canonical registry (report) order.
     pub const ALL: [CounterId; Self::COUNT] = [
@@ -142,6 +160,13 @@ impl CounterId {
         CounterId::ChaosFaultsReplayRun,
         CounterId::ChaosOracleFailures,
         CounterId::ChaosShrinkEvals,
+        CounterId::ServeInstances,
+        CounterId::ServeShed,
+        CounterId::ServeTimedOut,
+        CounterId::ServeUndecided,
+        CounterId::ServeFailed,
+        CounterId::ServeRetries,
+        CounterId::ServeShardRestarts,
     ];
 
     /// The counter's stable report name (`layer.metric`).
@@ -170,6 +195,13 @@ impl CounterId {
             CounterId::ChaosFaultsReplayRun => "chaos.faults.replay_run",
             CounterId::ChaosOracleFailures => "chaos.oracle_failures",
             CounterId::ChaosShrinkEvals => "chaos.shrink_evals",
+            CounterId::ServeInstances => "serve.instances",
+            CounterId::ServeShed => "serve.shed",
+            CounterId::ServeTimedOut => "serve.timed_out",
+            CounterId::ServeUndecided => "serve.undecided",
+            CounterId::ServeFailed => "serve.failed",
+            CounterId::ServeRetries => "serve.retries",
+            CounterId::ServeShardRestarts => "serve.shard_restarts",
         }
     }
 }
@@ -190,11 +222,17 @@ pub enum HistId {
     ChaosOracleNs,
     /// Fault primitives per evaluated chaos schedule.
     ChaosFaultsPerSchedule,
+    /// Decision latency (virtual ticks to quiesce) of on-time decided
+    /// service instances.
+    ServeDecisionTicks,
+    /// Virtual ticks an admitted service instance waited in its shard's
+    /// queue before execution started.
+    ServeQueueWaitTicks,
 }
 
 impl HistId {
     /// Number of histograms in the registry.
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 7;
 
     /// Every histogram, in canonical registry order.
     pub const ALL: [HistId; Self::COUNT] = [
@@ -203,6 +241,8 @@ impl HistId {
         HistId::ExecDeliveredPerTrial,
         HistId::ChaosOracleNs,
         HistId::ChaosFaultsPerSchedule,
+        HistId::ServeDecisionTicks,
+        HistId::ServeQueueWaitTicks,
     ];
 
     /// The histogram's stable report name.
@@ -213,6 +253,8 @@ impl HistId {
             HistId::ExecDeliveredPerTrial => "exec.delivered_per_trial",
             HistId::ChaosOracleNs => "chaos.oracle_check_ns",
             HistId::ChaosFaultsPerSchedule => "chaos.faults_per_schedule",
+            HistId::ServeDecisionTicks => "serve.decision_ticks",
+            HistId::ServeQueueWaitTicks => "serve.queue_wait_ticks",
         }
     }
 
@@ -251,11 +293,17 @@ pub enum SpanId {
     ChaosMcCrossCheck,
     /// Delta-debug shrinking of the worst schedule.
     ChaosShrink,
+    /// One service run (`run_serve`): load generation to aggregate roll-up.
+    ServeRun,
+    /// One shard execution attempt within a service run.
+    ServeShard,
+    /// One instance execution attempt within a shard.
+    ServeInstance,
 }
 
 impl SpanId {
     /// Number of spans in the registry.
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 14;
 
     /// Every span, in canonical registry order (parents before children).
     pub const ALL: [SpanId; Self::COUNT] = [
@@ -270,6 +318,9 @@ impl SpanId {
         SpanId::ChaosOracles,
         SpanId::ChaosMcCrossCheck,
         SpanId::ChaosShrink,
+        SpanId::ServeRun,
+        SpanId::ServeShard,
+        SpanId::ServeInstance,
     ];
 
     /// The span's stable report name.
@@ -286,17 +337,25 @@ impl SpanId {
             SpanId::ChaosOracles => "chaos.oracles",
             SpanId::ChaosMcCrossCheck => "chaos.mc_cross_check",
             SpanId::ChaosShrink => "chaos.shrink",
+            SpanId::ServeRun => "serve.run",
+            SpanId::ServeShard => "serve.shard",
+            SpanId::ServeInstance => "serve.instance",
         }
     }
 
     /// The span's static parent in the rendered tree, if any.
     pub fn parent(self) -> Option<SpanId> {
         match self {
-            SpanId::ExptExperiment | SpanId::SimSimulate | SpanId::ChaosCampaign => None,
+            SpanId::ExptExperiment
+            | SpanId::SimSimulate
+            | SpanId::ChaosCampaign
+            | SpanId::ServeRun => None,
             SpanId::SimTrial => Some(SpanId::SimSimulate),
             SpanId::RunSample | SpanId::ExecExecute | SpanId::SimVerdict => Some(SpanId::SimTrial),
             SpanId::ChaosEvaluate | SpanId::ChaosShrink => Some(SpanId::ChaosCampaign),
             SpanId::ChaosOracles | SpanId::ChaosMcCrossCheck => Some(SpanId::ChaosEvaluate),
+            SpanId::ServeShard => Some(SpanId::ServeRun),
+            SpanId::ServeInstance => Some(SpanId::ServeShard),
         }
     }
 
