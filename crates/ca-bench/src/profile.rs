@@ -459,6 +459,11 @@ mod tests {
             .find(|s| s.name == "sim.trial")
             .expect("trial span present");
         assert_eq!(trial.parent, "sim.simulate");
-        assert_eq!(trial.count, counter("sim.trials"));
+        // The scalar engine opens one trial span per trial; the bit-sliced
+        // engine opens one per 64-lane group. The counter always counts
+        // trials, so each span covers between 1 and 64 of them.
+        assert!(trial.count > 0);
+        assert!(trial.count <= counter("sim.trials"));
+        assert!(counter("sim.trials") <= trial.count * 64);
     }
 }

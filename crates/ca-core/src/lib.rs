@@ -15,6 +15,8 @@
 //! * [`protocol`] — the local-protocol state-machine interface
 //!   (`δ_i`, `σ_i`, `O_i`).
 //! * [`exec`] — the execution generator `Ex(R, α)`.
+//! * [`exec_sliced`] — the 64-lane bit-sliced trial-parallel executor for
+//!   counting-automaton protocols (scalar `exec` stays the oracle).
 //! * [`outcome`] — total/no/partial attack classification.
 //! * [`flow`] — the *flows-to* (causality) relation.
 //! * [`level`] — information levels `L_i^r(R)` and modified levels
@@ -49,6 +51,7 @@ pub mod bitset;
 pub mod clip;
 pub mod error;
 pub mod exec;
+pub mod exec_sliced;
 pub mod flow;
 pub mod graph;
 pub mod ids;
@@ -63,6 +66,7 @@ pub mod tape;
 pub use adversary::{Adversary, StrongAdversary};
 pub use error::{CaError, ModelError};
 pub use exec::{execute, execute_outputs, Execution};
+pub use exec_sliced::{SlicedEngine, SlicedSpec};
 pub use graph::Graph;
 pub use ids::{Node, ProcessId, Round};
 pub use level::{levels, modified_levels, LevelTable};

@@ -89,6 +89,26 @@ pub trait Protocol {
 
     /// The output bit `O_i(q_i^N)`: `true` means attack.
     fn output(&self, ctx: Ctx<'_>, state: &Self::State) -> bool;
+
+    /// The protocol's bit-sliced execution spec, if it has one.
+    ///
+    /// Returning `Some(spec)` is a strong promise: the protocol's observable
+    /// behavior (per-process counts, token possession, and output bits, on
+    /// every run) is *exactly* the paper's Figure-1 counting automaton —
+    /// leader-originated token, validity flooding, level counting — combined
+    /// with the spec's output rule, and its tape discipline is exactly the
+    /// spec's (under [`crate::exec_sliced::SlicedSpec::RandomFire`] the
+    /// leader consumes the first 64 tape bits in `init` and nothing else
+    /// consumes any; under [`crate::exec_sliced::SlicedSpec::Threshold`] no
+    /// bits are consumed at all). The Monte Carlo engine uses the promise to
+    /// run 64 trials per instruction stream on the
+    /// [`crate::exec_sliced::SlicedEngine`]; differential tests hold the
+    /// sliced path byte-identical to the scalar oracle.
+    ///
+    /// The default is `None`: the protocol only runs on the scalar engine.
+    fn sliced_spec(&self) -> Option<crate::exec_sliced::SlicedSpec> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -270,6 +270,23 @@ impl TapeSet {
         }
     }
 
+    /// Refills **only process 0's tape**, leaving the others untouched.
+    ///
+    /// Under the canonical fill order the first `ceil(j_bits / 64)` words of
+    /// the RNG stream belong to process 0, so after this call the leader's
+    /// tape is bit-identical to what [`TapeSet::fill_random`] would have
+    /// dealt it from the same RNG state. The bit-sliced Monte Carlo path
+    /// uses this when the protocol's [`crate::protocol::Protocol::sliced_spec`]
+    /// promises that only the leader consumes tape bits: per trial it skips
+    /// the `m - 1` follower fills whose bits nothing would read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set holds no tapes.
+    pub fn fill_random_leader<R: Rng + ?Sized>(&mut self, rng: &mut R, j_bits: usize) {
+        self.tapes[0].fill_random(rng, j_bits);
+    }
+
     /// The tape of process `i`.
     ///
     /// # Panics
@@ -403,5 +420,29 @@ mod tests {
         assert_eq!(set.len(), 3);
         assert!(!set.is_empty());
         assert_eq!(set.tape(ProcessId::new(2)).len_bits(), 128);
+    }
+
+    #[test]
+    fn leader_only_fill_matches_the_full_fill() {
+        // From the same RNG state, the leader's tape after a leader-only
+        // fill is bit-identical to its tape after a full fill — the
+        // equivalence the sliced Monte Carlo path relies on.
+        let mut full_rng = StdRng::seed_from_u64(9);
+        let mut leader_rng = StdRng::seed_from_u64(9);
+        let mut full = TapeSet::empty(4);
+        let mut leader_only = TapeSet::empty(4);
+        for j_bits in [1usize, 64, 65, 200] {
+            full.fill_random(&mut full_rng, j_bits);
+            leader_only.fill_random_leader(&mut leader_rng, j_bits);
+            assert_eq!(
+                full.tape(ProcessId::LEADER),
+                leader_only.tape(ProcessId::LEADER),
+                "j_bits = {j_bits}"
+            );
+            assert!(leader_only.tape(ProcessId::new(1)).is_empty());
+            // Re-align the leader-only RNG with the full fill's stream for
+            // the next iteration.
+            leader_rng = full_rng.clone();
+        }
     }
 }

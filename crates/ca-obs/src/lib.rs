@@ -81,6 +81,9 @@ pub enum CounterId {
     SimFixedRunTrials,
     /// In-place tape refills (`TapeSet::fill_random`), one per trial.
     SimTapeRefills,
+    /// 64-trial lane groups executed by the bit-sliced Monte Carlo path
+    /// (`simulate_sliced`), one per `SlicedEngine::run_group` pass.
+    SimSlicedGroups,
     /// Chaos schedules evaluated against the oracle suite (campaign
     /// sampling plus every shrink re-evaluation).
     ChaosSchedules,
@@ -133,7 +136,7 @@ pub enum CounterId {
 
 impl CounterId {
     /// Number of counters in the registry.
-    pub const COUNT: usize = 30;
+    pub const COUNT: usize = 31;
 
     /// Every counter, in canonical registry (report) order.
     pub const ALL: [CounterId; Self::COUNT] = [
@@ -147,6 +150,7 @@ impl CounterId {
         CounterId::SimTrials,
         CounterId::SimFixedRunTrials,
         CounterId::SimTapeRefills,
+        CounterId::SimSlicedGroups,
         CounterId::ChaosSchedules,
         CounterId::ChaosSchedulesRejected,
         CounterId::ChaosFaultsDropLink,
@@ -182,6 +186,7 @@ impl CounterId {
             CounterId::SimTrials => "sim.trials",
             CounterId::SimFixedRunTrials => "sim.fixed_run_trials",
             CounterId::SimTapeRefills => "sim.tape_refills",
+            CounterId::SimSlicedGroups => "sim.sliced_groups",
             CounterId::ChaosSchedules => "chaos.schedules",
             CounterId::ChaosSchedulesRejected => "chaos.schedules_rejected",
             CounterId::ChaosFaultsDropLink => "chaos.faults.drop_link",

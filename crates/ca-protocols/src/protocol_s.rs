@@ -183,6 +183,18 @@ impl Protocol for ProtocolS {
             None => false,
         }
     }
+
+    fn sliced_spec(&self) -> Option<ca_core::SlicedSpec> {
+        // Protocol S is exactly the counting automaton with the randomized
+        // firing rule: the leader's init draws `rfire = offset + t · u` from
+        // its first 64 tape bits and nothing else touches the tape, matching
+        // the spec's contract bit for bit.
+        Some(ca_core::SlicedSpec::RandomFire {
+            offset: self.rfire_offset(),
+            t: self.t(),
+            slack: self.slack,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -465,5 +477,36 @@ mod tests {
         for i in g.vertices() {
             assert!(a.identical_to(&b, i));
         }
+    }
+
+    #[test]
+    fn sliced_spec_mirrors_the_output_rule() {
+        use ca_core::SlicedSpec;
+        assert_eq!(
+            ProtocolS::new(0.25).sliced_spec(),
+            Some(SlicedSpec::RandomFire {
+                offset: 0.0,
+                t: 4.0,
+                slack: 0
+            })
+        );
+        assert_eq!(
+            ProtocolS::with_message_validity(0.25).sliced_spec(),
+            Some(SlicedSpec::RandomFire {
+                offset: 1.0,
+                t: 4.0,
+                slack: 0
+            }),
+            "message-based validity shifts the firing range by 1"
+        );
+        assert_eq!(
+            ProtocolS::eager(0.25).sliced_spec(),
+            Some(SlicedSpec::RandomFire {
+                offset: 0.0,
+                t: 4.0,
+                slack: 1
+            }),
+            "the eager variant carries its decision slack"
+        );
     }
 }

@@ -100,6 +100,12 @@ impl Protocol for FixedThreshold {
     fn output(&self, _ctx: Ctx<'_>, state: &ThresholdState) -> bool {
         state.token.is_some() && state.count >= self.theta
     }
+
+    fn sliced_spec(&self) -> Option<ca_core::SlicedSpec> {
+        // The counting automaton with a deterministic firing rule and no
+        // tape bits: exactly the sliced engine's threshold shape.
+        Some(ca_core::SlicedSpec::Threshold { theta: self.theta })
+    }
 }
 
 #[cfg(test)]
@@ -181,5 +187,13 @@ mod tests {
         for i in g.vertices() {
             assert_eq!(ex.local(i).states[5].count, ml.level(i));
         }
+    }
+
+    #[test]
+    fn sliced_spec_is_the_threshold_rule() {
+        assert_eq!(
+            FixedThreshold::new(5).sliced_spec(),
+            Some(ca_core::SlicedSpec::Threshold { theta: 5 })
+        );
     }
 }

@@ -27,8 +27,11 @@ pub mod trace;
 pub mod wire;
 
 pub use chaos::{ddmin, mix64, parallel_map, resolve_workers};
-pub use monte_carlo::{simulate, worst_disagreement, SimConfig, SimReport};
+pub use monte_carlo::{
+    simulate, simulate_scalar, simulate_sliced, worst_disagreement, SimConfig, SimReport,
+};
 pub use stats::{BernoulliEstimate, RunningStats};
 pub use strategy::{
     crash_family, cut_family, single_drop_family, FixedRun, RandomDrop, RandomRun, RunSampler,
+    SlicedSampler,
 };

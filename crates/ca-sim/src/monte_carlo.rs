@@ -9,10 +9,19 @@
 //! Sampling is deterministic given the seed: trial `t` uses an RNG seeded by
 //! `splitmix(seed, t)`, independent of thread scheduling, so every experiment
 //! in EXPERIMENTS.md is exactly reproducible.
+//!
+//! Two execution paths produce the (byte-identical) reports: the scalar
+//! oracle [`simulate_scalar`], which runs every trial through the full
+//! [`Protocol`] state machine, and the bit-sliced 64-lane path
+//! [`simulate_sliced`] for counting-automaton protocols over fixed-run or
+//! iid-drop samplers. [`simulate`] picks the sliced path whenever it
+//! applies; differential tests pin the two paths to each other.
 
 use crate::stats::{BernoulliEstimate, RunningStats};
-use crate::strategy::RunSampler;
+use crate::strategy::{RunSampler, SlicedSampler};
+use ca_core::error::CaError;
 use ca_core::exec::{execute_outputs_observed, ExecScratch};
+use ca_core::exec_sliced::{SlicedEngine, SlicedSpec, LANES};
 use ca_core::graph::Graph;
 use ca_core::level::{min_modified_level_into, modified_levels, LevelScratch};
 use ca_core::outcome::{Outcome, OutcomeCounts};
@@ -21,6 +30,7 @@ use ca_core::run::Run;
 use ca_core::tape::TapeSet;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
+use rand::Rng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -59,13 +69,42 @@ impl SimReport {
         BernoulliEstimate::new(self.attacks[i.index()], self.trials)
     }
 
-    fn merge(&mut self, other: &SimReport) {
+    /// Merges another report's tallies into this one, failing on shape
+    /// mismatch: reports over different process counts (different `attacks`
+    /// lengths) describe different sample spaces and must never be pooled.
+    /// On `Err` nothing has been merged — `self` is untouched.
+    pub fn try_merge(&mut self, other: &SimReport) -> Result<(), CaError> {
+        if self.attacks.len() != other.attacks.len() {
+            return Err(CaError::malformed(format!(
+                "cannot merge a SimReport over {} processes into one over {}",
+                other.attacks.len(),
+                self.attacks.len()
+            )));
+        }
         self.counts.merge(&other.counts);
         for (a, b) in self.attacks.iter_mut().zip(&other.attacks) {
             *a += b;
         }
         self.trials += other.trials;
         self.ml.merge(&other.ml);
+        Ok(())
+    }
+
+    /// Merges another report's tallies into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reports' shapes differ (see [`SimReport::try_merge`]).
+    /// The pre-fix `zip` silently truncated the longer `attacks` vector,
+    /// corrupting per-process tallies when reports from different graph
+    /// sizes were pooled.
+    pub fn merge(&mut self, other: &SimReport) {
+        debug_assert_eq!(
+            self.attacks.len(),
+            other.attacks.len(),
+            "merging SimReports of mismatched shape"
+        );
+        self.try_merge(other).expect("mismatched SimReport shapes");
     }
 }
 
@@ -116,13 +155,66 @@ fn splitmix(seed: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Domain-separation tag for the common-random-numbers stream of
+/// [`worst_disagreement`].
+///
+/// Member seeds come from a *re-keyed* SplitMix stream,
+/// `splitmix(splitmix(seed, CRN_STREAM), k)`: mixing the tag through the
+/// full avalanche **before** indexing puts the member seeds on a different
+/// stream from the per-trial `splitmix(seed, t)` inside [`simulate`], so the
+/// two stay structurally disjoint however large `trials` or the family
+/// grow. (The previous scheme, `splitmix(seed, k + 0x5EED)`, merely offset
+/// the *same* stream by `0x5EED = 24301` — per-trial seeds collide with it
+/// as soon as `trials > 0x5EED`, making member `k`'s trials correlate with
+/// trials `0x5EED + k` of any simulation sharing the base seed.)
+const CRN_STREAM: u64 = 0x43524E_5354524D; // "CRN" "STRM"
+
+/// The derived seed of family member `k` under the CRN scheme.
+fn crn_member_seed(seed: u64, k: u64) -> u64 {
+    splitmix(splitmix(seed, CRN_STREAM), k)
+}
+
 /// Runs `config.trials` independent executions of `protocol` on runs drawn
 /// from `sampler`, with fresh tapes per trial, in parallel.
+///
+/// Dispatches to the bit-sliced 64-lane engine ([`simulate_sliced`]) when
+/// both the protocol and the sampler support it, and to the scalar oracle
+/// ([`simulate_scalar`]) otherwise. The two paths are byte-identical by
+/// contract — same `(seed, trials)`, same report — so the dispatch is
+/// unobservable except in throughput.
 ///
 /// # Panics
 ///
 /// Panics if the sampler produces runs whose dimensions do not match `graph`.
 pub fn simulate<P, S>(protocol: &P, graph: &Graph, sampler: &S, config: SimConfig) -> SimReport
+where
+    P: Protocol + Sync,
+    S: RunSampler,
+{
+    match simulate_sliced(protocol, graph, sampler, config) {
+        Some(report) => report,
+        None => simulate_scalar(protocol, graph, sampler, config),
+    }
+}
+
+/// The scalar Monte Carlo path: one `(run, tapes)` execution per trial on
+/// [`ca_core::exec`].
+///
+/// This is the **cross-check oracle** for [`simulate_sliced`]: it executes
+/// protocols through their full [`Protocol`] state machines, making no
+/// structural assumptions, so the differential tests hold the sliced path to
+/// whatever this one reports. It is also the path every protocol/sampler
+/// combination without sliced support takes.
+///
+/// # Panics
+///
+/// Panics if the sampler produces runs whose dimensions do not match `graph`.
+pub fn simulate_scalar<P, S>(
+    protocol: &P,
+    graph: &Graph,
+    sampler: &S,
+    config: SimConfig,
+) -> SimReport
 where
     P: Protocol + Sync,
     S: RunSampler,
@@ -229,17 +321,234 @@ where
     report.into_inner()
 }
 
+/// The bit-sliced 64-lane Monte Carlo path: packs trials into 64-wide lane
+/// groups per worker and executes each group in one pass of
+/// [`SlicedEngine`], for counting-automaton protocols over fixed-run or
+/// iid-drop samplers.
+///
+/// The per-trial `(seed, t)` determinism contract is preserved exactly:
+/// lane `t mod 64` of group `t / 64` reseeds
+/// `StdRng::seed_from_u64(splitmix(seed, t))` and replays the scalar draw
+/// order — sampler coins first (one `gen_bool(p)` per base slot in canonical
+/// slot order), then the leader's tape words — so the returned report is
+/// **byte-identical** to [`simulate_scalar`]'s for the same `(seed,
+/// trials)`, whatever the thread count. Groups are statically partitioned
+/// across workers the way trials are in the scalar path.
+///
+/// Returns `None` when the combination cannot run sliced — the protocol has
+/// no [`Protocol::sliced_spec`], the sampler has no [`RunSampler::sliced`]
+/// description, or the instance exceeds the engine's size guards
+/// ([`SlicedEngine::new`]) — in which case the caller falls back to the
+/// scalar path ([`simulate`] does this automatically).
+///
+/// # Panics
+///
+/// Panics if the sampler's base run disagrees with `graph` on process count.
+pub fn simulate_sliced<P, S>(
+    protocol: &P,
+    graph: &Graph,
+    sampler: &S,
+    config: SimConfig,
+) -> Option<SimReport>
+where
+    P: Protocol + Sync,
+    S: RunSampler,
+{
+    let spec = protocol.sliced_spec()?;
+    let sliced = sampler.sliced()?;
+    let base = sliced.base_run();
+    assert_eq!(
+        graph.len(),
+        base.process_count(),
+        "graph and run disagree on process count"
+    );
+    // Validate the instance once up front; each worker then builds its own
+    // engine infallibly.
+    SlicedEngine::new(base, spec)?;
+
+    let m = graph.len();
+    let n = base.horizon();
+    let workers = config.worker_count().max(1);
+    let report = Mutex::new(SimReport {
+        counts: OutcomeCounts::new(),
+        attacks: vec![0; m],
+        trials: 0,
+        ml: RunningStats::new(),
+    });
+
+    // Same discipline as the scalar path: the whole-call span on its own
+    // sink, one `Metrics` + one local report per worker, merged at join.
+    let outer_obs = ca_obs::Metrics::new();
+    let outer_span = outer_obs.span(ca_obs::SpanId::SimSimulate);
+
+    let groups = config.trials.div_ceil(LANES as u64);
+    // Potential directed slots per trial; what a trial does not keep, the
+    // adversary destroyed (mirrors the scalar engine's accounting).
+    let edge_slots = (graph.edge_count() as u64) * 2 * u64::from(n);
+
+    crossbeam::thread::scope(|scope| {
+        for w in 0..workers {
+            let report = &report;
+            scope.spawn(move |_| {
+                use ca_obs::{CounterId, HistId, SpanId};
+                let obs = ca_obs::Metrics::new();
+                let mut local = SimReport {
+                    counts: OutcomeCounts::new(),
+                    attacks: vec![0; m],
+                    trials: 0,
+                    ml: RunningStats::new(),
+                };
+                let mut engine =
+                    SlicedEngine::new(base, spec).expect("instance validated before spawning");
+                let slot_count = engine.slot_count();
+                // Slots each lane kept (= messages delivered in its trial).
+                let mut kept_lanes = [0u64; LANES];
+                let mut rng;
+                let mut g = w as u64;
+                while g < groups {
+                    // One `sim.trial` span per 64-trial group: span counts
+                    // measure engine passes, counters keep counting trials.
+                    let _group_span = obs.span(SpanId::SimTrial);
+                    obs.inc(CounterId::SimSlicedGroups);
+                    let first = g * LANES as u64;
+                    let active = (config.trials - first).min(LANES as u64) as usize;
+                    engine.begin_group();
+                    // One `run.sample` span per group (the per-trial counters
+                    // still count trials); per-lane counter ticks accumulate
+                    // locally and post once per group — a span pair and
+                    // several sink writes per trial would otherwise rival the
+                    // sliced engine's own per-trial cost.
+                    let sample_span = obs.span(SpanId::RunSample);
+                    let mut flipped_total = 0u64;
+                    for (lane, kept) in kept_lanes.iter_mut().take(active).enumerate() {
+                        let t = first + lane as u64;
+                        rng = StdRng::seed_from_u64(splitmix(config.seed, t));
+                        match sliced {
+                            SlicedSampler::Fixed(_) => {
+                                *kept = slot_count as u64;
+                            }
+                            SlicedSampler::IidDrop { p, .. } => {
+                                let mut flipped = 0u64;
+                                for slot in 0..slot_count {
+                                    if rng.gen_bool(p) {
+                                        engine.destroy_slot_lane(slot, lane);
+                                        flipped += 1;
+                                    }
+                                }
+                                flipped_total += flipped;
+                                *kept = slot_count as u64 - flipped;
+                            }
+                        }
+                        if let SlicedSpec::RandomFire {
+                            offset, t: width, ..
+                        } = spec
+                        {
+                            // The leader's rfire draw. The scalar path does
+                            // `TapeSet::fill_random_leader` and then reads
+                            // `draw_unit()` = (first tape word + 1) / 2⁶⁴;
+                            // the first tape word is exactly the next
+                            // `rng.gen::<u64>()` of the fill, and the
+                            // per-trial RNG is discarded right after, so
+                            // drawing that one word here yields a rfire
+                            // bit-identical to the scalar trial's.
+                            let word = rng.gen::<u64>();
+                            let unit = (word as f64 + 1.0) / 18_446_744_073_709_551_616.0; // 2^64
+                            engine.set_rfire(lane, offset + width * unit);
+                        }
+                    }
+                    match sliced {
+                        SlicedSampler::Fixed(_) => {
+                            obs.add(CounterId::SimFixedRunTrials, active as u64);
+                        }
+                        SlicedSampler::IidDrop { .. } => {
+                            obs.add(CounterId::RunSamples, active as u64);
+                            obs.add(CounterId::RunSlotsFlipped, flipped_total);
+                        }
+                    }
+                    if matches!(spec, SlicedSpec::RandomFire { .. }) {
+                        obs.add(CounterId::SimTapeRefills, active as u64);
+                    }
+                    drop(sample_span);
+                    let out = {
+                        let _exec_span = obs.span(SpanId::ExecExecute);
+                        engine.run_group()
+                    };
+                    // Aggregate execution counters over the group; per-trial
+                    // sums match the scalar engine's per-trial adds.
+                    let kept_total: u64 = kept_lanes[..active].iter().sum();
+                    obs.add(
+                        CounterId::ExecTransitions,
+                        (m as u64) * u64::from(n) * active as u64,
+                    );
+                    obs.add(CounterId::ExecMessagesDelivered, kept_total);
+                    obs.add(
+                        CounterId::ExecMessagesDestroyed,
+                        edge_slots * active as u64 - kept_total,
+                    );
+                    if matches!(spec, SlicedSpec::RandomFire { .. }) {
+                        // Only the leader consumes tape bits (64 per trial).
+                        obs.add(CounterId::ExecTapeBitsConsumed, 64 * active as u64);
+                    }
+                    let verdict_span = obs.span(SpanId::SimVerdict);
+                    // Tally the packed outputs: a trial is a total attack iff
+                    // its lane is set in every process's attack word, a
+                    // no-attack iff set in none.
+                    let live: u64 = if active == LANES {
+                        !0
+                    } else {
+                        (1u64 << active) - 1
+                    };
+                    let mut ta = live;
+                    let mut na = live;
+                    for (i, &attack) in out.attack.iter().enumerate() {
+                        ta &= attack;
+                        na &= !attack;
+                        local.attacks[i] += u64::from((attack & live).count_ones());
+                    }
+                    let ta = u64::from(ta.count_ones());
+                    let na = u64::from(na.count_ones());
+                    local.counts.total_attack += ta;
+                    local.counts.no_attack += na;
+                    local.counts.partial_attack += active as u64 - ta - na;
+                    for (lane, &kept) in kept_lanes.iter().take(active).enumerate() {
+                        // Lemma 6.4: the minimum final count is the run's
+                        // minimum modified level, which is what the scalar
+                        // path records per trial.
+                        let ml = f64::from(out.min_count[lane]);
+                        local.ml.record(ml);
+                        obs.record(HistId::SimTrialMl, ml as u64);
+                        obs.record(HistId::ExecDeliveredPerTrial, kept);
+                    }
+                    drop(verdict_span);
+                    obs.add(CounterId::SimTrials, active as u64);
+                    local.trials += active as u64;
+                    g += workers as u64;
+                }
+                obs.flush();
+                report.lock().merge(&local);
+            });
+        }
+    })
+    .expect("simulation worker panicked");
+
+    drop(outer_span);
+    outer_obs.flush();
+    Some(report.into_inner())
+}
+
 /// Estimates the worst-case disagreement probability of `protocol` over a
 /// family of candidate runs, simulating each and returning
 /// `(worst_index, reports)`.
 ///
 /// Each family member `k` is simulated under its own derived seed
-/// `splitmix(seed, k + 0x5EED)` — a common-random-numbers scheme: run `k`
-/// always sees the same trial randomness no matter which other runs share
-/// the family, so estimates are comparable across invocations and adding or
-/// removing candidates never perturbs the others' numbers. (The `0x5EED`
-/// offset keeps these derived seeds disjoint from the per-trial stream
-/// `splitmix(seed, t)` used inside [`simulate`].)
+/// `crn_member_seed(seed, k)` — a common-random-numbers scheme on a
+/// domain-separated SplitMix stream (the private `CRN_STREAM` tag): run `k`
+/// always
+/// sees the same trial randomness no matter which other runs share the
+/// family, so estimates are comparable across invocations and adding or
+/// removing candidates never perturbs the others' numbers, and the member
+/// seeds can never collide with the per-trial stream `splitmix(seed, t)`
+/// used inside [`simulate`].
 ///
 /// Ties in the estimated disagreement are broken toward the **first** index
 /// in family order, so the reported worst run is stable under appending new
@@ -247,7 +556,9 @@ where
 ///
 /// # Panics
 ///
-/// Panics if `family` is empty.
+/// Panics if `family` is empty or `config.trials == 0` — a zero-trial
+/// comparison would rank every member by its degenerate zero-trial estimate
+/// and return an arbitrary index.
 pub fn worst_disagreement<P>(
     protocol: &P,
     graph: &Graph,
@@ -258,13 +569,17 @@ where
     P: Protocol + Sync,
 {
     assert!(!family.is_empty(), "empty run family");
+    assert!(
+        config.trials > 0,
+        "worst_disagreement over zero trials has no meaningful winner"
+    );
     let reports: Vec<SimReport> = family
         .iter()
         .enumerate()
         .map(|(k, run)| {
             let sampler = crate::strategy::FixedRun::new(run.clone());
             let cfg = SimConfig {
-                seed: splitmix(config.seed, k as u64 + 0x5EED),
+                seed: crn_member_seed(config.seed, k as u64),
                 ..config
             };
             simulate(protocol, graph, &sampler, cfg)
@@ -378,5 +693,100 @@ mod tests {
         assert!(report.disagreement().point() < 0.25, "{report}");
         // ML varies across sampled runs.
         assert!(report.ml.std_dev() > 0.0);
+    }
+
+    fn report_over(m: usize, trials: u64) -> SimReport {
+        SimReport {
+            counts: OutcomeCounts {
+                total_attack: trials,
+                no_attack: 0,
+                partial_attack: 0,
+            },
+            attacks: vec![trials; m],
+            trials,
+            ml: RunningStats::new(),
+        }
+    }
+
+    #[test]
+    fn try_merge_rejects_mismatched_shapes_without_mutating() {
+        // Regression: the pre-fix `merge` zipped the attacks vectors, so a
+        // 3-process report merged into a 2-process one silently dropped the
+        // third process's tallies while still adding the trials.
+        let mut a = report_over(2, 10);
+        let before = a.clone();
+        let b = report_over(3, 5);
+        assert!(a.try_merge(&b).is_err());
+        assert_eq!(a, before, "a failed merge must leave self untouched");
+        // Matching shapes still merge.
+        assert!(a.try_merge(&report_over(2, 5)).is_ok());
+        assert_eq!(a.trials, 15);
+        assert_eq!(a.attacks, vec![15, 15]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn merge_panics_on_mismatched_shapes() {
+        let mut a = report_over(2, 10);
+        a.merge(&report_over(3, 5));
+    }
+
+    #[test]
+    fn crn_stream_is_disjoint_from_trial_seeds() {
+        // Regression: the pre-fix scheme `splitmix(seed, k + 0x5EED)` is the
+        // per-trial stream offset by 24301, so member k's seed equaled trial
+        // (0x5EED + k)'s seed exactly.
+        let seed = 42u64;
+        let trial_seeds: std::collections::HashSet<u64> =
+            (0..30_000).map(|t| splitmix(seed, t)).collect();
+        let old_member_seed = splitmix(seed, 5 + 0x5EED);
+        assert!(
+            trial_seeds.contains(&old_member_seed),
+            "sanity: the pre-fix scheme collides with the per-trial stream"
+        );
+        for k in 0..64 {
+            assert!(
+                !trial_seeds.contains(&crn_member_seed(seed, k)),
+                "member {k}'s CRN seed collides with a per-trial seed"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero trials")]
+    fn worst_disagreement_rejects_zero_trials() {
+        // Regression: with 0 trials every member's disagreement estimate is
+        // the degenerate default, the strict-`>` scan never updates, and
+        // index 0 was returned as if it meant something.
+        let g = Graph::complete(2).unwrap();
+        let family = vec![Run::good(&g, 3)];
+        worst_disagreement(&ProtocolA::new(3), &g, &family, SimConfig::new(0, 1));
+    }
+
+    #[test]
+    fn sliced_dispatch_engages_exactly_when_supported() {
+        let g = Graph::complete(2).unwrap();
+        let cfg = SimConfig::new(100, 23);
+        let s = ProtocolS::new(0.25);
+        let drop = RandomDrop::new(&g, 4, 0.3);
+        assert!(simulate_sliced(&s, &g, &drop, cfg).is_some());
+        assert!(simulate_sliced(&s, &g, &FixedRun::new(Run::good(&g, 4)), cfg).is_some());
+        // Input-randomizing samplers and non-counting protocols fall back.
+        let rr = crate::strategy::RandomRun::new(g.clone(), 4, 0.8, 0.7);
+        assert!(simulate_sliced(&s, &g, &rr, cfg).is_none());
+        assert!(simulate_sliced(&ProtocolA::new(4), &g, &drop, cfg).is_none());
+    }
+
+    #[test]
+    fn sliced_path_matches_the_scalar_oracle_byte_for_byte() {
+        let g = Graph::complete(3).unwrap();
+        let cfg = SimConfig::new(333, 29); // crosses lane-group boundaries
+        let s = ProtocolS::new(0.2);
+        let drop = RandomDrop::new(&g, 5, 0.25);
+        let sliced = simulate_sliced(&s, &g, &drop, cfg).expect("sliced path must engage");
+        assert_eq!(sliced, simulate_scalar(&s, &g, &drop, cfg));
+        let fixed = FixedRun::new(Run::good(&g, 5));
+        let sliced = simulate_sliced(&s, &g, &fixed, cfg).expect("sliced path must engage");
+        assert_eq!(sliced, simulate_scalar(&s, &g, &fixed, cfg));
     }
 }

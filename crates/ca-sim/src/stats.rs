@@ -97,9 +97,12 @@ impl BernoulliEstimate {
     }
 
     /// Returns whether `value` lies inside the 95% interval.
+    ///
+    /// A zero-trial estimate is consistent with **nothing**: its interval is
+    /// the vacuous `(0, 1)`, and treating that as agreement would let a
+    /// misconfigured experiment (zero trials) silently pass every verdict.
     pub fn consistent_with(&self, value: f64) -> bool {
-        let (lo, hi) = self.interval95();
-        value >= lo && value <= hi
+        self.consistent_with_z(value, 1.96)
     }
 
     /// Returns whether `value` lies inside the Wilson interval at `z`
@@ -109,7 +112,13 @@ impl BernoulliEstimate {
     /// a wide `z` (e.g. 4.0) so the familywise false-positive rate stays
     /// negligible; 95% intervals are for *display*, and with dozens of
     /// checks a few 95% misses are expected by chance.
+    ///
+    /// Like [`BernoulliEstimate::consistent_with`], returns `false` with
+    /// zero trials: no data supports no conclusion.
     pub fn consistent_with_z(&self, value: f64, z: f64) -> bool {
+        if self.trials == 0 {
+            return false;
+        }
         let (lo, hi) = self.wilson_interval(z);
         value >= lo && value <= hi
     }
@@ -117,6 +126,11 @@ impl BernoulliEstimate {
 
 impl fmt::Display for BernoulliEstimate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.trials == 0 {
+            // Say "no data" instead of printing the defaulted point 0.0000
+            // with the vacuous [0, 1] interval as if it were a measurement.
+            return write!(f, "n/a (0/0 trials)");
+        }
         let (lo, hi) = self.interval95();
         write!(
             f,
@@ -278,6 +292,22 @@ mod tests {
         let e = BernoulliEstimate::new(100, 1000);
         assert!(e.consistent_with(0.1));
         assert!(!e.consistent_with(0.5));
+    }
+
+    #[test]
+    fn zero_trials_are_consistent_with_nothing() {
+        // Regression: the pre-fix code fell through to the vacuous (0, 1)
+        // interval, so a zero-trial estimate "agreed" with every value and a
+        // misconfigured experiment passed all its verdicts.
+        let none = BernoulliEstimate::default();
+        assert!(!none.consistent_with(0.3));
+        assert!(!none.consistent_with_z(0.3, 4.0));
+        assert!(!none.consistent_with_z(0.0, 4.0));
+    }
+
+    #[test]
+    fn zero_trial_display_says_no_data() {
+        assert_eq!(BernoulliEstimate::default().to_string(), "n/a (0/0 trials)");
     }
 
     #[test]

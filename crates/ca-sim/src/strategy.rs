@@ -62,6 +62,48 @@ pub trait RunSampler: Sync {
     fn fixed_run(&self) -> Option<&Run> {
         None
     }
+
+    /// This sampler's bit-sliced description, if it has one.
+    ///
+    /// Returning `Some` promises that the returned [`SlicedSampler`]
+    /// reproduces [`RunSampler::sample`] *exactly*: the same per-trial run
+    /// distribution from the same RNG draws in the same order (the
+    /// per-variant contracts are on the enum). The Monte Carlo engine uses
+    /// it to drive 64 trials per pass through the sliced executor without
+    /// materializing a `Run` per trial; samplers that randomize inputs,
+    /// adapt to history, or otherwise do not fit the base-run-plus-lane-mask
+    /// shape must keep the default `None` (forcing the scalar path).
+    fn sliced(&self) -> Option<SlicedSampler<'_>> {
+        None
+    }
+}
+
+/// A sampler's bit-sliced description: how the 64-lane engine reproduces
+/// its per-trial runs as lane masks over one shared base run.
+#[derive(Clone, Copy, Debug)]
+pub enum SlicedSampler<'a> {
+    /// Every trial executes exactly this run, with no RNG draws.
+    Fixed(&'a Run),
+    /// Every trial starts from `base` and destroys each of its delivery
+    /// slots independently with probability `p`, drawing exactly one
+    /// `gen_bool(p)` coin per slot in canonical `(from, to, round)` slot
+    /// order — the scalar draw-order contract of [`RandomDrop`].
+    IidDrop {
+        /// The run trials start from.
+        base: &'a Run,
+        /// The per-slot destruction probability.
+        p: f64,
+    },
+}
+
+impl<'a> SlicedSampler<'a> {
+    /// The base run every lane starts from.
+    pub fn base_run(&self) -> &'a Run {
+        match self {
+            SlicedSampler::Fixed(run) => run,
+            SlicedSampler::IidDrop { base, .. } => base,
+        }
+    }
 }
 
 /// Always the same run (a deterministic, oblivious adversary).
@@ -97,6 +139,10 @@ impl RunSampler for FixedRun {
 
     fn fixed_run(&self) -> Option<&Run> {
         Some(&self.run)
+    }
+
+    fn sliced(&self) -> Option<SlicedSampler<'_>> {
+        Some(SlicedSampler::Fixed(&self.run))
     }
 }
 
@@ -172,6 +218,16 @@ impl RunSampler for RandomDrop {
             ca_obs::CounterId::RunOverflowSlots,
             run.overflow_slot_count() as u64,
         );
+    }
+
+    fn sliced(&self) -> Option<SlicedSampler<'_>> {
+        // `drop_slots` draws one coin per canonical slot, which is exactly
+        // the IidDrop contract; inputs are untouched, so the base run's
+        // `I(R)` is shared by every lane.
+        Some(SlicedSampler::IidDrop {
+            base: &self.base,
+            p: self.p,
+        })
     }
 }
 
@@ -367,6 +423,26 @@ mod tests {
         assert_eq!(sampler.sample(&mut rng), run);
         assert_eq!(sampler.run(), &run);
         assert!(sampler.describe().starts_with("fixed"));
+    }
+
+    #[test]
+    fn sliced_descriptions_match_the_samplers() {
+        let g = Graph::complete(2).unwrap();
+        let run = Run::good(&g, 3);
+        let fixed = FixedRun::new(run.clone());
+        assert!(matches!(fixed.sliced(), Some(SlicedSampler::Fixed(r)) if *r == run));
+        let drop = RandomDrop::new(&g, 3, 0.4);
+        match drop.sliced() {
+            Some(SlicedSampler::IidDrop { base, p }) => {
+                assert_eq!(base, &run);
+                assert_eq!(p, 0.4);
+            }
+            other => panic!("RandomDrop must describe itself as IidDrop, got {other:?}"),
+        }
+        assert!(
+            RandomRun::new(g, 3, 0.8, 0.7).sliced().is_none(),
+            "input-randomizing samplers must force the scalar path"
+        );
     }
 
     #[test]

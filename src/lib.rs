@@ -61,7 +61,10 @@ pub mod prelude {
         AttackOnInput, ChainProtocol, CombineRule, DeterministicFlood, FixedThreshold, GridS,
         NeverAttack, ProtocolA, ProtocolS, Repeat, ValidityMode, VectorS,
     };
-    pub use ca_sim::{simulate, BernoulliEstimate, FixedRun, RandomDrop, SimConfig, SimReport};
+    pub use ca_sim::{
+        simulate, simulate_scalar, simulate_sliced, BernoulliEstimate, FixedRun, RandomDrop,
+        SimConfig, SimReport,
+    };
 }
 
 #[cfg(test)]

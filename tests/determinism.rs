@@ -10,6 +10,12 @@
 use coordinated_attack::prelude::*;
 use coordinated_attack::sim::RandomRun;
 
+// `simulate` dispatches the Protocol S and threshold cases below through the
+// bit-sliced engine (fixed-run and random-drop samplers); the random-run
+// cases fall back to the scalar path. Both paths are covered by the same
+// invariant, and tests/sliced_differential.rs additionally pins the two
+// paths byte-identical to each other.
+
 fn report_for_threads<P, S>(
     protocol: &P,
     graph: &Graph,
@@ -90,4 +96,48 @@ fn protocol_a_reports_are_thread_count_invariant() {
         &RandomDrop::new(&graph, 8, 0.2),
         19,
     );
+}
+
+#[test]
+fn sliced_threshold_reports_are_thread_count_invariant() {
+    let graph = Graph::complete(3).expect("graph");
+    let proto = FixedThreshold::new(5);
+    assert_thread_invariant(
+        "θ/fixed-good",
+        &proto,
+        &graph,
+        &FixedRun::new(Run::good(&graph, 5)),
+        23,
+    );
+    assert_thread_invariant(
+        "θ/random-drop",
+        &proto,
+        &graph,
+        &RandomDrop::new(&graph, 5, 0.4),
+        29,
+    );
+}
+
+#[test]
+fn sliced_and_scalar_paths_agree_across_thread_counts() {
+    // A direct cross-path golden: the serial scalar report is the oracle,
+    // and the sliced path must reproduce it byte-for-byte at every width.
+    let graph = Graph::complete(3).expect("graph");
+    let proto = ProtocolS::new(0.25);
+    let sampler = RandomDrop::new(&graph, 6, 0.3);
+    let config = SimConfig {
+        trials: 600,
+        seed: 37,
+        threads: 1,
+    };
+    let oracle = simulate_scalar(&proto, &graph, &sampler, config);
+    for threads in [1usize, 2, 8] {
+        let config = SimConfig { threads, ..config };
+        let sliced = simulate_sliced(&proto, &graph, &sampler, config)
+            .expect("Protocol S over RandomDrop supports the sliced path");
+        assert_eq!(
+            sliced, oracle,
+            "sliced report at {threads} threads differs from the scalar oracle"
+        );
+    }
 }
