@@ -40,17 +40,22 @@ use crate::courier::Time;
 use crate::engine::{try_run_async, AsyncConfig, HeartbeatPolicy};
 use crate::exact::async_s_outcomes;
 use crate::protocol::AsyncS;
+use crate::supervisor::panic_message;
 use ca_core::graph::Graph;
 use ca_core::ids::ProcessId;
 use ca_core::outcome::Outcome;
 use ca_core::rational::Rational;
+use ca_core::run::Run;
 use ca_core::tape::{BitTape, TapeSet};
+use ca_protocols::ProtocolS;
 use ca_sim::chaos::{ddmin, mix64, parallel_map};
 use ca_sim::stats::BernoulliEstimate;
+use ca_sim::{simulate_sliced, FixedRun, SimConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::json;
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Parameters of a chaos campaign.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -165,12 +170,17 @@ pub struct ScheduleResult {
     /// Set when the engine rejected the schedule with a typed error
     /// instead of running it (graceful degradation, not a violation).
     pub rejected: Option<String>,
+    /// Set when evaluating the schedule **panicked**; the panic was caught
+    /// at the per-schedule boundary (mirroring `supervisor::supervise`) and
+    /// its message recorded here, so one poisoned schedule degrades to a
+    /// typed failure instead of killing the whole campaign.
+    pub failed: Option<String>,
 }
 
 impl ScheduleResult {
     /// Whether this schedule violated at least one oracle.
     pub fn is_violation(&self) -> bool {
-        self.rejected.is_none() && !self.verdicts.all_ok()
+        self.rejected.is_none() && self.failed.is_none() && !self.verdicts.all_ok()
     }
 }
 
@@ -200,6 +210,9 @@ pub struct ChaosReport {
     pub schedules_tried: u64,
     /// Schedules that violated at least one oracle.
     pub violations: u64,
+    /// Schedules whose evaluation panicked (caught per schedule and
+    /// recorded as [`ScheduleResult::failed`]).
+    pub failures: u64,
     /// The worst schedule: most-severe violator, or (when none violate) the
     /// schedule with the lowest exact `Pr[TA]` — maximum liveness damage.
     pub worst: Option<ScheduleResult>,
@@ -264,7 +277,8 @@ fn sample_window(rng: &mut StdRng, deadline: Time) -> TimeWindow {
     if rng.gen_bool(0.5) {
         TimeWindow::from(start)
     } else {
-        TimeWindow::between(start, rng.gen_range(start..=deadline + 1))
+        // Validation rejects empty windows, so sample `end > start`.
+        TimeWindow::between(start, rng.gen_range(start + 1..=deadline + 1))
     }
 }
 
@@ -357,13 +371,35 @@ pub fn evaluate_schedule(
     // every counter a thread-count-independent function of the campaign
     // seed.
     let obs = ca_obs::Metrics::new();
+    // The panic boundary mirrors `supervisor::supervise`: a poisoned
+    // schedule (one whose evaluation panics inside the engine or the
+    // courier) becomes a typed `failed` entry instead of tearing down the
+    // `parallel_map` worker and with it the whole campaign.
     let result = {
         let _span = obs.span(SpanId::ChaosEvaluate);
-        evaluate_schedule_inner(graph, config, index, schedule, &obs)
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            evaluate_schedule_inner(graph, config, index, schedule.clone(), &obs)
+        }));
+        match caught {
+            Ok(result) => result,
+            Err(payload) => ScheduleResult {
+                index,
+                schedule,
+                verdicts: OracleVerdicts::ALL_OK,
+                ta: 0.0,
+                pa: 0.0,
+                mincount: 0,
+                rejected: None,
+                failed: Some(panic_message(payload)),
+            },
+        }
     };
     obs.inc(CounterId::ChaosSchedules);
     if result.rejected.is_some() {
         obs.inc(CounterId::ChaosSchedulesRejected);
+    }
+    if result.failed.is_some() {
+        obs.inc(CounterId::ChaosSchedulesFailed);
     }
     for fault in &result.schedule.faults {
         obs.inc(fault_counter(fault));
@@ -395,6 +431,7 @@ fn evaluate_schedule_inner(
         pa: 0.0,
         mincount: 0,
         rejected: Some(why),
+        failed: None,
     };
 
     let courier = match ChaosCourier::new(schedule.clone()) {
@@ -440,22 +477,32 @@ fn evaluate_schedule_inner(
     let liveness_ok = exact.ta >= liveness_bound;
     drop(oracle_span);
 
-    // Monte Carlo cross-check over random tapes.
+    // Monte Carlo cross-check. The sliced fast path applies whenever the
+    // exact TA matches the value-blind mincount formula (see
+    // `mc_cross_check_sliced`); otherwise — or when the sliced engine
+    // declines the surrogate instance — fall back to the scalar async loop
+    // over random tapes.
     let mc_consistent = if config.mc_trials == 0 {
         true
     } else {
         let _mc_span = obs.span(ca_obs::SpanId::ChaosMcCrossCheck);
-        let mut est = BernoulliEstimate::new(0, 0);
-        for trial in 0..config.mc_trials {
-            let mut rng = StdRng::seed_from_u64(mix64(mix64(config.seed, index), trial));
-            let tapes = TapeSet::random(&mut rng, graph.len(), 64);
-            let run = try_run_async(&proto, graph, &aconfig, &tapes, &mut courier.clone());
-            let total = run.is_ok_and(|r| r.outcome() == Outcome::TotalAttack);
-            est.record(total);
+        match mc_cross_check_sliced(config, index, mincount, &exact.ta) {
+            Some(ok) => ok,
+            None => {
+                let mut est = BernoulliEstimate::new(0, 0);
+                for trial in 0..config.mc_trials {
+                    let mut rng = StdRng::seed_from_u64(mix64(mix64(config.seed, index), trial));
+                    let tapes = TapeSet::random(&mut rng, graph.len(), 64);
+                    let run = try_run_async(&proto, graph, &aconfig, &tapes, &mut courier.clone());
+                    let total = run.is_ok_and(|r| r.outcome() == Outcome::TotalAttack);
+                    est.record(total);
+                }
+                // z = 4: deliberately loose — the oracle hunts for systematic
+                // disagreement between engine and exact computation, not
+                // noise.
+                est.consistent_with_z(exact.ta.to_f64(), 4.0)
+            }
         }
-        // z = 4: deliberately loose — the oracle hunts for systematic
-        // disagreement between engine and exact computation, not noise.
-        est.consistent_with_z(exact.ta.to_f64(), 4.0)
     };
 
     ScheduleResult {
@@ -474,7 +521,64 @@ fn evaluate_schedule_inner(
         pa: exact.pa.to_f64(),
         mincount,
         rejected: None,
+        failed: None,
     }
+}
+
+/// Domain separation for the sliced cross-check's trial stream (never
+/// collides with the scalar path's `mix64(mix64(seed, index), trial)`
+/// seeds, which use small trial numbers).
+const MC_SLICED_STREAM: u64 = 0x4D43_534C_4943_4544; // "MCSLICED"
+
+/// The synchronous surrogate of one schedule's Monte Carlo cross-check:
+/// Protocol S on a 2-clique good run of `min(mincount, t)` rounds.
+///
+/// `AsyncS` is value-blind: given the courier, the counting dynamics are
+/// fixed, and a random-tape trial is a total attack iff the leader's
+/// `rfire` draw lands under `min(1, ε·mincount)` — a Bernoulli whose
+/// parameter equals the surrogate's exact TA (`min(1, ε·ML)` with
+/// `ML = min(mincount, t)`, both `min(mincount, t)/t`).
+fn mc_surrogate(mincount: u32, t: u64) -> (Graph, Run) {
+    let ml = u32::try_from(u64::from(mincount).min(t)).expect("t clamp fits u32 via mincount");
+    let graph = Graph::complete(2).expect("K2 is constructible");
+    let run = Run::good(&graph, ml);
+    (graph, run)
+}
+
+/// The bit-sliced fast path of the Monte Carlo cross-check oracle: samples
+/// the surrogate's Bernoulli through `simulate_sliced`, replacing
+/// `mc_trials` full async executions with `mc_trials / 64` passes of the
+/// 64-lane engine.
+///
+/// Returns `None` when the surrogate is not provably equivalent — the exact
+/// TA disagrees with the value-blind mincount formula, which is precisely
+/// the engine-vs-exact divergence the oracle exists to catch — or when the
+/// sliced engine declines the instance; the caller then takes the scalar
+/// async path.
+fn mc_cross_check_sliced(
+    config: &CampaignConfig,
+    index: u64,
+    mincount: u32,
+    exact_ta: &Rational,
+) -> Option<bool> {
+    let t_rat = Rational::new(config.t as i128, 1);
+    let formula = Rational::from(mincount).min(t_rat) / t_rat;
+    if *exact_ta != formula {
+        return None;
+    }
+    let (graph, run) = mc_surrogate(mincount, config.t);
+    let sampler = FixedRun::new(run);
+    let proto = ProtocolS::new(1.0 / config.t as f64);
+    // threads: 1 — evaluations already run one-per-`parallel_map`-worker;
+    // the report is thread-count independent regardless, by `simulate`'s
+    // contract.
+    let sim = SimConfig {
+        trials: config.mc_trials,
+        seed: mix64(mix64(config.seed, index), MC_SLICED_STREAM),
+        threads: 1,
+    };
+    let report = simulate_sliced(&proto, &graph, &sampler, sim)?;
+    Some(report.liveness().consistent_with_z(exact_ta.to_f64(), 4.0))
 }
 
 /// Shrinks the worst schedule's fault list to a minimal reproduction.
@@ -541,6 +645,7 @@ pub fn run_campaign(graph: &Graph, config: &CampaignConfig) -> ChaosReport {
         });
 
     let violations = results.iter().filter(|r| r.is_violation()).count() as u64;
+    let failures = results.iter().filter(|r| r.failed.is_some()).count() as u64;
     let worst = if violations > 0 {
         // Most-severe violator; ties break to the earliest index.
         results
@@ -552,7 +657,7 @@ pub fn run_campaign(graph: &Graph, config: &CampaignConfig) -> ChaosReport {
         // No violations: the schedule doing the most liveness damage.
         results
             .iter()
-            .filter(|r| r.rejected.is_none())
+            .filter(|r| r.rejected.is_none() && r.failed.is_none())
             .min_by(|a, b| {
                 a.ta.partial_cmp(&b.ta)
                     .expect("exact probabilities are finite")
@@ -577,6 +682,7 @@ pub fn run_campaign(graph: &Graph, config: &CampaignConfig) -> ChaosReport {
         config: *config,
         schedules_tried: config.schedules,
         violations,
+        failures,
         summaries: results
             .iter()
             .map(|r| ScheduleSummary {
@@ -584,7 +690,7 @@ pub fn run_campaign(graph: &Graph, config: &CampaignConfig) -> ChaosReport {
                 faults: r.schedule.faults.len(),
                 ta: r.ta,
                 pa: r.pa,
-                ok: r.rejected.is_none() && r.verdicts.all_ok(),
+                ok: r.rejected.is_none() && r.failed.is_none() && r.verdicts.all_ok(),
             })
             .collect(),
         worst,
@@ -662,6 +768,7 @@ mod tests {
         config.mc_trials = 30;
         let report = run_campaign(&g, &config);
         assert_eq!(report.violations, 0, "{}", report.to_json_pretty());
+        assert_eq!(report.failures, 0);
         assert_eq!(report.schedules_tried, 10);
         assert_eq!(report.summaries.len(), 10);
         let worst = report.worst.as_ref().expect("worst schedule exists");
@@ -672,6 +779,68 @@ mod tests {
         assert!(r.ta <= worst.ta);
         // And its replay verdicts are recorded.
         assert!(report.shrunk_verdicts.is_some());
+    }
+
+    #[test]
+    fn poisoned_schedule_becomes_a_typed_failure() {
+        let g = Graph::complete(3).unwrap();
+        let mut config = CampaignConfig::new(1, 1, 12, 4);
+        config.mc_trials = 0;
+        // `extra_max = u64::MAX` passes validation but the jitter's modulus
+        // computes `extra_max + 1` — a deterministic arithmetic panic at
+        // evaluation time. The per-schedule boundary must convert it into a
+        // typed `failed` entry instead of unwinding through the campaign.
+        let poisoned = FaultSchedule {
+            seed: 3,
+            base_latency: 1,
+            faults: vec![FaultPrimitive::DelayJitter {
+                extra_max: u64::MAX,
+                window: TimeWindow::always(),
+            }],
+        };
+        let r = evaluate_schedule(&g, &config, 0, poisoned.clone());
+        assert!(r.failed.is_some(), "{r:?}");
+        assert!(r.rejected.is_none());
+        assert!(!r.is_violation(), "a failure is not an oracle violation");
+        assert_eq!(r.schedule, poisoned, "the poisoned schedule is preserved");
+        // Evaluation of failures is deterministic: same schedule, same
+        // typed failure.
+        let again = evaluate_schedule(&g, &config, 0, poisoned);
+        assert_eq!(r, again);
+    }
+
+    #[test]
+    fn sliced_cross_check_matches_the_scalar_oracle_byte_for_byte() {
+        // The surrogate instance the campaign routes the MC oracle through
+        // must stay pinned to the scalar engine, per `simulate`'s contract.
+        for mincount in [1u32, 3, 8, 20] {
+            let (g, run) = mc_surrogate(mincount, 8);
+            let sampler = FixedRun::new(run);
+            let proto = ProtocolS::new(1.0 / 8.0);
+            let cfg = SimConfig {
+                trials: 200,
+                seed: 99,
+                threads: 1,
+            };
+            let sliced = simulate_sliced(&proto, &g, &sampler, cfg)
+                .expect("sliced engine must accept the surrogate");
+            assert_eq!(sliced, ca_sim::simulate_scalar(&proto, &g, &sampler, cfg));
+        }
+        // The campaign-facing wrapper agrees with the exact TA on an
+        // eligible schedule (value-blind formula holds by construction).
+        let config = CampaignConfig::new(1, 7, 12, 8);
+        let ta = Rational::new(3, 8);
+        assert_eq!(
+            mc_cross_check_sliced(&config, 0, 3, &ta),
+            Some(true),
+            "a healthy Bernoulli sample must be consistent with its own parameter"
+        );
+        // An exact TA that disagrees with the mincount formula (the very
+        // divergence the oracle hunts) forces the scalar fallback.
+        assert_eq!(
+            mc_cross_check_sliced(&config, 0, 3, &Rational::new(1, 2)),
+            None
+        );
     }
 
     #[test]

@@ -169,8 +169,31 @@ pub enum FaultPrimitive {
 }
 
 impl FaultPrimitive {
+    /// The primitive's activity window, when it has one (`BurstLoss` and
+    /// `ReplayRun` are windowless).
+    pub fn window(&self) -> Option<&TimeWindow> {
+        match self {
+            FaultPrimitive::DropLink { window, .. }
+            | FaultPrimitive::DropProb { window, .. }
+            | FaultPrimitive::DelayJitter { window, .. }
+            | FaultPrimitive::Duplicate { window, .. }
+            | FaultPrimitive::Reorder { window, .. }
+            | FaultPrimitive::CrashWindow { window, .. }
+            | FaultPrimitive::Partition { window, .. } => Some(window),
+            FaultPrimitive::BurstLoss { .. } | FaultPrimitive::ReplayRun { .. } => None,
+        }
+    }
+
     /// Typed validation; `index` is used only for error messages.
     fn validate(&self, index: usize) -> Result<(), CaError> {
+        if let Some(window) = self.window() {
+            if window.is_empty() {
+                return Err(CaError::malformed(format!(
+                    "fault[{index}] window [{}, {:?}) is empty",
+                    window.start, window.end
+                )));
+            }
+        }
         let check_p = |p: f64, what: &str| {
             if !(0.0..=1.0).contains(&p) {
                 return Err(CaError::malformed(format!(
@@ -833,6 +856,177 @@ mod tests {
         assert!(d[0].contains("seed"));
         assert!(d[1].contains("removed"));
         assert!(a.diff(&a).is_empty());
+    }
+
+    #[test]
+    fn validation_rejects_empty_and_inverted_windows() {
+        let with_window = |window| FaultSchedule {
+            seed: 0,
+            base_latency: 1,
+            faults: vec![FaultPrimitive::DropProb { p: 0.5, window }],
+        };
+        // Empty: end == start can never match.
+        assert!(with_window(TimeWindow::between(5, 5)).validate().is_err());
+        // Inverted: end < start.
+        assert!(with_window(TimeWindow::between(7, 3)).validate().is_err());
+        // Nonempty and open-ended windows pass.
+        assert!(with_window(TimeWindow::between(5, 6)).validate().is_ok());
+        assert!(with_window(TimeWindow::from(5)).validate().is_ok());
+        // Every windowed primitive kind is covered by the same check.
+        let empty = TimeWindow::between(2, 2);
+        let windowed = vec![
+            FaultPrimitive::DropLink {
+                from: ProcessId::new(0),
+                to: ProcessId::new(1),
+                bidirectional: false,
+                window: empty,
+            },
+            FaultPrimitive::DropProb {
+                p: 0.1,
+                window: empty,
+            },
+            FaultPrimitive::DelayJitter {
+                extra_max: 1,
+                window: empty,
+            },
+            FaultPrimitive::Duplicate {
+                p: 0.1,
+                echo_delay: 1,
+                window: empty,
+            },
+            FaultPrimitive::Reorder {
+                p: 0.1,
+                max_swap: 1,
+                window: empty,
+            },
+            FaultPrimitive::CrashWindow {
+                process: ProcessId::new(0),
+                window: empty,
+            },
+            FaultPrimitive::Partition {
+                group_a: vec![ProcessId::new(0)],
+                window: empty,
+            },
+        ];
+        for fault in windowed {
+            assert!(fault.window().is_some());
+            let schedule = FaultSchedule {
+                seed: 0,
+                base_latency: 1,
+                faults: vec![fault.clone()],
+            };
+            assert!(schedule.validate().is_err(), "{fault:?}");
+        }
+        // Windowless primitives report no window to check.
+        assert!(FaultPrimitive::BurstLoss {
+            period: 3,
+            burst_len: 1
+        }
+        .window()
+        .is_none());
+        assert!(FaultPrimitive::ReplayRun {
+            run: Run::empty(2, 1),
+            ticks_per_round: 1
+        }
+        .window()
+        .is_none());
+    }
+
+    #[test]
+    fn diff_is_symmetric_on_swapped_primitives() {
+        let burst = FaultPrimitive::BurstLoss {
+            period: 5,
+            burst_len: 1,
+        };
+        let drop = FaultPrimitive::DropProb {
+            p: 0.5,
+            window: TimeWindow::always(),
+        };
+        let a = FaultSchedule {
+            seed: 1,
+            base_latency: 1,
+            faults: vec![burst.clone(), drop.clone()],
+        };
+        let b = FaultSchedule {
+            seed: 1,
+            base_latency: 1,
+            faults: vec![drop, burst],
+        };
+        let forward = a.diff(&b);
+        let backward = b.diff(&a);
+        // Both positions differ in both directions: same entry count, and
+        // every entry names the same fault slot.
+        assert_eq!(forward.len(), 2, "{forward:?}");
+        assert_eq!(forward.len(), backward.len());
+        for (f, r) in forward.iter().zip(backward.iter()) {
+            assert_eq!(f.split(':').next(), r.split(':').next(), "{f} vs {r}");
+        }
+    }
+
+    #[test]
+    fn every_fault_primitive_round_trips_through_json() {
+        let mut run = Run::empty(2, 2);
+        run.add_input(ProcessId::new(0));
+        run.add_message(ProcessId::new(0), ProcessId::new(1), Round::new(1));
+        let all_variants = vec![
+            FaultPrimitive::DropLink {
+                from: ProcessId::new(0),
+                to: ProcessId::new(1),
+                bidirectional: true,
+                window: TimeWindow::between(0, 9),
+            },
+            FaultPrimitive::DropProb {
+                p: 0.25,
+                window: TimeWindow::always(),
+            },
+            FaultPrimitive::DelayJitter {
+                extra_max: 4,
+                window: TimeWindow::from(2),
+            },
+            FaultPrimitive::Duplicate {
+                p: 0.5,
+                echo_delay: 2,
+                window: TimeWindow::always(),
+            },
+            FaultPrimitive::Reorder {
+                p: 0.5,
+                max_swap: 3,
+                window: TimeWindow::between(1, 7),
+            },
+            FaultPrimitive::BurstLoss {
+                period: 6,
+                burst_len: 2,
+            },
+            FaultPrimitive::CrashWindow {
+                process: ProcessId::new(1),
+                window: TimeWindow::between(3, 5),
+            },
+            FaultPrimitive::Partition {
+                group_a: vec![ProcessId::new(0)],
+                window: TimeWindow::from(1),
+            },
+            FaultPrimitive::ReplayRun {
+                run,
+                ticks_per_round: 4,
+            },
+        ];
+        let schedule = FaultSchedule {
+            seed: 13,
+            base_latency: 1,
+            faults: all_variants,
+        };
+        let text = schedule.to_json();
+        let back = FaultSchedule::from_json(&text).unwrap();
+        assert_eq!(schedule, back);
+        assert_eq!(text, back.to_json(), "serialization is deterministic");
+        // The courier accepts the full-vocabulary schedule, and decisions
+        // stay identical across the round trip.
+        let mut a = ChaosCourier::new(schedule).unwrap();
+        let mut b = ChaosCourier::new(back).unwrap();
+        for seq in 0..40 {
+            let e = event(0, 1, seq, seq);
+            assert_eq!(a.fate(e), b.fate(e));
+        }
     }
 
     #[test]

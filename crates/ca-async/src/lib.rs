@@ -30,6 +30,7 @@ pub mod courier;
 pub mod engine;
 pub mod exact;
 pub mod experiments;
+pub mod hunt;
 pub mod log;
 pub mod protocol;
 pub mod serve;
@@ -42,6 +43,10 @@ pub use engine::{
     run_async, try_run_async, AsyncConfig, AsyncOutcome, AsyncProtocol, HeartbeatPolicy,
 };
 pub use exact::async_s_outcomes;
+pub use hunt::{
+    induced_run, replay_schedule, run_hunt, CandidateResult, CandidateStatus, HuntConfig,
+    HuntReport,
+};
 pub use protocol::AsyncS;
 pub use serve::{
     compare_reports, run_serve, Arrival, CourierSpec, Log2Hist, ServeConfig, ServeReport,

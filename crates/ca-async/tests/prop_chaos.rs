@@ -10,17 +10,42 @@
 //!   same aggregate totals and per-shard stats as one over the reliable
 //!   courier.
 //! * Chaos executions are a pure function of `(schedule, tapes, config)`.
+//! * [`ddmin`] shrinking is sound over fault schedules: the shrunk schedule
+//!   still trips the same oracle it was shrunk against, shrinking is
+//!   deterministic, and re-shrinking a shrunk schedule is a fixpoint.
 
 use ca_async::campaign::sample_schedule;
 use ca_async::{
-    run_async, run_serve, try_run_async, Arrival, AsyncConfig, AsyncS, ChaosCourier, CourierSpec,
-    FaultSchedule, ReliableCourier, ServeConfig,
+    induced_run, run_async, run_serve, try_run_async, Arrival, AsyncConfig, AsyncS, ChaosCourier,
+    CourierSpec, FaultPrimitive, FaultSchedule, ReliableCourier, ServeConfig, TimeWindow,
 };
 use ca_core::graph::Graph;
+use ca_core::ids::ProcessId;
+use ca_core::level::modified_levels;
 use ca_core::tape::TapeSet;
+use ca_sim::chaos::ddmin;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// The hunt's shrink oracle: min modified level of the run a fault list
+/// induces (with the enclosing schedule's seed and base latency).
+fn induced_ml(
+    graph: &Graph,
+    template: &FaultSchedule,
+    faults: &[FaultPrimitive],
+    rounds: u32,
+) -> u32 {
+    let candidate = FaultSchedule {
+        seed: template.seed,
+        base_latency: template.base_latency,
+        faults: faults.to_vec(),
+    };
+    match induced_run(graph, &candidate, rounds) {
+        Ok(run) => modified_levels(&run).min_level(),
+        Err(_) => u32::MAX,
+    }
+}
 
 fn graph_strategy() -> impl Strategy<Value = Graph> {
     (2usize..=4, 0u8..3).prop_map(|(m, kind)| match kind {
@@ -139,4 +164,79 @@ proptest! {
         prop_assert_eq!(a.delivered, b.delivered);
         prop_assert_eq!(a.duplicates_suppressed, b.duplicates_suppressed);
     }
+
+    /// ddmin over fault schedules is sound: the shrunk fault list still
+    /// trips the oracle it was shrunk against (the induced run's damage is
+    /// preserved), the result is deterministic, and re-shrinking it changes
+    /// nothing. Content-keyed coin streams make this hold for *every*
+    /// sampled schedule, not just hand-picked ones.
+    #[test]
+    fn ddmin_preserves_the_oracle_deterministically_to_a_fixpoint(
+        g in graph_strategy(),
+        seed in any::<u64>(),
+        rounds in 4u32..10,
+        max_faults in 1usize..6,
+    ) {
+        let schedule = sample_schedule(seed, g.len(), u64::from(rounds) - 1, max_faults);
+        let Ok(run) = induced_run(&g, &schedule, rounds) else {
+            // Only courier validation errors land here, and those
+            // schedules are outside the shrinker's domain.
+            return;
+        };
+        let full_ml = modified_levels(&run).min_level();
+        // The oracle the hunt shrinks against: the fault list still induces
+        // at most the original damage (lower min level = more damage).
+        let oracle = |faults: &[FaultPrimitive]| {
+            induced_ml(&g, &schedule, faults, rounds) <= full_ml
+        };
+        let shrunk = ddmin(&schedule.faults, oracle);
+        prop_assert!(
+            oracle(&shrunk),
+            "shrunk schedule must trip the same oracle (ml <= {full_ml})"
+        );
+        prop_assert!(shrunk.len() <= schedule.faults.len());
+        // Deterministic: same input, same oracle, same result.
+        prop_assert_eq!(&ddmin(&schedule.faults, oracle), &shrunk);
+        // Fixpoint: a shrunk schedule is already minimal.
+        prop_assert_eq!(&ddmin(&shrunk, oracle), &shrunk);
+    }
+}
+
+/// A planted minimal culprit survives shrinking and the decoys do not: the
+/// prefix-cut partition is what makes `ML(R) = 1`, while the duplicate and
+/// jitter decoys are irrelevant to the induced damage.
+#[test]
+fn ddmin_keeps_the_planted_cut_and_drops_decoys() {
+    let g = Graph::complete(2).expect("graph");
+    let rounds = 6;
+    let cut = FaultPrimitive::Partition {
+        group_a: vec![ProcessId::new(0)],
+        window: TimeWindow::from(1),
+    };
+    let schedule = FaultSchedule {
+        seed: 11,
+        base_latency: 1,
+        faults: vec![
+            FaultPrimitive::Duplicate {
+                p: 0.5,
+                echo_delay: 2,
+                window: TimeWindow::always(),
+            },
+            cut.clone(),
+            FaultPrimitive::DelayJitter {
+                extra_max: 0,
+                window: TimeWindow::from(4),
+            },
+        ],
+    };
+    let full_ml = {
+        let run = induced_run(&g, &schedule, rounds).expect("schedule validates");
+        modified_levels(&run).min_level()
+    };
+    assert_eq!(full_ml, 1, "the planted cut dominates the damage");
+    let oracle = |faults: &[FaultPrimitive]| induced_ml(&g, &schedule, faults, rounds) <= full_ml;
+    let shrunk = ddmin(&schedule.faults, oracle);
+    assert_eq!(shrunk, vec![cut], "exactly the planted culprit survives");
+    // Shrinking the minimal schedule again is a no-op.
+    assert_eq!(ddmin(&shrunk, oracle), shrunk);
 }

@@ -7,6 +7,9 @@
 //! ca exact    --graph star4 --rounds 8 --t 5 --cut 3
 //! ca chaos    --graph k3 --deadline 16 --t 4 --schedules 64 --seed 7
 //! ca chaos    --graph k3 --deadline 16 --t 4 --replay shrunk.json
+//! ca hunt     --graph k2 --rounds 8 --t 8 --seed 7          # adversary search
+//! ca hunt     --graph k2 --replay worst.json                # re-score a schedule
+//! ca hunt     --graph k2 --seed 7 --compare hunt_smoke.json # fail on drift
 //! ca bench    --out BENCH_experiments.json         # time every experiment
 //! ca bench    --compare BENCH_experiments.json     # fail on >25% regression
 //! ca profile  --out profile.json                   # per-experiment engine metrics
@@ -109,6 +112,9 @@ struct Opts {
     schedule: Option<String>,
     latency: Option<u64>,
     p99_budget: u64,
+    // `hunt` flags.
+    generations: u32,
+    population: usize,
     deadline_set: bool,
     t_set: bool,
 }
@@ -149,6 +155,8 @@ impl Default for Opts {
             schedule: None,
             latency: None,
             p99_budget: 25,
+            generations: 6,
+            population: 24,
             deadline_set: false,
             t_set: false,
         }
@@ -305,6 +313,16 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .parse()
                     .map_err(|_| "bad --p99-budget".to_owned())?
             }
+            "--generations" => {
+                opts.generations = next("a count")?
+                    .parse()
+                    .map_err(|_| "bad --generations".to_owned())?
+            }
+            "--population" => {
+                opts.population = next("a count")?
+                    .parse()
+                    .map_err(|_| "bad --population".to_owned())?
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -326,7 +344,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().map(String::as_str) else {
         eprintln!(
-            "usage: ca <levels|trace|simulate|exact|chaos|bench|profile|serve|graphs> \
+            "usage: ca <levels|trace|simulate|exact|chaos|hunt|bench|profile|serve|graphs> \
              [flags] (see --help)"
         );
         return ExitCode::FAILURE;
@@ -334,11 +352,19 @@ fn main() -> ExitCode {
     if command == "--help" || command == "-h" {
         println!(
             "ca — explore the coordinated-attack model\n\
-             commands: levels, trace, simulate, exact, chaos, bench, profile, serve, graphs\n\
+             commands: levels, trace, simulate, exact, chaos, hunt, bench, profile, serve, \
+             graphs\n\
              flags: --graph NAME --rounds N --epsilon E | --t T --cut R \
              --drop-link F:T:R --trials K --seed S\n\
              chaos: --deadline T --schedules K --max-faults F --threads W \
              --mc-trials K --out FILE --replay FILE [--spans]\n\
+             hunt: [--generations G] [--population P] [--budget K] \
+             [--rounds N] [--t T] [--max-faults F] [--seed S] [--threads W] \
+             [--out FILE] [--replay FILE] [--compare OLD.json] [--spans] — \
+             adaptive adversary search for the paper's worst-case fault \
+             schedule; the report is byte-stable in (graph, config) at any \
+             --threads; --replay re-scores a saved schedule; --compare fails \
+             if the report drifted from a baseline\n\
              bench: [--full] [--trials K] [--stable] [--out FILE] \
              [--compare OLD.json] — time every experiment, write \
              BENCH_experiments.json; --compare diffs against an old report \
@@ -740,6 +766,94 @@ fn main() -> ExitCode {
                     eprintln!("error: cannot write `{path}`: {e}");
                     return ExitCode::FAILURE;
                 }
+            }
+        }
+        "hunt" => {
+            let mut config = ca_async::HuntConfig::quick(opts.seed);
+            config.generations = opts.generations;
+            config.population = opts.population.max(1);
+            if let Some(b) = opts.budget {
+                config.budget = b;
+            }
+            config.rounds = opts.rounds;
+            config.t = opts.t;
+            config.max_faults = opts.max_faults;
+            config.threads = opts.threads;
+            config.elites = (config.population / 6).max(2).min(config.population);
+            if let Some(path) = &opts.replay {
+                // Re-score a saved (typically shrunk) schedule instead of
+                // running a fresh search.
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("error: cannot read `{path}`: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let schedule = match FaultSchedule::from_json(&text) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("error: bad schedule in `{path}`: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let result = ca_async::replay_schedule(&graph, &config, schedule);
+                let json = serde::json::to_string_pretty(&result)
+                    .expect("candidate results are always serializable");
+                println!("{json}");
+                if let Some(path) = &opts.out {
+                    if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                        eprintln!("error: cannot write `{path}`: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                return ExitCode::SUCCESS;
+            }
+            let report = ca_async::run_hunt(&graph, &config);
+            let json = report.to_json_pretty();
+            println!("{json}");
+            if opts.spans {
+                if ca_obs::ENABLED {
+                    eprint!("{}", ca_obs::render(&ca_obs::global_snapshot(), true));
+                } else {
+                    eprintln!(
+                        "note: --spans needs an observability-enabled build \
+                         (the default `ca`); nothing was recorded"
+                    );
+                }
+            }
+            // Baseline is read before --out, like `ca bench --compare`.
+            let old: Option<ca_async::HuntReport> = match &opts.compare {
+                Some(path) => {
+                    let text = match std::fs::read_to_string(path) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            eprintln!("error: cannot read `{path}`: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    match ca_async::HuntReport::from_json(&text) {
+                        Ok(r) => Some(r),
+                        Err(e) => {
+                            eprintln!("error: bad hunt report in `{path}`: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                None => None,
+            };
+            if let Some(path) = &opts.out {
+                if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                    eprintln!("error: cannot write `{path}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let Some(old) = old {
+                if !ca_async::hunt::reports_match(&report, &old) {
+                    eprintln!("error: hunt report regressed from the baseline (byte drift)");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("hunt compare: byte-identical modulo --threads");
             }
         }
         other => {

@@ -114,6 +114,20 @@ pub enum CounterId {
     /// Candidate fault lists evaluated by `ddmin` while shrinking the worst
     /// schedule.
     ChaosShrinkEvals,
+    /// Chaos schedules whose evaluation panicked and was converted into a
+    /// typed `failed` entry by the campaign's panic boundary.
+    ChaosSchedulesFailed,
+    /// Hunt candidates evaluated (every generation, every rung).
+    HuntCandidates,
+    /// Hunt candidates whose induced run was a vacuous adversary
+    /// (`ML(R) = 0`): ranked last, never elite.
+    HuntCandidatesInfeasible,
+    /// Hunt candidates whose evaluation panicked and became a typed
+    /// `Failed` entry.
+    HuntCandidatesFailed,
+    /// Monte Carlo trials spent across all hunt candidates (the bandit
+    /// allocator's actual spend).
+    HuntMcTrials,
     /// Service instances that arrived at a shard (admitted or shed).
     ServeInstances,
     /// Instances shed by per-shard back-pressure (admission queue over its
@@ -136,7 +150,7 @@ pub enum CounterId {
 
 impl CounterId {
     /// Number of counters in the registry.
-    pub const COUNT: usize = 31;
+    pub const COUNT: usize = 36;
 
     /// Every counter, in canonical registry (report) order.
     pub const ALL: [CounterId; Self::COUNT] = [
@@ -164,6 +178,11 @@ impl CounterId {
         CounterId::ChaosFaultsReplayRun,
         CounterId::ChaosOracleFailures,
         CounterId::ChaosShrinkEvals,
+        CounterId::ChaosSchedulesFailed,
+        CounterId::HuntCandidates,
+        CounterId::HuntCandidatesInfeasible,
+        CounterId::HuntCandidatesFailed,
+        CounterId::HuntMcTrials,
         CounterId::ServeInstances,
         CounterId::ServeShed,
         CounterId::ServeTimedOut,
@@ -200,6 +219,11 @@ impl CounterId {
             CounterId::ChaosFaultsReplayRun => "chaos.faults.replay_run",
             CounterId::ChaosOracleFailures => "chaos.oracle_failures",
             CounterId::ChaosShrinkEvals => "chaos.shrink_evals",
+            CounterId::ChaosSchedulesFailed => "chaos.schedules_failed",
+            CounterId::HuntCandidates => "hunt.candidates",
+            CounterId::HuntCandidatesInfeasible => "hunt.candidates_infeasible",
+            CounterId::HuntCandidatesFailed => "hunt.candidates_failed",
+            CounterId::HuntMcTrials => "hunt.mc_trials",
             CounterId::ServeInstances => "serve.instances",
             CounterId::ServeShed => "serve.shed",
             CounterId::ServeTimedOut => "serve.timed_out",
@@ -233,11 +257,14 @@ pub enum HistId {
     /// Virtual ticks an admitted service instance waited in its shard's
     /// queue before execution started.
     ServeQueueWaitTicks,
+    /// Monte Carlo trials allocated to one hunt candidate across all of a
+    /// generation's rungs (the successive-halving allocation profile).
+    HuntTrialsPerCandidate,
 }
 
 impl HistId {
     /// Number of histograms in the registry.
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// Every histogram, in canonical registry order.
     pub const ALL: [HistId; Self::COUNT] = [
@@ -248,6 +275,7 @@ impl HistId {
         HistId::ChaosFaultsPerSchedule,
         HistId::ServeDecisionTicks,
         HistId::ServeQueueWaitTicks,
+        HistId::HuntTrialsPerCandidate,
     ];
 
     /// The histogram's stable report name.
@@ -260,6 +288,7 @@ impl HistId {
             HistId::ChaosFaultsPerSchedule => "chaos.faults_per_schedule",
             HistId::ServeDecisionTicks => "serve.decision_ticks",
             HistId::ServeQueueWaitTicks => "serve.queue_wait_ticks",
+            HistId::HuntTrialsPerCandidate => "hunt.trials_per_candidate",
         }
     }
 
@@ -304,11 +333,20 @@ pub enum SpanId {
     ServeShard,
     /// One instance execution attempt within a shard.
     ServeInstance,
+    /// One adversary hunt (`run_hunt`): every generation, plus the final
+    /// shrink and the online-adversary probe.
+    HuntRun,
+    /// One hunt generation: sampling, all evaluation rungs, elite refit.
+    HuntGeneration,
+    /// One candidate evaluation rung (induced run, oracles, Monte Carlo).
+    HuntEvaluate,
+    /// Delta-debug shrinking of the hunt's best schedule.
+    HuntShrink,
 }
 
 impl SpanId {
     /// Number of spans in the registry.
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 18;
 
     /// Every span, in canonical registry order (parents before children).
     pub const ALL: [SpanId; Self::COUNT] = [
@@ -326,6 +364,10 @@ impl SpanId {
         SpanId::ServeRun,
         SpanId::ServeShard,
         SpanId::ServeInstance,
+        SpanId::HuntRun,
+        SpanId::HuntGeneration,
+        SpanId::HuntEvaluate,
+        SpanId::HuntShrink,
     ];
 
     /// The span's stable report name.
@@ -345,6 +387,10 @@ impl SpanId {
             SpanId::ServeRun => "serve.run",
             SpanId::ServeShard => "serve.shard",
             SpanId::ServeInstance => "serve.instance",
+            SpanId::HuntRun => "hunt.run",
+            SpanId::HuntGeneration => "hunt.generation",
+            SpanId::HuntEvaluate => "hunt.evaluate",
+            SpanId::HuntShrink => "hunt.shrink",
         }
     }
 
@@ -354,13 +400,16 @@ impl SpanId {
             SpanId::ExptExperiment
             | SpanId::SimSimulate
             | SpanId::ChaosCampaign
-            | SpanId::ServeRun => None,
+            | SpanId::ServeRun
+            | SpanId::HuntRun => None,
             SpanId::SimTrial => Some(SpanId::SimSimulate),
             SpanId::RunSample | SpanId::ExecExecute | SpanId::SimVerdict => Some(SpanId::SimTrial),
             SpanId::ChaosEvaluate | SpanId::ChaosShrink => Some(SpanId::ChaosCampaign),
             SpanId::ChaosOracles | SpanId::ChaosMcCrossCheck => Some(SpanId::ChaosEvaluate),
             SpanId::ServeShard => Some(SpanId::ServeRun),
             SpanId::ServeInstance => Some(SpanId::ServeShard),
+            SpanId::HuntGeneration | SpanId::HuntShrink => Some(SpanId::HuntRun),
+            SpanId::HuntEvaluate => Some(SpanId::HuntGeneration),
         }
     }
 

@@ -19,6 +19,7 @@
 use crate::strategy::RunSampler;
 use ca_core::graph::Graph;
 use ca_core::ids::{ProcessId, Round};
+use ca_core::level::{min_modified_level_into, LevelScratch};
 use ca_core::run::Run;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -228,6 +229,80 @@ impl AdaptiveAdversary for LinkChopper {
     }
 }
 
+/// Adaptive strategy: the min-level hunter. It tracks the run built from
+/// its **own past choices**, recomputes the minimum modified level before
+/// every round, and strikes — destroying everything forever — the moment
+/// that level reaches `target`.
+///
+/// This is the online form of the paper's worst case: conditioning on the
+/// observed min-level state is the most a metadata-only adversary can do,
+/// and on a complete graph the strategy materializes to exactly the prefix
+/// cut at round `target + 1` (`ML(R) = target`), the deepest point on the
+/// `L = U·ML(R)` tradeoff line the adversary can force while keeping the
+/// run's level at `target`. With `target = 1` the induced liveness is the
+/// floor `ε` — adaptivity rediscovers, but cannot beat, the offline bound.
+#[derive(Debug)]
+pub struct MinLevelCut {
+    graph: Graph,
+    target: u32,
+    run: Run,
+    scratch: LevelScratch,
+    struck: bool,
+}
+
+impl MinLevelCut {
+    /// Creates the hunter for runs of horizon `n`; it strikes once the
+    /// observed min modified level reaches `target`.
+    pub fn new(graph: Graph, n: u32, target: u32) -> Self {
+        let run = Run::empty(graph.len(), n);
+        MinLevelCut {
+            graph,
+            target,
+            run,
+            scratch: LevelScratch::new(),
+            struck: false,
+        }
+    }
+
+    /// Whether the strike has happened yet.
+    pub fn struck(&self) -> bool {
+        self.struck
+    }
+}
+
+impl AdaptiveAdversary for MinLevelCut {
+    fn name(&self) -> &'static str {
+        "min-level-cut"
+    }
+
+    fn decide_inputs(&mut self, m: usize) -> Vec<bool> {
+        debug_assert_eq!(m, self.graph.len(), "graph/model size mismatch");
+        for i in self.graph.vertices() {
+            self.run.add_input(i);
+        }
+        vec![true; m]
+    }
+
+    fn decide_round(&mut self, round: Round, slots: &[(ProcessId, ProcessId)]) -> Vec<bool> {
+        if !self.struck {
+            // The run-so-far has nothing past the previous round, so its min
+            // modified level is exactly what the protocol ends up with if
+            // the adversary strikes *now*.
+            let observed = min_modified_level_into(&self.run, &mut self.scratch);
+            if observed >= self.target {
+                self.struck = true;
+            }
+        }
+        if self.struck {
+            return vec![false; slots.len()];
+        }
+        for (from, to) in slots {
+            self.run.add_message(*from, *to, round);
+        }
+        vec![true; slots.len()]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,6 +358,41 @@ mod tests {
         for r in 3..=6u32 {
             assert_eq!(run.messages_in_round(Round::new(r)).count(), 5);
         }
+    }
+
+    #[test]
+    fn min_level_cut_materializes_to_the_prefix_cut() {
+        use ca_core::level::modified_levels;
+        let g = Graph::complete(2).unwrap();
+        let n = 6;
+        for target in 0..=n + 1 {
+            let mut adv = MinLevelCut::new(g.clone(), n, target);
+            let run = materialize(&mut adv, &g, n);
+            run.validate(&g).unwrap();
+            // On a complete graph the hunter is exactly the prefix cut at
+            // round target + 1 (or the good run when it never strikes).
+            let mut expected = Run::good(&g, n);
+            if target <= n {
+                expected.cut_from_round(Round::new(target + 1));
+            }
+            assert_eq!(run, expected, "target {target}");
+            let ml = modified_levels(&run).min_level();
+            assert_eq!(ml, target.min(n), "target {target}");
+            // `target = n` is only *observed* after the last round, when no
+            // decision remains to strike on.
+            assert_eq!(adv.struck(), target < n, "target {target}");
+        }
+    }
+
+    #[test]
+    fn min_level_cut_on_larger_graphs_stays_valid() {
+        use ca_core::level::modified_levels;
+        let g = Graph::complete(3).unwrap();
+        let mut adv = MinLevelCut::new(g.clone(), 8, 3);
+        assert_eq!(adv.name(), "min-level-cut");
+        let run = materialize(&mut adv, &g, 8);
+        run.validate(&g).unwrap();
+        assert_eq!(modified_levels(&run).min_level(), 3);
     }
 
     #[test]
