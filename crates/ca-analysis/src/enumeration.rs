@@ -99,11 +99,7 @@ pub fn try_enumerate_tapes<P: Protocol + Sync>(
     bits: u32,
     build_tapes: impl Fn(u64) -> TapeSet + Sync,
 ) -> Result<(ExactOutcome, Vec<Rational>), CaError> {
-    if bits > 24 {
-        return Err(CaError::malformed(format!(
-            "enumerating 2^{bits} tapes is too large (max 24: >= 16M executions)"
-        )));
-    }
+    ca_core::error::check_enumeration_bits(bits as usize, "tapes")?;
     let total = 1u64 << bits;
     let denom = total as i128;
     let m = graph.len();

@@ -41,6 +41,7 @@ mod x02_adaptive_adversary;
 mod x03_bandwidth;
 mod x04_chain_vs_gossip;
 mod x05_eager_dichotomy;
+mod x06_exact_curve;
 
 pub use e01_protocol_a_unsafety::ProtocolAUnsafety;
 pub use e02_protocol_a_liveness::ProtocolALiveness;
@@ -58,6 +59,7 @@ pub use x02_adaptive_adversary::AdaptiveAdversaryExperiment;
 pub use x03_bandwidth::BandwidthAblation;
 pub use x04_chain_vs_gossip::ChainVsGossip;
 pub use x05_eager_dichotomy::EagerDichotomy;
+pub use x06_exact_curve::ExactCurve;
 
 /// How big to run an experiment.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -139,9 +141,11 @@ pub trait Experiment: Sync {
 }
 
 /// All experiments, in order: the paper suite E1–E12 plus the extension /
-/// ablation experiments X2 (adaptive adversary) and X3 (bandwidth). X1 (the
-/// asynchronous model) lives in the `ca-async` crate, which this crate cannot
-/// depend on; the `expt` runner appends it.
+/// ablation experiments X2 (adaptive adversary), X3 (bandwidth), X4
+/// (chain vs gossip), X5 (eager dichotomy), and X6 (the exact §8 curve via
+/// the level-vector DP). X1 (the asynchronous model) lives in the
+/// `ca-async` crate, which this crate cannot depend on; the `expt` runner
+/// appends it.
 pub fn all_experiments() -> Vec<Box<dyn Experiment>> {
     vec![
         Box::new(ProtocolAUnsafety),
@@ -160,6 +164,7 @@ pub fn all_experiments() -> Vec<Box<dyn Experiment>> {
         Box::new(BandwidthAblation),
         Box::new(ChainVsGossip),
         Box::new(EagerDichotomy),
+        Box::new(ExactCurve),
     ]
 }
 
@@ -192,11 +197,11 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let all = all_experiments();
-        assert_eq!(all.len(), 16);
+        assert_eq!(all.len(), 17);
         let mut ids: Vec<_> = all.iter().map(|e| e.id()).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 16, "duplicate experiment ids");
+        assert_eq!(ids.len(), 17, "duplicate experiment ids");
     }
 
     #[test]

@@ -1,0 +1,1107 @@
+//! Exact PA/TA in polynomial time: the **level-vector dynamic program**.
+//!
+//! The exhaustive oracles ([`crate::enumeration`], [`Run::try_enumerate_all`])
+//! pay `2^bits` executions and hit the typed 24-bit wall long before the
+//! paper's §8 scale (N = 1000). The paper's own structure admits far better:
+//! counts equal modified levels (Lemma 6.4), levels move by at most a couple
+//! of units per round, and the spread `|ML_i − ML_j| ≤ 1` (Lemma 6.2) is an
+//! automaton invariant. So the *joint* state of the `m` counting automata,
+//! viewed up to a common count shift, lives in a **constant-size** space:
+//!
+//! * per process: a normalized count in `{0, 1, 2}`, the seen-set
+//!   (`m ≤ 8` ⟹ one byte), and the valid/token flags — 12 bits, so the
+//!   whole structural state packs into a `u128`;
+//! * plus one shared **base** (the common shift), clipped at the protocol's
+//!   saturation point: once every counting process fires with probability 1
+//!   (`count + slack − offset ≥ t`, or `count ≥ θ`), larger bases are
+//!   outcome- and dynamics-equivalent, so they collapse onto one class.
+//!
+//! The sweep [`sweep`] runs a transfer over `(structural state → set of
+//! reachable bases)`: per-round transition kernels are derived from the
+//! `2^E` delivery patterns (`E` = directed edges) and **memoized per
+//! structural class**, so the whole 2^inputs × 2^(E·N) run space reduces to
+//! (reachable structs) × (N rounds) kernel applications — polynomial in N.
+//! That computes `max_R Pr[TA|R]` and `max_R Pr[PA|R]` for *every* horizon
+//! up to N exactly, in `ca_core::rational` arithmetic, at scales where
+//! enumeration returns its typed `bits > 24` error.
+//!
+//! # Fidelity and the enumeration-as-oracle contract
+//!
+//! Transitions are computed by running the **real**
+//! [`CountingState::process_messages`] on reconstructed states — the same
+//! generalization of [`crate::weak_exact`]'s two-general chain to arbitrary
+//! graphs, never a hand-derived transition table. The DP is an
+//! *optimization*, not a second source of truth: on every DP-eligible
+//! configuration small enough to enumerate (`bits ≤ 24`),
+//!
+//! * [`run_outcomes`] must equal the closed forms in [`crate::exact`] and
+//!   the executed protocol, and
+//! * [`sweep`] must equal [`worst_case_by_enumeration`] (brute force over
+//!   [`Run::try_enumerate_all`]),
+//!
+//! both enforced by the differential suite in `tests/level_dp_differential.rs`
+//! and the in-module tests below.
+
+use crate::exact::ExactOutcome;
+use ca_core::bitset::BitSet;
+use ca_core::error::CaError;
+use ca_core::graph::Graph;
+use ca_core::ids::{ProcessId, Round};
+use ca_core::rational::Rational;
+use ca_core::run::Run;
+use ca_core::SlicedSpec;
+use ca_obs::{CounterId, Metrics, SpanId};
+use ca_protocols::counting::{CountingMsg, CountingState};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Most processes the sweep supports: the per-process seen-set must fit the
+/// 8 bits reserved for it in the packed structural key.
+pub const MAX_DP_PROCESSES: usize = 8;
+
+/// Most directed edges the sweep supports: kernels enumerate all `2^E`
+/// delivery patterns per structural class, so `E` is capped where that stays
+/// cheap (4096 patterns — K4's 12 directed edges are the largest clique).
+pub const MAX_DP_EDGES: usize = 12;
+
+/// Largest firing range `t = 1/ε` (and threshold `θ`) the DP accepts: the
+/// base set holds one bit per un-saturated base value, so this bounds its
+/// footprint at 8 KiB per structural class.
+pub const MAX_DP_T: u64 = 1 << 16;
+
+/// Bits per process in the packed structural key: 2 (normalized count)
+/// + 1 (valid) + 1 (token) + 8 (seen-set).
+const PROC_BITS: u32 = 12;
+
+/// A DP-eligible output rule: the integer-parameter mirror of
+/// [`SlicedSpec`]. Both supported protocol families are the Figure-1
+/// counting automaton; only the firing rule differs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DpSpec {
+    /// Protocol S's randomized rule: `rfire` uniform on `(offset, offset+t]`,
+    /// attack iff `count ≥ 1 ∧ count + slack ≥ rfire`, so a process with
+    /// `count ≥ 1` and the token attacks with probability
+    /// `clamp((count + slack − offset) / t, 0, 1)` — exact in rationals.
+    RandomFire {
+        /// 0 for input-based validity, 1 for message-based (footnote 1).
+        offset: u32,
+        /// The firing range width `t = 1/ε` as an exact integer.
+        t: u64,
+        /// Decision slack (0 for standard S, 1 for the eager variant).
+        slack: u32,
+    },
+    /// The deterministic threshold rule of
+    /// [`ca_protocols::FixedThreshold`]: attack iff the process holds the
+    /// token and `count ≥ θ`.
+    Threshold {
+        /// The firing threshold `θ ≥ 1`.
+        theta: u32,
+    },
+}
+
+impl DpSpec {
+    /// Standard Protocol S with `ε = 1/t`.
+    pub fn protocol_s(t: u64) -> Self {
+        DpSpec::RandomFire {
+            offset: 0,
+            t,
+            slack: 0,
+        }
+    }
+
+    /// The eager variant ([`ca_protocols::ProtocolS::eager`]).
+    pub fn eager(t: u64) -> Self {
+        DpSpec::RandomFire {
+            offset: 0,
+            t,
+            slack: 1,
+        }
+    }
+
+    /// The message-based-validity variant
+    /// ([`ca_protocols::ProtocolS::with_message_validity`]).
+    pub fn message_validity(t: u64) -> Self {
+        DpSpec::RandomFire {
+            offset: 1,
+            t,
+            slack: 0,
+        }
+    }
+
+    /// The deterministic threshold rule.
+    pub fn threshold(theta: u32) -> Self {
+        DpSpec::Threshold { theta }
+    }
+
+    /// Converts a sliced-engine spec when its parameters are exactly
+    /// representable: `offset ∈ {0, 1}` and `t` a positive integer within
+    /// [`MAX_DP_T`]. Returns `None` otherwise — the caller falls back to the
+    /// scalar path, mirroring the sliced engine's own eligibility contract.
+    pub fn from_sliced(spec: SlicedSpec) -> Option<DpSpec> {
+        match spec {
+            SlicedSpec::RandomFire { offset, t, slack } => {
+                if offset != 0.0 && offset != 1.0 {
+                    return None;
+                }
+                if !(t >= 1.0 && t <= MAX_DP_T as f64 && t.fract() == 0.0) {
+                    return None;
+                }
+                Some(DpSpec::RandomFire {
+                    offset: offset as u32,
+                    t: t as u64,
+                    slack,
+                })
+            }
+            SlicedSpec::Threshold { theta } => Some(DpSpec::Threshold { theta }),
+        }
+    }
+
+    /// Exact probability that a process with this final `count` (and token
+    /// possession) attacks. Tokenless and count-0 processes never attack.
+    pub fn attack_prob(&self, count: u32, has_token: bool) -> Rational {
+        if !has_token || count == 0 {
+            return Rational::ZERO;
+        }
+        match *self {
+            DpSpec::RandomFire { offset, t, slack } => Rational::new(
+                i128::from(count) + i128::from(slack) - i128::from(offset),
+                t as i128,
+            )
+            .clamp(Rational::ZERO, Rational::ONE),
+            DpSpec::Threshold { theta } => {
+                if count >= theta {
+                    Rational::ONE
+                } else {
+                    Rational::ZERO
+                }
+            }
+        }
+    }
+
+    /// The base at which every counting process (`count ≥ 1`, which implies
+    /// token possession) fires with probability exactly 1, whatever its
+    /// normalized count. Bases at or past this value are clip-equivalent:
+    /// same outcome probabilities, same (shift-invariant) dynamics.
+    fn saturation_base(&self) -> u32 {
+        match *self {
+            // count = 1 + base, p = 1 ⟺ 1 + base + slack − offset ≥ t.
+            DpSpec::RandomFire { offset, t, slack } => {
+                (t as i64 + i64::from(offset) - i64::from(slack) - 1).max(0) as u32
+            }
+            // count = 1 + base ≥ θ.
+            DpSpec::Threshold { theta } => theta - 1,
+        }
+    }
+
+    /// Validates the firing-rule parameters.
+    pub fn validate_params(&self) -> Result<(), CaError> {
+        match *self {
+            DpSpec::RandomFire { offset, t, .. } => {
+                if t == 0 || t > MAX_DP_T {
+                    return Err(CaError::malformed(format!(
+                        "DP firing range t = {t} outside 1..={MAX_DP_T}"
+                    )));
+                }
+                if offset > 1 {
+                    return Err(CaError::malformed(format!(
+                        "DP rfire offset {offset} is not a validity mode (0 or 1)"
+                    )));
+                }
+            }
+            DpSpec::Threshold { theta } => {
+                if theta == 0 || u64::from(theta) > MAX_DP_T {
+                    return Err(CaError::malformed(format!(
+                        "DP threshold θ = {theta} outside 1..={MAX_DP_T}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates parameters *and* the graph's fit for the all-runs sweep
+    /// (`m ≤ 8` for the packed seen-sets, `E ≤ 12` for the kernel's
+    /// delivery-pattern enumeration).
+    pub fn validate_for_sweep(&self, graph: &Graph) -> Result<(), CaError> {
+        self.validate_params()?;
+        let m = graph.len();
+        if !(2..=MAX_DP_PROCESSES).contains(&m) {
+            return Err(CaError::malformed(format!(
+                "level DP sweep supports 2..={MAX_DP_PROCESSES} processes, graph has {m}"
+            )));
+        }
+        let edges = graph.directed_edges().count();
+        if edges > MAX_DP_EDGES {
+            return Err(CaError::malformed(format!(
+                "level DP sweep supports ≤{MAX_DP_EDGES} directed edges, graph has {edges}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-run exact outcomes (direct stepping of the real automaton)
+// ---------------------------------------------------------------------------
+
+/// Outcome probabilities from the final joint automaton state: all attack
+/// events are driven by the one shared `rfire` draw (or are deterministic),
+/// so they are nested — `Pr[TA] = min_i p_i`, `Pr[some attack] = max_i p_i`.
+fn outcome_of(spec: &DpSpec, states: &[CountingState<u8>]) -> ExactOutcome {
+    let mut ta = Rational::ONE;
+    let mut some = Rational::ZERO;
+    for s in states {
+        let p = spec.attack_prob(s.count, s.token.is_some());
+        ta = ta.min(p);
+        some = some.max(p);
+    }
+    ExactOutcome {
+        ta,
+        na: Rational::ONE - some,
+        pa: some - ta,
+    }
+}
+
+/// Exact outcome probabilities of the DP-eligible protocol `spec` on one
+/// fixed run, by stepping the real [`CountingState`] automaton once per
+/// round (counts and token possession are `rfire`-independent) and
+/// integrating the firing rule analytically.
+///
+/// Equivalent to [`crate::exact::protocol_s_outcomes_slack`] on the
+/// Protocol S family, but also covers the message-validity offset and the
+/// deterministic threshold rule, and exits early once every process fires
+/// with probability 1 (probabilities are monotone in the round: counts never
+/// decrease and the token is never revoked).
+pub fn run_outcomes(graph: &Graph, run: &Run, spec: &DpSpec) -> Result<ExactOutcome, CaError> {
+    spec.validate_params()?;
+    let m = graph.len();
+    if run.process_count() != m {
+        return Err(CaError::malformed(format!(
+            "run spans {} processes but the graph has {m}",
+            run.process_count()
+        )));
+    }
+    let mut states: Vec<CountingState<u8>> = graph
+        .vertices()
+        .map(|i| {
+            let token = (i == ProcessId::LEADER).then_some(1u8);
+            CountingState::initial(m, i, run.has_input(i), token)
+        })
+        .collect();
+    for r in 1..=run.horizon() {
+        let out = outcome_of(spec, &states);
+        if out.ta == Rational::ONE {
+            break; // saturated: TA is certain and stays certain
+        }
+        let msgs: Vec<CountingMsg<u8>> = states.iter().map(CountingState::to_msg).collect();
+        let mut inbox: Vec<Vec<CountingMsg<u8>>> = vec![Vec::new(); m];
+        run.for_each_message_in_round(Round::new(r), |slot| {
+            inbox[slot.to.index()].push(msgs[slot.from.index()].clone());
+        });
+        for (i, inbox_i) in inbox.into_iter().enumerate() {
+            if !inbox_i.is_empty() {
+                states[i].process_messages(m, ProcessId::new(i as u32), &inbox_i);
+            }
+        }
+    }
+    Ok(outcome_of(spec, &states))
+}
+
+/// Protocol S exact outcomes through the DP path, with the scalar closed
+/// form as a divergence-audited fallback: when `audit` is set the scalar
+/// [`crate::exact::protocol_s_outcomes`] is also computed and any
+/// disagreement routes the scalar answer through (and bumps the
+/// `exact.dp.fallbacks` counter) — the same spot-check-and-fall-back
+/// pattern the Monte Carlo layer uses for the sliced engine.
+///
+/// Returns the outcome and whether the DP result was used.
+pub fn outcomes_with_fallback(
+    graph: &Graph,
+    run: &Run,
+    t: u64,
+    audit: bool,
+) -> (ExactOutcome, bool) {
+    let obs = Metrics::new();
+    let dp = run_outcomes(graph, run, &DpSpec::protocol_s(t))
+        .ok()
+        .filter(ExactOutcome::is_valid);
+    let result = match dp {
+        Some(out) if !audit => (out, true),
+        Some(out) => {
+            let scalar = crate::exact::protocol_s_outcomes(graph, run, t);
+            if out == scalar {
+                (out, true)
+            } else {
+                obs.inc(CounterId::ExactDpFallbacks);
+                (scalar, false)
+            }
+        }
+        None => {
+            obs.inc(CounterId::ExactDpFallbacks);
+            (crate::exact::protocol_s_outcomes(graph, run, t), false)
+        }
+    };
+    obs.flush();
+    result
+}
+
+// ---------------------------------------------------------------------------
+// Structural states: packing, normalization, interning
+// ---------------------------------------------------------------------------
+
+/// Packs the joint automaton state (normalized counts) into the structural
+/// key: 12 bits per process, low process first.
+///
+/// # Panics
+///
+/// Panics if a normalized count exceeds 2 — that would break Lemma 6.2's
+/// spread invariant, which the packing relies on.
+fn pack_state(states: &[CountingState<u8>]) -> u128 {
+    let mut key = 0u128;
+    for (i, s) in states.iter().enumerate() {
+        assert!(
+            s.count <= 2,
+            "normalized count {} breaks the Lemma 6.2 spread invariant",
+            s.count
+        );
+        let mut seen_mask = 0u16;
+        for b in s.seen.iter() {
+            seen_mask |= 1 << b;
+        }
+        let w = (s.count as u16)
+            | (u16::from(s.valid) << 2)
+            | (u16::from(s.token.is_some()) << 3)
+            | (seen_mask << 4);
+        key |= u128::from(w) << (i as u32 * PROC_BITS);
+    }
+    key
+}
+
+/// Inverse of [`pack_state`].
+fn unpack_state(key: u128, m: usize) -> Vec<CountingState<u8>> {
+    (0..m)
+        .map(|i| {
+            let w = ((key >> (i as u32 * PROC_BITS)) & 0xFFF) as u16;
+            let mut seen = BitSet::new(m);
+            for b in 0..m {
+                if (w >> (4 + b)) & 1 == 1 {
+                    seen.insert(b);
+                }
+            }
+            CountingState {
+                count: u32::from(w & 0b11),
+                seen,
+                valid: w & 0b100 != 0,
+                token: (w & 0b1000 != 0).then_some(1u8),
+            }
+        })
+        .collect()
+}
+
+/// Shifts all counts down so the minimum positive count sits at exactly 1
+/// (preserving the `count ≥ 1` semantics the automaton branches on);
+/// min-0 states are left untouched. Returns the shift, which the caller
+/// accumulates into the base.
+fn normalize(states: &mut [CountingState<u8>]) -> u32 {
+    let min = states.iter().map(|s| s.count).min().unwrap_or(0);
+    let delta = min.saturating_sub(1);
+    if delta > 0 {
+        for s in states.iter_mut() {
+            s.count -= delta;
+        }
+    }
+    delta
+}
+
+// ---------------------------------------------------------------------------
+// Base sets: reachable common shifts per structural class, clipped
+// ---------------------------------------------------------------------------
+
+/// The set of reachable bases for one structural class: a bitset over
+/// `0..=cap`, where the cap bit is the clip-equivalence class "saturated —
+/// everything fires with probability 1".
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct BaseSet {
+    words: Vec<u64>,
+    /// Number of distinct base classes (`cap + 1`).
+    bits: usize,
+}
+
+impl BaseSet {
+    fn empty(cap: u32) -> Self {
+        let bits = cap as usize + 1;
+        BaseSet {
+            words: vec![0; bits.div_ceil(64)],
+            bits,
+        }
+    }
+
+    fn insert(&mut self, b: usize) {
+        debug_assert!(b < self.bits);
+        self.words[b / 64] |= 1 << (b % 64);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Highest reachable base, if any.
+    fn max_bit(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate().rev() {
+            if w != 0 {
+                return Some(wi * 64 + 63 - w.leading_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// True iff any set bit lies strictly above `threshold`.
+    fn any_bit_above(&self, threshold: usize) -> bool {
+        let start = threshold + 1;
+        if start >= self.bits {
+            return false;
+        }
+        let w0 = start / 64;
+        if self.words[w0] >> (start % 64) != 0 {
+            return true;
+        }
+        self.words[w0 + 1..].iter().any(|&w| w != 0)
+    }
+
+    /// All reachable bases, ascending.
+    fn iter_bits(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64)
+                .filter(move |b| (w >> b) & 1 == 1)
+                .map(move |b| wi * 64 + b)
+        })
+    }
+
+    /// ORs `other` shifted up by `delta` into `self`, folding anything past
+    /// the cap onto the cap bit. Returns whether any base was clipped — a
+    /// clip-equivalence-class collapse.
+    fn or_shifted(&mut self, other: &BaseSet, delta: u32) -> bool {
+        debug_assert_eq!(self.bits, other.bits);
+        let cap = self.bits - 1;
+        let delta = delta as usize;
+        let clipped = if delta == 0 {
+            false
+        } else if delta > cap {
+            !other.is_empty()
+        } else {
+            other.any_bit_above(cap - delta)
+        };
+        let wshift = delta / 64;
+        let bshift = (delta % 64) as u32;
+        for wi in (wshift..self.words.len()).rev() {
+            let lo = other.words[wi - wshift];
+            let mut v = if bshift == 0 { lo } else { lo << bshift };
+            if bshift > 0 && wi > wshift {
+                v |= other.words[wi - wshift - 1] >> (64 - bshift);
+            }
+            self.words[wi] |= v;
+        }
+        // Clear the shifted-past-the-cap bits, then fold them onto the cap.
+        let tail = self.bits % 64;
+        if tail != 0 {
+            *self.words.last_mut().unwrap() &= (1u64 << tail) - 1;
+        }
+        if clipped {
+            self.insert(cap);
+        }
+        clipped
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The sweep
+// ---------------------------------------------------------------------------
+
+/// One row of the exactly computed §8 curve: worst-case (over all runs of
+/// this horizon) total-attack and partial-attack probabilities.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Run horizon (number of rounds).
+    pub round: u32,
+    /// `max_R Pr[TA|R]` — the best achievable liveness at this horizon.
+    pub max_ta: Rational,
+    /// `max_R Pr[PA|R]` — the worst-case disagreement `U_s` at this horizon.
+    pub max_pa: Rational,
+}
+
+/// Deterministic work counters of one sweep (mirrored into the `exact.dp.*`
+/// observability counters).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DpStats {
+    /// Distinct structural equivalence classes interned.
+    pub structural_states: u64,
+    /// Frontier entries expanded, summed over rounds.
+    pub states_visited: u64,
+    /// Kernel-cache hits (a class revisited in a later round or frontier).
+    pub kernel_hits: u64,
+    /// Kernel-cache misses (kernels actually computed: `2^E` pattern
+    /// executions each).
+    pub kernel_misses: u64,
+    /// Base values folded onto the saturation cap (clip-equivalence
+    /// collapses).
+    pub collapses: u64,
+}
+
+/// The byte-stable result of [`sweep`]: the exactly computed tradeoff curve
+/// plus the work statistics. Contains no wall-clock fields, so serialized
+/// reports are identical run to run — the `ca exact --compare` drift gate
+/// relies on this.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Report schema version.
+    pub schema: u32,
+    /// Number of processes.
+    pub m: usize,
+    /// Sweep horizon N.
+    pub rounds: u32,
+    /// The firing rule analyzed.
+    pub spec: DpSpec,
+    /// First horizon with `max_ta = 1` (liveness 1 achievable), if reached.
+    pub first_certain_round: Option<u32>,
+    /// `max_ta` at the final horizon.
+    pub final_max_ta: Rational,
+    /// Worst-case disagreement at the final horizon — since sparse runs
+    /// embed every shorter run, this is `U_s` over the whole ≤N-round family.
+    pub u_s: Rational,
+    /// Curve rows at the requested checkpoint horizons (final always
+    /// included).
+    pub curve: Vec<CurvePoint>,
+    /// Work counters.
+    pub stats: DpStats,
+}
+
+/// The sweep engine state, separated so kernels intern successors while the
+/// frontier is being expanded.
+struct Sweeper {
+    m: usize,
+    edges: Vec<(usize, usize)>,
+    /// Structural key → interned id.
+    ids: HashMap<u128, usize>,
+    /// id → packed key.
+    keys: Vec<u128>,
+    /// id → `(count, token)` per process, for outcome evaluation.
+    procs: Vec<Vec<(u32, bool)>>,
+    /// id → memoized transition kernel: deduped `(successor id, base delta)`
+    /// over all `2^E` delivery patterns.
+    kernels: Vec<Option<Vec<(usize, u32)>>>,
+    stats: DpStats,
+}
+
+impl Sweeper {
+    fn intern(&mut self, key: u128) -> usize {
+        if let Some(&id) = self.ids.get(&key) {
+            return id;
+        }
+        let id = self.keys.len();
+        self.ids.insert(key, id);
+        self.keys.push(key);
+        self.procs.push(
+            unpack_state(key, self.m)
+                .iter()
+                .map(|s| (s.count, s.token.is_some()))
+                .collect(),
+        );
+        self.kernels.push(None);
+        self.stats.structural_states += 1;
+        id
+    }
+
+    /// The memoized kernel for structural class `id`: runs the real
+    /// automaton once per delivery pattern and collapses the results to the
+    /// distinct `(successor class, base delta)` edges.
+    fn kernel(&mut self, id: usize, obs: &Metrics) -> &[(usize, u32)] {
+        if self.kernels[id].is_some() {
+            self.stats.kernel_hits += 1;
+            obs.inc(CounterId::ExactDpKernelHits);
+        } else {
+            self.stats.kernel_misses += 1;
+            obs.inc(CounterId::ExactDpKernelMisses);
+            let _span = obs.span(SpanId::ExactDpKernel);
+            let states = unpack_state(self.keys[id], self.m);
+            let msgs: Vec<CountingMsg<u8>> = states.iter().map(CountingState::to_msg).collect();
+            let mut edges: Vec<(usize, u32)> = Vec::new();
+            for pattern in 0u32..1 << self.edges.len() {
+                let mut next = states.clone();
+                for (j, state) in next.iter_mut().enumerate() {
+                    let inbox: Vec<CountingMsg<u8>> = self
+                        .edges
+                        .iter()
+                        .enumerate()
+                        .filter(|&(e, &(_, to))| to == j && pattern >> e & 1 == 1)
+                        .map(|(_, &(from, _))| msgs[from].clone())
+                        .collect();
+                    if !inbox.is_empty() {
+                        state.process_messages(self.m, ProcessId::new(j as u32), &inbox);
+                    }
+                }
+                let delta = normalize(&mut next);
+                let succ = self.intern(pack_state(&next));
+                edges.push((succ, delta));
+            }
+            edges.sort_unstable();
+            edges.dedup();
+            self.kernels[id] = Some(edges);
+        }
+        self.kernels[id].as_deref().expect("kernel just ensured")
+    }
+
+    /// Cheap per-round maximum TA: for a fixed structural class TA is
+    /// nondecreasing in the base (every attack probability is), so only the
+    /// highest reachable base matters.
+    fn max_ta(&self, frontier: &[Option<BaseSet>], spec: &DpSpec) -> Rational {
+        let mut best = Rational::ZERO;
+        for (id, slot) in frontier.iter().enumerate() {
+            let Some(bs) = slot else { continue };
+            let Some(base) = bs.max_bit() else { continue };
+            let mut ta = Rational::ONE;
+            for &(count, token) in &self.procs[id] {
+                ta = ta.min(spec.attack_prob(count + base as u32, token));
+            }
+            best = best.max(ta);
+        }
+        best
+    }
+
+    /// Full checkpoint extremes: brute force over every reachable
+    /// `(class, base)` pair — PA is not monotone in the base (saturation
+    /// collapses it back to 0), so unlike TA it needs the full scan.
+    fn extremes(
+        &self,
+        frontier: &[Option<BaseSet>],
+        spec: &DpSpec,
+        obs: &Metrics,
+    ) -> (Rational, Rational) {
+        let _span = obs.span(SpanId::ExactDpExtremes);
+        let mut max_ta = Rational::ZERO;
+        let mut max_pa = Rational::ZERO;
+        for (id, slot) in frontier.iter().enumerate() {
+            let Some(bs) = slot else { continue };
+            for base in bs.iter_bits() {
+                let mut ta = Rational::ONE;
+                let mut some = Rational::ZERO;
+                for &(count, token) in &self.procs[id] {
+                    let p = spec.attack_prob(count + base as u32, token);
+                    ta = ta.min(p);
+                    some = some.max(p);
+                }
+                max_ta = max_ta.max(ta);
+                max_pa = max_pa.max(some - ta);
+            }
+        }
+        (max_ta, max_pa)
+    }
+}
+
+/// Runs the level-vector DP over **all** runs of horizon ≤ `rounds` (every
+/// input subset × every per-round delivery pattern) and returns the exactly
+/// computed worst-case curve: `max_R Pr[TA|R]` at every horizon (recorded at
+/// the checkpoint horizons, plus the final), `max_R Pr[PA|R]` at the
+/// checkpoints, the first horizon achieving liveness 1, and the DP work
+/// statistics.
+///
+/// Time is `O(rounds · classes · kernel-edges)` plus one `2^E`-pattern
+/// kernel computation per structural class — polynomial in `rounds` where
+/// enumeration is exponential.
+pub fn sweep(
+    graph: &Graph,
+    rounds: u32,
+    spec: &DpSpec,
+    checkpoints: &[u32],
+) -> Result<SweepReport, CaError> {
+    spec.validate_for_sweep(graph)?;
+    let obs = Metrics::new();
+    let report = {
+        let _sweep_span = obs.span(SpanId::ExactDpSweep);
+        let m = graph.len();
+        let cap = spec.saturation_base();
+        let mut sw = Sweeper {
+            m,
+            edges: graph
+                .directed_edges()
+                .map(|(a, b)| (a.index(), b.index()))
+                .collect(),
+            ids: HashMap::new(),
+            keys: Vec::new(),
+            procs: Vec::new(),
+            kernels: Vec::new(),
+            stats: DpStats::default(),
+        };
+
+        // Initial frontier: every input subset (the adversary also chooses
+        // which inputs arrive — matching `Run::enumerate_all`'s run space).
+        let mut frontier: Vec<Option<BaseSet>> = Vec::new();
+        for mask in 0u32..1 << m {
+            let states: Vec<CountingState<u8>> = graph
+                .vertices()
+                .map(|i| {
+                    let token = (i == ProcessId::LEADER).then_some(1u8);
+                    CountingState::initial(m, i, mask >> i.index() & 1 == 1, token)
+                })
+                .collect();
+            let id = sw.intern(pack_state(&states));
+            if frontier.len() < sw.keys.len() {
+                frontier.resize_with(sw.keys.len(), || None);
+            }
+            frontier[id]
+                .get_or_insert_with(|| BaseSet::empty(cap))
+                .insert(0);
+        }
+
+        let mut wanted: Vec<u32> = checkpoints
+            .iter()
+            .copied()
+            .filter(|&c| c <= rounds)
+            .chain([rounds])
+            .collect();
+        wanted.sort_unstable();
+        wanted.dedup();
+
+        let mut curve: Vec<CurvePoint> = Vec::new();
+        let mut first_certain: Option<u32> = None;
+        let mut record = |sw: &Sweeper, frontier: &[Option<BaseSet>], round: u32| {
+            if wanted.binary_search(&round).is_ok() {
+                let (max_ta, max_pa) = sw.extremes(frontier, spec, &obs);
+                curve.push(CurvePoint {
+                    round,
+                    max_ta,
+                    max_pa,
+                });
+            }
+        };
+        record(&sw, &frontier, 0);
+
+        for r in 1..=rounds {
+            let mut next: Vec<Option<BaseSet>> = Vec::new();
+            next.resize_with(sw.keys.len(), || None);
+            for (id, slot) in frontier.iter_mut().enumerate() {
+                let Some(bs) = slot.take() else {
+                    continue;
+                };
+                sw.stats.states_visited += 1;
+                obs.inc(CounterId::ExactDpStates);
+                let kernel: Vec<(usize, u32)> = sw.kernel(id, &obs).to_vec();
+                if next.len() < sw.keys.len() {
+                    next.resize_with(sw.keys.len(), || None);
+                }
+                for (succ, delta) in kernel {
+                    let slot = next[succ].get_or_insert_with(|| BaseSet::empty(cap));
+                    if slot.or_shifted(&bs, delta) {
+                        sw.stats.collapses += 1;
+                        obs.inc(CounterId::ExactDpCollapses);
+                    }
+                }
+            }
+            frontier = next;
+            if first_certain.is_none() && sw.max_ta(&frontier, spec) == Rational::ONE {
+                first_certain = Some(r);
+            }
+            record(&sw, &frontier, r);
+        }
+
+        let last = curve.last().copied().unwrap_or(CurvePoint {
+            round: rounds,
+            max_ta: Rational::ZERO,
+            max_pa: Rational::ZERO,
+        });
+        SweepReport {
+            schema: 1,
+            m,
+            rounds,
+            spec: *spec,
+            first_certain_round: first_certain,
+            final_max_ta: last.max_ta,
+            u_s: last.max_pa,
+            curve,
+            stats: sw.stats,
+        }
+    };
+    obs.flush();
+    Ok(report)
+}
+
+/// The brute-force oracle for [`sweep`]: enumerates **every** run of the
+/// horizon with [`Run::try_enumerate_all`] (typed `bits > 24` error past the
+/// wall — exactly the wall the DP removes) and maximizes [`run_outcomes`]
+/// over it. Returns `(max_ta, max_pa)`.
+pub fn worst_case_by_enumeration(
+    graph: &Graph,
+    rounds: u32,
+    spec: &DpSpec,
+) -> Result<(Rational, Rational), CaError> {
+    spec.validate_params()?;
+    let mut max_ta = Rational::ZERO;
+    let mut max_pa = Rational::ZERO;
+    for run in Run::try_enumerate_all(graph, rounds)? {
+        let out = run_outcomes(graph, &run, spec)?;
+        max_ta = max_ta.max(out.ta);
+        max_pa = max_pa.max(out.pa);
+    }
+    Ok((max_ta, max_pa))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{protocol_s_outcomes, protocol_s_outcomes_slack};
+    use ca_core::protocol::Protocol;
+    use ca_protocols::{FixedThreshold, ProtocolS};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rat(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn from_sliced_mirrors_the_protocol_specs() {
+        let cases: [(&dyn Fn() -> Option<SlicedSpec>, DpSpec); 4] = [
+            (
+                &|| ProtocolS::new(0.25).sliced_spec(),
+                DpSpec::protocol_s(4),
+            ),
+            (&|| ProtocolS::eager(0.25).sliced_spec(), DpSpec::eager(4)),
+            (
+                &|| ProtocolS::with_message_validity(0.25).sliced_spec(),
+                DpSpec::message_validity(4),
+            ),
+            (
+                &|| FixedThreshold::new(5).sliced_spec(),
+                DpSpec::threshold(5),
+            ),
+        ];
+        for (sliced, expect) in cases {
+            assert_eq!(DpSpec::from_sliced(sliced().unwrap()), Some(expect));
+        }
+        // Non-integer firing ranges are not exactly representable: ineligible.
+        assert_eq!(
+            DpSpec::from_sliced(SlicedSpec::RandomFire {
+                offset: 0.0,
+                t: 2.5,
+                slack: 0,
+            }),
+            None
+        );
+    }
+
+    #[test]
+    fn attack_probability_formulas() {
+        let s = DpSpec::protocol_s(4);
+        assert_eq!(s.attack_prob(0, true), Rational::ZERO);
+        assert_eq!(s.attack_prob(3, false), Rational::ZERO);
+        assert_eq!(s.attack_prob(3, true), rat(3, 4));
+        assert_eq!(s.attack_prob(9, true), Rational::ONE, "clamps at 1");
+        // Message validity shifts the numerator down by one.
+        assert_eq!(
+            DpSpec::message_validity(4).attack_prob(1, true),
+            Rational::ZERO
+        );
+        assert_eq!(DpSpec::message_validity(4).attack_prob(3, true), rat(2, 4));
+        // Eager shifts it up by one.
+        assert_eq!(DpSpec::eager(4).attack_prob(1, true), rat(2, 4));
+        // Threshold is the 0/1 step.
+        assert_eq!(DpSpec::threshold(3).attack_prob(2, true), Rational::ZERO);
+        assert_eq!(DpSpec::threshold(3).attack_prob(3, true), Rational::ONE);
+    }
+
+    #[test]
+    fn run_outcomes_matches_the_closed_form_on_thinned_runs() {
+        let mut rng = StdRng::seed_from_u64(91);
+        for m in [2usize, 3] {
+            let g = Graph::complete(m).unwrap();
+            for _ in 0..25 {
+                let mut run = Run::good(&g, 5);
+                for i in g.vertices() {
+                    if rng.gen_bool(0.25) {
+                        run.remove_input(i);
+                    }
+                }
+                let slots: Vec<_> = run.messages().collect();
+                for s in slots {
+                    if rng.gen_bool(0.4) {
+                        run.remove_message(s.from, s.to, s.round);
+                    }
+                }
+                for t in [2u64, 7] {
+                    for slack in [0u32, 1] {
+                        let spec = DpSpec::RandomFire {
+                            offset: 0,
+                            t,
+                            slack,
+                        };
+                        assert_eq!(
+                            run_outcomes(&g, &run, &spec).unwrap(),
+                            protocol_s_outcomes_slack(&g, &run, t, slack),
+                            "m={m} t={t} slack={slack} on {run}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn message_validity_never_attacks_without_messages() {
+        // Footnote 1's condition, exactly: the no-message run has NA = 1
+        // under message-based validity but PA = ε under input-based.
+        let g = Graph::complete(3).unwrap();
+        let mut run = Run::empty(3, 4);
+        for i in g.vertices() {
+            run.add_input(i);
+        }
+        let mv = run_outcomes(&g, &run, &DpSpec::message_validity(8)).unwrap();
+        assert_eq!(mv.na, Rational::ONE);
+        let s = run_outcomes(&g, &run, &DpSpec::protocol_s(8)).unwrap();
+        assert_eq!(s.pa, rat(1, 8), "leader alone attacks iff rfire ≤ 1");
+    }
+
+    #[test]
+    fn eager_doubles_unsafety_on_r1() {
+        // Theorem A.1's price on R₁ = {(v₀,1,0)}: the eager leader attacks
+        // alone whenever rfire ≤ 2.
+        let g = Graph::complete(2).unwrap();
+        let mut run = Run::empty(2, 3);
+        run.add_input(ProcessId::LEADER);
+        let eager = run_outcomes(&g, &run, &DpSpec::eager(8)).unwrap();
+        assert_eq!(eager.pa, rat(2, 8));
+        let plain = run_outcomes(&g, &run, &DpSpec::protocol_s(8)).unwrap();
+        assert_eq!(plain.pa, rat(1, 8));
+    }
+
+    #[test]
+    fn sweep_matches_enumeration_on_two_generals() {
+        let g = Graph::complete(2).unwrap();
+        let rounds = 4;
+        let all: Vec<u32> = (0..=rounds).collect();
+        for spec in [
+            DpSpec::protocol_s(3),
+            DpSpec::eager(3),
+            DpSpec::message_validity(3),
+            DpSpec::threshold(2),
+        ] {
+            let report = sweep(&g, rounds, &spec, &all).unwrap();
+            assert_eq!(report.curve.len(), all.len());
+            for row in &report.curve {
+                let (ta, pa) = worst_case_by_enumeration(&g, row.round, &spec).unwrap();
+                assert_eq!(row.max_ta, ta, "{spec:?} round {}", row.round);
+                assert_eq!(row.max_pa, pa, "{spec:?} round {}", row.round);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_matches_enumeration_on_three_generals() {
+        let g = Graph::complete(3).unwrap();
+        let spec = DpSpec::protocol_s(3);
+        let report = sweep(&g, 2, &spec, &[1, 2]).unwrap();
+        for row in report.curve.iter().filter(|row| row.round > 0) {
+            let (ta, pa) = worst_case_by_enumeration(&g, row.round, &spec).unwrap();
+            assert_eq!((row.max_ta, row.max_pa), (ta, pa), "round {}", row.round);
+        }
+    }
+
+    #[test]
+    fn saturation_clipping_is_exact_at_tiny_t() {
+        // t = 2 saturates almost immediately: every base past the cap folds
+        // onto the clip class, and the result still matches brute force.
+        let g = Graph::complete(2).unwrap();
+        let spec = DpSpec::protocol_s(2);
+        let report = sweep(&g, 6, &spec, &[6]).unwrap();
+        let (ta, pa) = worst_case_by_enumeration(&g, 6, &spec).unwrap();
+        assert_eq!(report.final_max_ta, ta);
+        assert_eq!(report.u_s, pa);
+        assert!(report.stats.collapses > 0, "tiny t must clip: {report:?}");
+    }
+
+    #[test]
+    fn the_paper_curve_shape_on_three_generals() {
+        // Theorem 6.8 as the sweep sees it: best liveness is min(1, r/t),
+        // liveness 1 first at r = t, and U_s = ε throughout.
+        let g = Graph::complete(3).unwrap();
+        let t = 5u64;
+        let all: Vec<u32> = (0..=8).collect();
+        let report = sweep(&g, 8, &DpSpec::protocol_s(t), &all).unwrap();
+        for row in &report.curve {
+            assert_eq!(
+                row.max_ta,
+                rat(i128::from(row.round).min(t as i128), t as i128),
+                "max TA at round {}",
+                row.round
+            );
+        }
+        assert_eq!(report.first_certain_round, Some(t as u32));
+        assert_eq!(report.u_s, rat(1, t as i128));
+        assert_eq!(report.final_max_ta, Rational::ONE);
+    }
+
+    #[test]
+    fn threshold_sweep_finds_the_certainty_round_and_total_unsafety() {
+        // FixedThreshold against the strong adversary: liveness 1 from round
+        // θ (the good run), but U_s = 1 (cut exactly at the threshold).
+        let g = Graph::complete(2).unwrap();
+        let report = sweep(&g, 5, &DpSpec::threshold(3), &[5]).unwrap();
+        assert_eq!(report.first_certain_round, Some(3));
+        assert_eq!(report.u_s, Rational::ONE);
+    }
+
+    #[test]
+    fn sweep_rejects_oversized_instances() {
+        let spec = DpSpec::protocol_s(4);
+        let big = Graph::complete(5).unwrap(); // 20 directed edges
+        assert!(sweep(&big, 2, &spec, &[]).is_err());
+        let wide = Graph::star(9).unwrap(); // 9 processes
+        assert!(sweep(&wide, 2, &spec, &[]).is_err());
+        assert!(DpSpec::protocol_s(MAX_DP_T + 1).validate_params().is_err());
+        assert!(DpSpec::threshold(0).validate_params().is_err());
+    }
+
+    #[test]
+    fn stats_are_deterministic_and_kernels_memoize() {
+        let g = Graph::complete(3).unwrap();
+        let spec = DpSpec::protocol_s(6);
+        let a = sweep(&g, 12, &spec, &[12]).unwrap();
+        let b = sweep(&g, 12, &spec, &[12]).unwrap();
+        assert_eq!(a, b, "sweep must be fully deterministic");
+        assert_eq!(a.stats.kernel_misses, a.stats.structural_states);
+        assert!(a.stats.kernel_hits > a.stats.kernel_misses);
+        assert!(a.stats.states_visited >= 12);
+    }
+
+    #[test]
+    fn fallback_helper_agrees_with_scalar_and_reports_dp_use() {
+        let g = Graph::complete(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for k in 0..10 {
+            let mut run = Run::good(&g, 4);
+            let slots: Vec<_> = run.messages().collect();
+            for s in slots {
+                if rng.gen_bool(0.3) {
+                    run.remove_message(s.from, s.to, s.round);
+                }
+            }
+            let (out, used_dp) = outcomes_with_fallback(&g, &run, 5, k % 2 == 0);
+            assert!(used_dp, "DP and scalar agree, so DP must be used");
+            assert_eq!(out, protocol_s_outcomes(&g, &run, 5));
+        }
+    }
+
+    #[test]
+    fn base_set_shift_clips_onto_the_cap() {
+        let mut a = BaseSet::empty(4);
+        a.insert(0);
+        a.insert(3);
+        let mut b = BaseSet::empty(4);
+        assert!(!b.or_shifted(&a, 0), "no shift, no clip");
+        assert!(b.or_shifted(&a, 2), "3 + 2 > cap 4 clips");
+        assert_eq!(b.iter_bits().collect::<Vec<_>>(), vec![0, 2, 3, 4]);
+        assert_eq!(b.max_bit(), Some(4));
+        // Deltas beyond the cap fold everything onto it.
+        let mut c = BaseSet::empty(4);
+        assert!(c.or_shifted(&a, 9));
+        assert_eq!(c.iter_bits().collect::<Vec<_>>(), vec![4]);
+    }
+}

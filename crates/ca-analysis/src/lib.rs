@@ -4,6 +4,9 @@
 //!   (zero-error cross-check of the closed forms).
 //! * [`exact`] — closed-form outcome probabilities for Protocols S and A on
 //!   fixed runs (the paper's theorems as equalities over [`ca_core::Rational`]).
+//! * [`level_dp`] — the level-vector dynamic program: exact worst-case
+//!   PA/TA curves in polynomial time, past enumeration's 24-bit wall
+//!   (enumeration stays on as the differential oracle).
 //! * [`runs`] — the lower-bound run constructions (Lemma A.6 tree runs, `R₁`,
 //!   ML staircases, causal-independence runs).
 //! * [`tradeoff`] — consequences of `L/U ≤ N`: frontiers and round
@@ -20,6 +23,7 @@
 pub mod enumeration;
 pub mod exact;
 pub mod experiments;
+pub mod level_dp;
 pub mod report;
 pub mod runs;
 pub mod tradeoff;
@@ -27,4 +31,5 @@ pub mod weak_exact;
 
 pub use exact::{protocol_a_outcomes, protocol_s_outcomes, ExactOutcome};
 pub use experiments::{all_experiments, experiment_by_id, Experiment, ExperimentResult, Scale};
+pub use level_dp::{DpSpec, SweepReport};
 pub use report::Table;

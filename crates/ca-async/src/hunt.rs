@@ -46,7 +46,7 @@
 use crate::chaos::{ChaosCourier, FaultPrimitive, FaultSchedule, TimeWindow};
 use crate::courier::{Courier, Fate, SendEvent};
 use crate::supervisor::panic_message;
-use ca_analysis::protocol_s_outcomes;
+use ca_analysis::level_dp::outcomes_with_fallback;
 use ca_core::error::CaError;
 use ca_core::graph::Graph;
 use ca_core::ids::{ProcessId, Round};
@@ -676,7 +676,11 @@ fn evaluate_candidate_inner(
         }
     };
     let ml = modified_levels(&run).min_level();
-    let exact = protocol_s_outcomes(graph, &run, config.t);
+    // Exact TA ranking through the level DP, with the scalar closed form as
+    // the audited fallback: every 16th candidate (deterministic in the id)
+    // is recomputed scalar-side and any divergence routes the scalar result
+    // through — the sliced engine's spot-check pattern applied to ranking.
+    let (exact, _used_dp) = outcomes_with_fallback(graph, &run, config.t, id.is_multiple_of(16));
     let eps = Rational::new(1, config.t as i128);
     let status = if ml >= 1 {
         CandidateStatus::Ok
@@ -988,7 +992,8 @@ pub fn run_hunt(graph: &Graph, config: &HuntConfig) -> HuntReport {
     let mut online_adv = MinLevelCut::new(graph.clone(), config.rounds, 1);
     let online_run = materialize(&mut online_adv, graph, config.rounds);
     let online_ml = modified_levels(&online_run).min_level();
-    let online_exact = protocol_s_outcomes(graph, &online_run, config.t);
+    // One probe, so always audit the DP result against the scalar path.
+    let (online_exact, _) = outcomes_with_fallback(graph, &online_run, config.t, true);
     let online = OnlineProbe {
         adversary: "min-level-cut".to_owned(),
         target: 1,

@@ -56,9 +56,17 @@ pub struct BenchEntry {
     /// Uses the scale's per-probability trial count as the work unit — a
     /// throughput proxy that is comparable release to release at a fixed
     /// scale (exact-only experiments like E9 report their table rebuild
-    /// rate in the same unit).
+    /// rate in the same unit). The synthetic [`DP_PROBE_ID`] entry uses DP
+    /// frontier states visited per second instead.
     pub trials_per_sec: f64,
 }
+
+/// Id of the synthetic level-DP throughput entry appended after the
+/// experiment registry: one exact sweep of the §8 curve instance, reporting
+/// **states visited per second** in [`BenchEntry::trials_per_sec`]. Because
+/// [`compare_reports`] keys entries by id, `--compare` gates DP throughput
+/// regressions exactly like the experiments.
+pub const DP_PROBE_ID: &str = "DP";
 
 /// The full bench report (`BENCH_experiments.json`).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -88,7 +96,7 @@ impl BenchReport {
 }
 
 /// The full registry `ca bench` sweeps: the synchronous suite plus the
-/// asynchronous extension experiments, in id order (E1–E12, X1–X5). The
+/// asynchronous extension experiments, in id order (E1–E12, X1–X6). The
 /// asynchronous X1 is merged into its numeric slot rather than appended, so
 /// the report order matches the registry ids.
 pub fn bench_registry() -> Vec<Box<dyn Experiment>> {
@@ -128,6 +136,7 @@ pub fn run_bench(config: &BenchConfig) -> BenchReport {
             trials_per_sec,
         });
     }
+    experiments.push(dp_probe(&scale, config.stable, &mut total_ms));
     BenchReport {
         schema: 1,
         scale: if config.full { "full" } else { "quick" }.to_owned(),
@@ -136,6 +145,37 @@ pub fn run_bench(config: &BenchConfig) -> BenchReport {
         timed: !config.stable,
         experiments,
         total_wall_ms: if config.stable { 0.0 } else { total_ms },
+    }
+}
+
+/// The level-DP throughput probe behind the [`DP_PROBE_ID`] entry: one
+/// exact sweep of the X6 instance (K3, `t = N`, paper scale from
+/// `trials ≥ 2000`, smoke-sized below), timed, with the curve's shape
+/// checks folded into `passed`. States visited per second is the
+/// throughput unit — the DP's work is frontier expansions, not trials.
+fn dp_probe(scale: &Scale, stable: bool, total_ms: &mut f64) -> BenchEntry {
+    use ca_analysis::level_dp::{self, DpSpec};
+    use ca_core::rational::Rational;
+
+    let n: u32 = if scale.trials >= 2_000 { 1_000 } else { 64 };
+    let t = u64::from(n);
+    let graph = ca_core::graph::Graph::complete(3).expect("graph");
+    let spec = DpSpec::protocol_s(t);
+    let start = Instant::now();
+    let sweep = level_dp::sweep(&graph, n, &spec, &[n]).expect("K3 is DP-eligible");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    *total_ms += wall_ms;
+    let passed = sweep.first_certain_round == Some(n) && sweep.u_s == Rational::new(1, t as i128);
+    let (wall_ms, states_per_sec) = if stable {
+        (0.0, 0.0)
+    } else {
+        (wall_ms, sweep.stats.states_visited as f64 / (wall_ms / 1e3))
+    };
+    BenchEntry {
+        id: DP_PROBE_ID.to_owned(),
+        passed,
+        wall_ms,
+        trials_per_sec: states_per_sec,
     }
 }
 
@@ -284,7 +324,13 @@ mod tests {
         let b = run_bench(&config);
         assert_eq!(a, b);
         assert_eq!(a.to_json_pretty(), b.to_json_pretty());
-        assert_eq!(a.experiments.len(), 17, "16 sync experiments + X1");
+        assert_eq!(
+            a.experiments.len(),
+            19,
+            "17 sync experiments + X1 + the DP probe"
+        );
+        assert!(a.experiments.iter().all(|e| e.passed), "{a:?}");
+        assert_eq!(a.experiments.last().unwrap().id, DP_PROBE_ID);
         assert!(!a.timed);
         assert_eq!(a.total_wall_ms, 0.0);
     }
@@ -292,7 +338,7 @@ mod tests {
     #[test]
     fn report_order_matches_registry_order() {
         let registry_ids: Vec<&str> = bench_registry().iter().map(|e| e.id()).collect();
-        // The registry itself is in id order: E1..E12 then X1..X5.
+        // The registry itself is in id order: E1..E12 then X1..X6.
         let mut sorted = registry_ids.clone();
         sorted.sort_by_key(|id| id_sort_key(id));
         assert_eq!(registry_ids, sorted, "registry must be in id order");
@@ -311,7 +357,9 @@ mod tests {
             stable: true,
         });
         let report_ids: Vec<&str> = report.experiments.iter().map(|e| e.id.as_str()).collect();
-        assert_eq!(report_ids, registry_ids);
+        // The synthetic DP throughput probe is appended after the registry.
+        assert_eq!(report_ids[..registry_ids.len()], registry_ids);
+        assert_eq!(report_ids.last(), Some(&DP_PROBE_ID));
         let json = report.to_json_pretty();
         let mut last = 0;
         for id in &registry_ids {

@@ -5,6 +5,8 @@
 //! ca trace    --graph k3 --rounds 5 --epsilon 0.25 # one traced execution of S
 //! ca simulate --graph k2 --rounds 8 --epsilon 0.125 --cut 4 --trials 20000
 //! ca exact    --graph star4 --rounds 8 --t 5 --cut 3
+//! ca exact    --sweep --graph k3 --rounds 1000 --t 1000 --out exact_sweep.json
+//! ca exact    --sweep --graph k3 --rounds 24 --t 24 --compare exact_sweep.json
 //! ca chaos    --graph k3 --deadline 16 --t 4 --schedules 64 --seed 7
 //! ca chaos    --graph k3 --deadline 16 --t 4 --replay shrunk.json
 //! ca hunt     --graph k2 --rounds 8 --t 8 --seed 7          # adversary search
@@ -98,6 +100,7 @@ struct Opts {
     spans: bool,
     bench_trials: Option<u64>,
     compare: Option<String>,
+    sweep: bool,
     // `serve` flags. Options so a preset (`--smoke`) keeps its tuning unless
     // a flag is given explicitly.
     instances: Option<u64>,
@@ -143,6 +146,7 @@ impl Default for Opts {
             spans: false,
             bench_trials: None,
             compare: None,
+            sweep: false,
             instances: None,
             shards: None,
             queue_bound: None,
@@ -218,6 +222,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 opts.bench_trials = Some(v);
             }
             "--full" => opts.full = true,
+            "--sweep" => opts.sweep = true,
             "--stable" => opts.stable = true,
             "--timed" => opts.timed = true,
             "--spans" => opts.spans = true,
@@ -356,6 +361,12 @@ fn main() -> ExitCode {
              graphs\n\
              flags: --graph NAME --rounds N --epsilon E | --t T --cut R \
              --drop-link F:T:R --trials K --seed S\n\
+             exact: [--sweep] [--out FILE] [--compare OLD.json] — one run's \
+             exact outcome distribution; with --sweep, the exhaustive worst \
+             case over ALL runs (every input subset × delivery pattern) via \
+             the level-vector DP, as byte-stable JSON: the full §8 curve at \
+             --rounds N is polynomial in N, where enumeration stops at \
+             2^24 executions; --compare fails on any drift from a baseline\n\
              chaos: --deadline T --schedules K --max-faults F --threads W \
              --mc-trials K --out FILE --replay FILE [--spans]\n\
              hunt: [--generations G] [--population P] [--budget K] \
@@ -441,13 +452,73 @@ fn main() -> ExitCode {
             println!("{report}");
         }
         "exact" => {
-            let out = protocol_s_outcomes(&graph, &run, opts.t);
-            let ml = modified_levels(&run).min_level();
-            println!("ML(R) = {ml}, ε = 1/{}", opts.t);
-            println!(
-                "Pr[TA|R] = {}   Pr[NA|R] = {}   Pr[PA|R] = {}",
-                out.ta, out.na, out.pa
-            );
+            if opts.sweep {
+                // Exhaustive worst case over ALL runs via the level-vector
+                // DP, as byte-stable JSON: no clocks, interned-state order,
+                // exact rationals. `--compare` gates byte drift against a
+                // committed baseline.
+                let spec = ca_analysis::level_dp::DpSpec::protocol_s(opts.t);
+                let n = opts.rounds;
+                let mut checkpoints: Vec<u32> = [1, n / 4, n / 2, 3 * n / 4, n]
+                    .into_iter()
+                    .filter(|&c| c >= 1)
+                    .collect();
+                checkpoints.dedup();
+                let report = match ca_analysis::level_dp::sweep(&graph, n, &spec, &checkpoints) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let json = serde::json::to_string_pretty(&report)
+                    .expect("sweep reports are always serializable");
+                println!("{json}");
+                // Baseline is read before --out, like `ca bench --compare`.
+                let old: Option<ca_analysis::level_dp::SweepReport> = match &opts.compare {
+                    Some(path) => {
+                        let text = match std::fs::read_to_string(path) {
+                            Ok(t) => t,
+                            Err(e) => {
+                                eprintln!("error: cannot read `{path}`: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        };
+                        match serde::json::from_str(&text) {
+                            Ok(r) => Some(r),
+                            Err(e) => {
+                                eprintln!("error: bad sweep report in `{path}`: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    }
+                    None => None,
+                };
+                if let Some(path) = &opts.out {
+                    if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                        eprintln!("error: cannot write `{path}`: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                if let Some(old) = old {
+                    if old != report {
+                        eprintln!(
+                            "error: exact sweep drifted from the baseline \
+                             (exact rationals disagree — not timer noise)"
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("exact compare: byte-identical to the baseline");
+                }
+            } else {
+                let out = protocol_s_outcomes(&graph, &run, opts.t);
+                let ml = modified_levels(&run).min_level();
+                println!("ML(R) = {ml}, ε = 1/{}", opts.t);
+                println!(
+                    "Pr[TA|R] = {}   Pr[NA|R] = {}   Pr[PA|R] = {}",
+                    out.ta, out.na, out.pa
+                );
+            }
         }
         "bench" => {
             let config = ca_bench::bench::BenchConfig {

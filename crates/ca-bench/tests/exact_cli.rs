@@ -1,0 +1,120 @@
+//! Golden tests of the `ca exact --sweep` subcommand, driving the real
+//! binary.
+//!
+//! Pins the byte-stability contract of the level-DP sweep report: same
+//! `(graph, rounds, t)` ⟹ byte-identical JSON (exact rationals, no clocks),
+//! which is what makes the `--compare` drift gate meaningful. Also pins the
+//! headline capability: a sweep at `--rounds 100` succeeds where run
+//! enumeration would refuse (`2^(3 + 6·100)` executions on K3).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn ca_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ca"))
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("ca_exact_cli_{}_{name}.json", std::process::id()));
+    path
+}
+
+#[test]
+fn sweep_report_is_byte_identical_across_invocations() {
+    let out_a = tmp_path("a");
+    let out_b = tmp_path("b");
+    for out in [&out_a, &out_b] {
+        let output = ca_bin()
+            .args([
+                "exact", "--sweep", "--graph", "k3", "--rounds", "100", "--t", "100", "--out",
+            ])
+            .arg(out)
+            .output()
+            .expect("run ca exact --sweep");
+        assert!(
+            output.status.success(),
+            "ca exact --sweep exited with {}: {}",
+            output.status,
+            String::from_utf8_lossy(&output.stderr)
+        );
+    }
+    let a = std::fs::read(&out_a).expect("read first report");
+    let b = std::fs::read(&out_b).expect("read second report");
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "sweep reports must be byte-identical");
+    assert_eq!(a.last(), Some(&b'\n'), "report file ends with a newline");
+    let text = String::from_utf8(a).expect("report is UTF-8");
+    // The §8 shape at N = t = 100, far past the 2^24 enumeration wall:
+    // liveness 1 first at round 100, U_s = ε = 1/100 exactly.
+    assert!(text.contains("\"first_certain_round\": 100"), "{text}");
+    assert!(
+        text.contains("\"u_s\": {\n    \"num\": 1,\n    \"den\": 100\n  }"),
+        "{text}"
+    );
+    let _ = std::fs::remove_file(&out_a);
+    let _ = std::fs::remove_file(&out_b);
+}
+
+#[test]
+fn sweep_compare_gate_passes_on_identical_and_fails_on_drift() {
+    let baseline = tmp_path("baseline");
+    let args = [
+        "exact", "--sweep", "--graph", "k2", "--rounds", "24", "--t", "24",
+    ];
+    let output = ca_bin()
+        .args(args)
+        .arg("--out")
+        .arg(&baseline)
+        .output()
+        .expect("write baseline");
+    assert!(output.status.success());
+
+    // Same configuration: the gate passes (and --out may refresh in place).
+    let same = ca_bin()
+        .args(args)
+        .arg("--compare")
+        .arg(&baseline)
+        .output()
+        .expect("run ca exact --sweep --compare");
+    assert!(
+        same.status.success(),
+        "identical sweep must pass the drift gate: {}",
+        String::from_utf8_lossy(&same.stderr)
+    );
+
+    // Different budget: the exact rationals drift, the gate fails.
+    let drifted = ca_bin()
+        .args([
+            "exact",
+            "--sweep",
+            "--graph",
+            "k2",
+            "--rounds",
+            "24",
+            "--t",
+            "12",
+            "--compare",
+        ])
+        .arg(&baseline)
+        .output()
+        .expect("run drifted compare");
+    assert!(!drifted.status.success(), "a drifted sweep must fail");
+    let err = String::from_utf8_lossy(&drifted.stderr);
+    assert!(err.contains("drifted from the baseline"), "{err}");
+
+    let _ = std::fs::remove_file(&baseline);
+}
+
+#[test]
+fn sweep_rejects_ineligible_graphs_with_a_typed_error() {
+    let output = ca_bin()
+        .args([
+            "exact", "--sweep", "--graph", "k5", "--rounds", "4", "--t", "4",
+        ])
+        .output()
+        .expect("run ca exact --sweep on K5");
+    assert!(!output.status.success(), "K5 has 20 directed edges > 12");
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("error:"), "{err}");
+}

@@ -151,6 +151,34 @@ impl CaError {
     }
 }
 
+/// Largest exponent any exhaustive enumeration accepts: `2^24` (≈ 16M)
+/// executions. Shared by [`crate::run::Run::try_enumerate_all`] and the
+/// tape-enumeration oracles in `ca-analysis`, so every enumerator states the
+/// same unit and trips at the same size.
+pub const MAX_ENUMERATION_BITS: usize = 24;
+
+/// Guards an exhaustive enumeration of `2^bits` executions: `Ok(())` when
+/// the instance fits under [`MAX_ENUMERATION_BITS`], otherwise a
+/// [`CaError::MalformedConfig`] naming `what` is being enumerated.
+///
+/// ```
+/// use ca_core::error::{check_enumeration_bits, CaError};
+/// assert!(check_enumeration_bits(24, "tapes").is_ok());
+/// assert!(matches!(
+///     check_enumeration_bits(25, "tapes"),
+///     Err(CaError::MalformedConfig { .. })
+/// ));
+/// ```
+pub fn check_enumeration_bits(bits: usize, what: &str) -> Result<(), CaError> {
+    if bits > MAX_ENUMERATION_BITS {
+        return Err(CaError::malformed(format!(
+            "enumerating 2^{bits} {what} is too large \
+             (max 2^{MAX_ENUMERATION_BITS} = 16M executions)"
+        )));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +214,21 @@ mod tests {
             reason: "must be positive",
         };
         assert!(e.to_string().contains("epsilon"));
+    }
+
+    #[test]
+    fn enumeration_guard_trips_past_24_bits_with_the_execution_unit() {
+        assert_eq!(check_enumeration_bits(0, "runs"), Ok(()));
+        assert_eq!(check_enumeration_bits(24, "runs"), Ok(()));
+        let err = check_enumeration_bits(25, "runs").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("2^25 runs"), "{msg}");
+        assert!(msg.contains("2^24 = 16M executions"), "{msg}");
+        // Both enumerators share this guard, so the wording is identical
+        // whatever is being enumerated.
+        let tapes = check_enumeration_bits(30, "tapes").unwrap_err().to_string();
+        assert!(tapes.contains("2^30 tapes"), "{tapes}");
+        assert!(tapes.contains("2^24 = 16M executions"), "{tapes}");
     }
 
     #[test]

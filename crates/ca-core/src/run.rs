@@ -546,8 +546,9 @@ impl Run {
     ///
     /// # Panics
     ///
-    /// Panics if the number of slots plus inputs exceeds 24 (≥ 16M runs), to
-    /// guard against accidental blow-ups.
+    /// Panics if the number of slots plus inputs exceeds
+    /// [`crate::error::MAX_ENUMERATION_BITS`] (≥ 16M runs), to guard against
+    /// accidental blow-ups.
     pub fn enumerate_all(graph: &Graph, n: u32) -> Vec<Run> {
         Run::try_enumerate_all(graph, n).unwrap_or_else(|e| panic!("{e}"))
     }
@@ -560,11 +561,7 @@ impl Run {
             .flat_map(|(a, b)| Round::protocol_rounds(n).map(move |r| MsgSlot::new(a, b, r)))
             .collect();
         let bits = slots.len() + graph.len();
-        if bits > 24 {
-            return Err(CaError::malformed(format!(
-                "enumerate_all over {bits} bits is too large (max 24: >= 16M runs)"
-            )));
-        }
+        crate::error::check_enumeration_bits(bits, "runs")?;
         let mut out = Vec::with_capacity(1usize << bits);
         for mask in 0u64..(1u64 << bits) {
             let mut run = Run::empty(graph.len(), n);

@@ -146,11 +146,28 @@ pub enum CounterId {
     ServeRetries,
     /// Shard restarts performed by the supervisor after a panic.
     ServeShardRestarts,
+    /// Level-DP states first reached: new `(structural class, base)` pairs
+    /// discovered by the exact sweep, plus canonical states visited by the
+    /// per-run path.
+    ExactDpStates,
+    /// Level-DP transition-kernel cache hits (a structural class whose
+    /// per-pattern successors were already memoized).
+    ExactDpKernelHits,
+    /// Level-DP transition-kernel cache misses (kernels built by running the
+    /// real counting automaton over every delivery pattern).
+    ExactDpKernelMisses,
+    /// Level-DP clip-equivalence collapses: successor states folded into an
+    /// already-represented equivalence class (kernel dedup plus base-count
+    /// clipping at the probability-saturation ceiling).
+    ExactDpCollapses,
+    /// Exact evaluations that fell back from the level-DP to the scalar
+    /// oracle (ineligible instance, or a cross-check divergence).
+    ExactDpFallbacks,
 }
 
 impl CounterId {
     /// Number of counters in the registry.
-    pub const COUNT: usize = 36;
+    pub const COUNT: usize = 41;
 
     /// Every counter, in canonical registry (report) order.
     pub const ALL: [CounterId; Self::COUNT] = [
@@ -190,6 +207,11 @@ impl CounterId {
         CounterId::ServeFailed,
         CounterId::ServeRetries,
         CounterId::ServeShardRestarts,
+        CounterId::ExactDpStates,
+        CounterId::ExactDpKernelHits,
+        CounterId::ExactDpKernelMisses,
+        CounterId::ExactDpCollapses,
+        CounterId::ExactDpFallbacks,
     ];
 
     /// The counter's stable report name (`layer.metric`).
@@ -231,6 +253,11 @@ impl CounterId {
             CounterId::ServeFailed => "serve.failed",
             CounterId::ServeRetries => "serve.retries",
             CounterId::ServeShardRestarts => "serve.shard_restarts",
+            CounterId::ExactDpStates => "exact.dp.states",
+            CounterId::ExactDpKernelHits => "exact.dp.kernel_hits",
+            CounterId::ExactDpKernelMisses => "exact.dp.kernel_misses",
+            CounterId::ExactDpCollapses => "exact.dp.collapses",
+            CounterId::ExactDpFallbacks => "exact.dp.fallbacks",
         }
     }
 }
@@ -342,11 +369,18 @@ pub enum SpanId {
     HuntEvaluate,
     /// Delta-debug shrinking of the hunt's best schedule.
     HuntShrink,
+    /// One exact level-DP worst-case sweep (`level_dp::worst_case`): every
+    /// round's frontier advance over all delivery patterns and input sets.
+    ExactDpSweep,
+    /// Transition-kernel builds within a sweep (cache misses only).
+    ExactDpKernel,
+    /// Frontier extremes evaluation (curve checkpoints + final report).
+    ExactDpExtremes,
 }
 
 impl SpanId {
     /// Number of spans in the registry.
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 21;
 
     /// Every span, in canonical registry order (parents before children).
     pub const ALL: [SpanId; Self::COUNT] = [
@@ -368,6 +402,9 @@ impl SpanId {
         SpanId::HuntGeneration,
         SpanId::HuntEvaluate,
         SpanId::HuntShrink,
+        SpanId::ExactDpSweep,
+        SpanId::ExactDpKernel,
+        SpanId::ExactDpExtremes,
     ];
 
     /// The span's stable report name.
@@ -391,6 +428,9 @@ impl SpanId {
             SpanId::HuntGeneration => "hunt.generation",
             SpanId::HuntEvaluate => "hunt.evaluate",
             SpanId::HuntShrink => "hunt.shrink",
+            SpanId::ExactDpSweep => "exact.dp.sweep",
+            SpanId::ExactDpKernel => "exact.dp.kernel",
+            SpanId::ExactDpExtremes => "exact.dp.extremes",
         }
     }
 
@@ -401,7 +441,8 @@ impl SpanId {
             | SpanId::SimSimulate
             | SpanId::ChaosCampaign
             | SpanId::ServeRun
-            | SpanId::HuntRun => None,
+            | SpanId::HuntRun
+            | SpanId::ExactDpSweep => None,
             SpanId::SimTrial => Some(SpanId::SimSimulate),
             SpanId::RunSample | SpanId::ExecExecute | SpanId::SimVerdict => Some(SpanId::SimTrial),
             SpanId::ChaosEvaluate | SpanId::ChaosShrink => Some(SpanId::ChaosCampaign),
@@ -410,6 +451,7 @@ impl SpanId {
             SpanId::ServeInstance => Some(SpanId::ServeShard),
             SpanId::HuntGeneration | SpanId::HuntShrink => Some(SpanId::HuntRun),
             SpanId::HuntEvaluate => Some(SpanId::HuntGeneration),
+            SpanId::ExactDpKernel | SpanId::ExactDpExtremes => Some(SpanId::ExactDpSweep),
         }
     }
 

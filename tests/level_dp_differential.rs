@@ -1,0 +1,226 @@
+//! Differential oracle for the level-vector DP.
+//!
+//! The DP (`ca_analysis::level_dp`) promises **exact** agreement — equal
+//! rationals, not statistically close — with three independent oracles:
+//!
+//! * per fixed run, the closed-form `protocol_s_outcomes_slack` and (for
+//!   power-of-two `t`) exhaustive enumeration of real `GridS` executions
+//!   over every leader tape — the discretization is exact when `t | 2^b`;
+//! * per fixed run, the deterministic `FixedThreshold` protocol executed
+//!   outright (its outcome distribution is an indicator);
+//! * over the whole run space, `worst_case_by_enumeration` — every input
+//!   subset × delivery pattern at `bits ≤ 24`, the strongest adversary the
+//!   enumeration wall permits.
+//!
+//! Past the wall, enumeration must refuse with its typed error while the
+//! sweep keeps answering (the point of the DP) — pinned by the boundary
+//! test. The audited fallback mirrors the Monte Carlo engine's
+//! sliced-vs-scalar spot-check contract.
+
+use coordinated_attack::analysis::enumeration::enumerate_leader_tapes;
+use coordinated_attack::analysis::exact::protocol_s_outcomes_slack;
+use coordinated_attack::analysis::level_dp::{self, DpSpec};
+use coordinated_attack::core::tape::BitTape;
+use coordinated_attack::prelude::*;
+use coordinated_attack::protocols::GridS;
+use coordinated_attack::sim::RunSampler;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random thinning of the good run: inputs kept with
+/// probability 3/4, delivery slots with probability 3/5 (the same mix the
+/// sliced-engine differential uses).
+fn thin_run(g: &Graph, n: u32, seed: u64) -> Run {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut run = Run::good(g, n);
+    for i in g.vertices() {
+        if !rng.gen_bool(0.75) {
+            run.remove_input(i);
+        }
+    }
+    let slots: Vec<_> = run.messages().collect();
+    for s in slots {
+        if !rng.gen_bool(0.6) {
+            run.remove_message(s.from, s.to, s.round);
+        }
+    }
+    run
+}
+
+/// A DP-eligible (graph, horizon) pair small enough for the run-space
+/// enumeration oracle: `m + E·n ≤ 24` bits.
+fn tiny_shape(choice: u8) -> (Graph, u32) {
+    match choice % 4 {
+        0 => (
+            Graph::complete(2).expect("graph"),
+            1 + u32::from(choice) % 6,
+        ),
+        1 => (
+            Graph::complete(3).expect("graph"),
+            1 + u32::from(choice) % 2,
+        ),
+        2 => (Graph::line(3).expect("graph"), 1 + u32::from(choice) % 3),
+        _ => (Graph::ring(4).expect("graph"), 1),
+    }
+}
+
+/// One of the four DP-eligible firing rules.
+fn spec_for(choice: u8, t: u64, theta: u32) -> DpSpec {
+    match choice % 4 {
+        0 => DpSpec::protocol_s(t),
+        1 => DpSpec::message_validity(t),
+        2 => DpSpec::eager(t),
+        _ => DpSpec::threshold(theta),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The whole-run-space differential: the sweep's worst-case TA and PA
+    /// must equal brute force over every enumerated run, for every firing
+    /// rule, on shapes the 24-bit oracle can still reach.
+    #[test]
+    fn sweep_equals_run_enumeration_on_tiny_shapes(
+        shape in any::<u8>(),
+        spec_choice in any::<u8>(),
+        t in 1u64..=8,
+        theta in 1u32..=4,
+    ) {
+        let (g, n) = tiny_shape(shape);
+        let spec = spec_for(spec_choice, t, theta);
+        let report = level_dp::sweep(&g, n, &spec, &[n]).expect("DP-eligible");
+        let (ta, pa) = level_dp::worst_case_by_enumeration(&g, n, &spec).expect("oracle");
+        prop_assert_eq!(report.final_max_ta, ta, "max TA diverged");
+        prop_assert_eq!(report.u_s, pa, "max PA diverged");
+    }
+
+    /// Per-run differential against the independent closed form, across the
+    /// slack family (Protocol S and eager) on thinned runs.
+    #[test]
+    fn run_outcomes_equal_the_closed_form_on_thinned_runs(
+        m in 2usize..=4,
+        n in 1u32..=6,
+        run_seed in any::<u64>(),
+        t in 1u64..=9,
+        slack in 0u32..=1,
+    ) {
+        let g = Graph::complete(m).expect("graph");
+        let run = thin_run(&g, n, run_seed);
+        let spec = if slack == 0 { DpSpec::protocol_s(t) } else { DpSpec::eager(t) };
+        let dp = level_dp::run_outcomes(&g, &run, &spec).expect("eligible");
+        let oracle = protocol_s_outcomes_slack(&g, &run, t, slack);
+        prop_assert_eq!(dp, oracle);
+    }
+
+    /// Per-run differential against enumerated **executions**: for
+    /// power-of-two `t = 2^k`, `GridS` with a `2^k`-point firing grid is not
+    /// an approximation — `t` divides the grid, so every threshold
+    /// probability is exactly `count/t` and the enumerated distribution over
+    /// all `2^k` leader tapes must equal the DP's rationals bit for bit.
+    #[test]
+    fn run_outcomes_equal_grid_tape_enumeration_at_power_of_two_t(
+        m in 2usize..=3,
+        n in 1u32..=5,
+        run_seed in any::<u64>(),
+        k in 1u32..=4,
+    ) {
+        let g = Graph::complete(m).expect("graph");
+        let run = thin_run(&g, n, run_seed);
+        let t = 1u64 << k;
+        let dp = level_dp::run_outcomes(&g, &run, &DpSpec::protocol_s(t)).expect("eligible");
+        let grid = GridS::new(1.0 / t as f64, k);
+        let (oracle, _) = enumerate_leader_tapes(&grid, &g, &run, k);
+        prop_assert_eq!(dp, oracle);
+    }
+
+    /// Per-run differential for the deterministic threshold rule: the DP's
+    /// distribution must be the indicator of the executed outcome.
+    #[test]
+    fn threshold_outcomes_equal_the_executed_indicator(
+        m in 2usize..=4,
+        n in 1u32..=6,
+        run_seed in any::<u64>(),
+        theta in 1u32..=5,
+    ) {
+        let g = Graph::complete(m).expect("graph");
+        let run = thin_run(&g, n, run_seed);
+        let dp = level_dp::run_outcomes(&g, &run, &DpSpec::threshold(theta)).expect("eligible");
+        let proto = FixedThreshold::new(theta);
+        let tapes = TapeSet::from_tapes(vec![BitTape::from_words(vec![0]); m]);
+        let ex = execute(&proto, &g, &run, &tapes);
+        let (ta, na, pa) = match ex.outcome() {
+            Outcome::TotalAttack => (Rational::ONE, Rational::ZERO, Rational::ZERO),
+            Outcome::NoAttack => (Rational::ZERO, Rational::ONE, Rational::ZERO),
+            Outcome::PartialAttack => (Rational::ZERO, Rational::ZERO, Rational::ONE),
+        };
+        prop_assert_eq!((dp.ta, dp.na, dp.pa), (ta, na, pa));
+    }
+
+    /// The audited fallback path: on every DP-eligible run it must agree
+    /// with the scalar closed form and report that the DP answered — the
+    /// fallback only fires on divergence, and there is none.
+    #[test]
+    fn audited_fallback_routes_the_dp_answer_through(
+        m in 2usize..=4,
+        n in 1u32..=6,
+        run_seed in any::<u64>(),
+        t in 1u64..=9,
+    ) {
+        let g = Graph::complete(m).expect("graph");
+        let run = thin_run(&g, n, run_seed);
+        let (out, used_dp) = level_dp::outcomes_with_fallback(&g, &run, t, true);
+        prop_assert!(used_dp, "the DP must survive its own audit");
+        prop_assert_eq!(out, protocol_s_outcomes(&g, &run, t));
+    }
+
+    /// Sampler-driven runs (the Monte Carlo engine's run distribution, not
+    /// just thinnings of the good run) go through the same audited path.
+    #[test]
+    fn audited_fallback_holds_on_sampled_runs(
+        n in 1u32..=6,
+        drop_pct in 0u64..=100,
+        sample_seed in any::<u64>(),
+        t in 1u64..=9,
+    ) {
+        let g = Graph::complete(3).expect("graph");
+        let sampler = RandomDrop::new(&g, n, drop_pct as f64 / 100.0);
+        let run = sampler.sample(&mut StdRng::seed_from_u64(sample_seed));
+        let (out, used_dp) = level_dp::outcomes_with_fallback(&g, &run, t, true);
+        prop_assert!(used_dp);
+        prop_assert_eq!(out, protocol_s_outcomes(&g, &run, t));
+    }
+}
+
+/// The exact boundary of the enumeration oracle, and the first step past it.
+/// On `K2`, `n = 11` is the largest enumerable shape (`2 + 2·11 = 24`
+/// bits); `n = 12` is 26 bits — `try_enumerate_all` must refuse with its
+/// typed error while the sweep keeps answering, with the closed-form §8
+/// values. The oracle cross-check runs at `n = 8` (`2^18` runs): same code
+/// path as the wall, debug-build-friendly size.
+#[test]
+fn sweep_crosses_the_enumeration_wall_with_the_closed_form_values() {
+    let g = Graph::complete(2).expect("graph");
+    let spec = DpSpec::protocol_s(12);
+
+    // Below the wall the oracle works and the sweep matches it.
+    let below_wall = level_dp::sweep(&g, 8, &spec, &[8]).expect("sweep below the wall");
+    let (ta, pa) = level_dp::worst_case_by_enumeration(&g, 8, &spec).expect("18 bits is legal");
+    assert_eq!(below_wall.final_max_ta, ta);
+    assert_eq!(below_wall.u_s, pa);
+
+    // One round further: enumeration refuses, the DP answers.
+    let err = Run::try_enumerate_all(&g, 12).expect_err("26 bits must refuse");
+    assert!(
+        err.to_string().contains("2^26 runs"),
+        "guard names the size and unit: {err}"
+    );
+    assert!(level_dp::worst_case_by_enumeration(&g, 12, &spec).is_err());
+    let past_wall = level_dp::sweep(&g, 12, &spec, &[12]).expect("sweep past the wall");
+    // ML(good run) = N on K2, so liveness 1 arrives exactly at N = t = 12,
+    // and the worst-case disagreement is ε = 1/12 (Theorems 6.7/6.8).
+    assert_eq!(past_wall.first_certain_round, Some(12));
+    assert_eq!(past_wall.final_max_ta, Rational::ONE);
+    assert_eq!(past_wall.u_s, Rational::new(1, 12));
+}
