@@ -42,6 +42,7 @@ mod x03_bandwidth;
 mod x04_chain_vs_gossip;
 mod x05_eager_dichotomy;
 mod x06_exact_curve;
+mod x07_sweep_frontier;
 
 pub use e01_protocol_a_unsafety::ProtocolAUnsafety;
 pub use e02_protocol_a_liveness::ProtocolALiveness;
@@ -60,6 +61,7 @@ pub use x03_bandwidth::BandwidthAblation;
 pub use x04_chain_vs_gossip::ChainVsGossip;
 pub use x05_eager_dichotomy::EagerDichotomy;
 pub use x06_exact_curve::ExactCurve;
+pub use x07_sweep_frontier::SweepFrontier;
 
 /// How big to run an experiment.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -142,10 +144,10 @@ pub trait Experiment: Sync {
 
 /// All experiments, in order: the paper suite E1–E12 plus the extension /
 /// ablation experiments X2 (adaptive adversary), X3 (bandwidth), X4
-/// (chain vs gossip), X5 (eager dichotomy), and X6 (the exact §8 curve via
-/// the level-vector DP). X1 (the asynchronous model) lives in the
-/// `ca-async` crate, which this crate cannot depend on; the `expt` runner
-/// appends it.
+/// (chain vs gossip), X5 (eager dichotomy), X6 (the exact §8 curve via
+/// the level-vector DP), and X7 (big-graph topology × weak-adversary
+/// frontiers). X1 (the asynchronous model) lives in the `ca-async` crate,
+/// which this crate cannot depend on; the `expt` runner appends it.
 pub fn all_experiments() -> Vec<Box<dyn Experiment>> {
     vec![
         Box::new(ProtocolAUnsafety),
@@ -165,6 +167,7 @@ pub fn all_experiments() -> Vec<Box<dyn Experiment>> {
         Box::new(ChainVsGossip),
         Box::new(EagerDichotomy),
         Box::new(ExactCurve),
+        Box::new(SweepFrontier),
     ]
 }
 
@@ -197,11 +200,11 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let all = all_experiments();
-        assert_eq!(all.len(), 17);
+        assert_eq!(all.len(), 18);
         let mut ids: Vec<_> = all.iter().map(|e| e.id()).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 17, "duplicate experiment ids");
+        assert_eq!(ids.len(), 18, "duplicate experiment ids");
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //!   crossovers (Section 8's 1000-round claim).
 //! * [`weak_exact`] — exact Markov-chain analysis of the weak adversary on
 //!   two generals (the analytic form of §8's unpublished claim).
+//! * [`sweep`] — big-graph scenario sweeps: topology × weak-adversary
+//!   tradeoff frontiers over generated graphs (`ca sweep`).
 //! * [`experiments`] — E1–E12, the executable version of the paper's claims;
 //!   see DESIGN.md §4 for the index.
 //! * [`report`] — tables (text + CSV) used by the experiment runner.
@@ -26,6 +28,7 @@ pub mod experiments;
 pub mod level_dp;
 pub mod report;
 pub mod runs;
+pub mod sweep;
 pub mod tradeoff;
 pub mod weak_exact;
 
@@ -33,3 +36,4 @@ pub use exact::{protocol_a_outcomes, protocol_s_outcomes, ExactOutcome};
 pub use experiments::{all_experiments, experiment_by_id, Experiment, ExperimentResult, Scale};
 pub use level_dp::{DpSpec, SweepReport};
 pub use report::Table;
+pub use sweep::{run_sweep, ScenarioSweepConfig, ScenarioSweepReport};

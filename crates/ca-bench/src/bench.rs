@@ -68,6 +68,15 @@ pub struct BenchEntry {
 /// regressions exactly like the experiments.
 pub const DP_PROBE_ID: &str = "DP";
 
+/// Id of the synthetic big-graph scenario-sweep throughput entry appended
+/// after [`DP_PROBE_ID`]: one `ca sweep` workload (m = 1000 topologies ×
+/// weak adversaries through the sparse level frontier), reporting
+/// **frontier-classified trials per second** in
+/// [`BenchEntry::trials_per_sec`]. This is the regression gate for the
+/// sparse gossip path, which the per-experiment entries (tiny graphs)
+/// barely exercise.
+pub const SWEEP_PROBE_ID: &str = "SWEEP";
+
 /// The full bench report (`BENCH_experiments.json`).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -96,7 +105,7 @@ impl BenchReport {
 }
 
 /// The full registry `ca bench` sweeps: the synchronous suite plus the
-/// asynchronous extension experiments, in id order (E1–E12, X1–X6). The
+/// asynchronous extension experiments, in id order (E1–E12, X1–X7). The
 /// asynchronous X1 is merged into its numeric slot rather than appended, so
 /// the report order matches the registry ids.
 pub fn bench_registry() -> Vec<Box<dyn Experiment>> {
@@ -137,6 +146,7 @@ pub fn run_bench(config: &BenchConfig) -> BenchReport {
         });
     }
     experiments.push(dp_probe(&scale, config.stable, &mut total_ms));
+    experiments.push(sweep_probe(&scale, config.stable, &mut total_ms));
     BenchReport {
         schema: 1,
         scale: if config.full { "full" } else { "quick" }.to_owned(),
@@ -176,6 +186,46 @@ fn dp_probe(scale: &Scale, stable: bool, total_ms: &mut f64) -> BenchEntry {
         passed,
         wall_ms,
         trials_per_sec: states_per_sec,
+    }
+}
+
+/// The scenario-sweep throughput probe behind the [`SWEEP_PROBE_ID`] entry:
+/// the default `ca sweep` workload (paper scale m = 1000 from
+/// `trials ≥ 2000`, smoke-sized below), timed end to end — topology
+/// generation, weak-adversary edge sampling, and the sparse level frontier.
+/// `passed` folds in the tradeoff-shape check (TA monotone nonincreasing in
+/// `t`, exact under common random numbers). Classified trials per second is
+/// the throughput unit.
+fn sweep_probe(scale: &Scale, stable: bool, total_ms: &mut f64) -> BenchEntry {
+    use ca_analysis::sweep::{run_sweep, ScenarioSweepConfig};
+
+    let (m, trials) = if scale.trials >= 2_000 {
+        (1_000, 100)
+    } else {
+        (96, 12)
+    };
+    let config = ScenarioSweepConfig::default_at(m, trials, scale.seed);
+    let start = Instant::now();
+    let report = run_sweep(&config).expect("default sweep config is well-formed");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    *total_ms += wall_ms;
+    let passed = report.cells.len() == config.topologies.len() * config.adversaries.len()
+        && report.cells.iter().all(|cell| {
+            cell.points
+                .windows(2)
+                .all(|w| w[0].ta.successes >= w[1].ta.successes)
+        });
+    let classified: u64 = report.cells.iter().map(|c| c.trials).sum();
+    let (wall_ms, classified_per_sec) = if stable {
+        (0.0, 0.0)
+    } else {
+        (wall_ms, classified as f64 / (wall_ms / 1e3))
+    };
+    BenchEntry {
+        id: SWEEP_PROBE_ID.to_owned(),
+        passed,
+        wall_ms,
+        trials_per_sec: classified_per_sec,
     }
 }
 
@@ -326,11 +376,11 @@ mod tests {
         assert_eq!(a.to_json_pretty(), b.to_json_pretty());
         assert_eq!(
             a.experiments.len(),
-            19,
-            "17 sync experiments + X1 + the DP probe"
+            21,
+            "18 sync experiments + X1 + the DP and SWEEP probes"
         );
         assert!(a.experiments.iter().all(|e| e.passed), "{a:?}");
-        assert_eq!(a.experiments.last().unwrap().id, DP_PROBE_ID);
+        assert_eq!(a.experiments.last().unwrap().id, SWEEP_PROBE_ID);
         assert!(!a.timed);
         assert_eq!(a.total_wall_ms, 0.0);
     }
@@ -357,9 +407,13 @@ mod tests {
             stable: true,
         });
         let report_ids: Vec<&str> = report.experiments.iter().map(|e| e.id.as_str()).collect();
-        // The synthetic DP throughput probe is appended after the registry.
+        // The synthetic DP and SWEEP throughput probes are appended after
+        // the registry, in that order.
         assert_eq!(report_ids[..registry_ids.len()], registry_ids);
-        assert_eq!(report_ids.last(), Some(&DP_PROBE_ID));
+        assert_eq!(
+            report_ids[registry_ids.len()..],
+            [DP_PROBE_ID, SWEEP_PROBE_ID]
+        );
         let json = report.to_json_pretty();
         let mut last = 0;
         for id in &registry_ids {

@@ -18,6 +18,8 @@
 //! ca profile  --compare profile.json               # fail if stable counters drift
 //! ca serve    --smoke --report                     # sharded service under chaos load
 //! ca serve    --smoke --compare serve_smoke.json   # fail on drift / p99 regression
+//! ca sweep    --m 1000 --trials 100 --out sweep.json    # big-graph frontiers
+//! ca sweep    --m 1000 --trials 100 --compare sweep.json # fail on drift
 //! ca graphs                                        # list available topologies
 //! ```
 //!
@@ -101,6 +103,8 @@ struct Opts {
     bench_trials: Option<u64>,
     compare: Option<String>,
     sweep: bool,
+    // `sweep` command: process count for the generated topologies.
+    m: usize,
     // `serve` flags. Options so a preset (`--smoke`) keeps its tuning unless
     // a flag is given explicitly.
     instances: Option<u64>,
@@ -147,6 +151,7 @@ impl Default for Opts {
             bench_trials: None,
             compare: None,
             sweep: false,
+            m: 1000,
             instances: None,
             shards: None,
             queue_bound: None,
@@ -223,6 +228,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--full" => opts.full = true,
             "--sweep" => opts.sweep = true,
+            "--m" => opts.m = next("a count")?.parse().map_err(|_| "bad --m".to_owned())?,
             "--stable" => opts.stable = true,
             "--timed" => opts.timed = true,
             "--spans" => opts.spans = true,
@@ -349,7 +355,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().map(String::as_str) else {
         eprintln!(
-            "usage: ca <levels|trace|simulate|exact|chaos|hunt|bench|profile|serve|graphs> \
+            "usage: ca <levels|trace|simulate|exact|chaos|hunt|bench|profile|serve|sweep|graphs> \
              [flags] (see --help)"
         );
         return ExitCode::FAILURE;
@@ -358,7 +364,7 @@ fn main() -> ExitCode {
         println!(
             "ca — explore the coordinated-attack model\n\
              commands: levels, trace, simulate, exact, chaos, hunt, bench, profile, serve, \
-             graphs\n\
+             sweep, graphs\n\
              flags: --graph NAME --rounds N --epsilon E | --t T --cut R \
              --drop-link F:T:R --trials K --seed S\n\
              exact: [--sweep] [--out FILE] [--compare OLD.json] — one run's \
@@ -394,7 +400,13 @@ fn main() -> ExitCode {
              under load; the aggregate report is byte-stable in (scale, \
              seed) at any --threads; --compare fails if stable counters \
              drift or p99 decision latency regresses past the budget \
-             (default 25%)"
+             (default 25%)\n\
+             sweep: [--m N] [--trials K] [--seed S] [--threads W] \
+             [--out FILE] [--compare OLD.json] — topology × weak-adversary \
+             tradeoff frontiers on generated big graphs (grid, small world, \
+             scale free × iid and Gilbert–Elliott loss) via the sparse level \
+             frontier; byte-stable JSON on stdout (table on stderr) at any \
+             --threads; --compare fails on any drift from a baseline"
         );
         return ExitCode::SUCCESS;
     }
@@ -784,6 +796,65 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
                 eprintln!("serve compare: stable counters match, p99 within budget");
+            }
+        }
+        "sweep" => {
+            // Big-graph scenario sweep: observed TA/PA/NA frontiers per
+            // topology × weak adversary, as byte-stable JSON (no clocks,
+            // integer tallies, per-trial seed streams). The human-readable
+            // table goes to stderr so stdout stays pure JSON.
+            let mut config = ca_analysis::ScenarioSweepConfig::default_at(
+                opts.m,
+                opts.bench_trials.unwrap_or(100),
+                opts.seed,
+            );
+            config.threads = opts.threads;
+            let report = match ca_analysis::run_sweep(&config) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let json = serde::json::to_string_pretty(&report)
+                .expect("sweep reports are always serializable");
+            println!("{json}");
+            eprintln!("{}", report.table());
+            // Baseline is read before --out, like `ca bench --compare`.
+            let old: Option<ca_analysis::ScenarioSweepReport> = match &opts.compare {
+                Some(path) => {
+                    let text = match std::fs::read_to_string(path) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            eprintln!("error: cannot read `{path}`: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    match serde::json::from_str(&text) {
+                        Ok(r) => Some(r),
+                        Err(e) => {
+                            eprintln!("error: bad sweep report in `{path}`: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                None => None,
+            };
+            if let Some(path) = &opts.out {
+                if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                    eprintln!("error: cannot write `{path}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let Some(old) = old {
+                if old != report {
+                    eprintln!(
+                        "error: scenario sweep drifted from the baseline \
+                         (integer tallies disagree — not timer noise)"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("sweep compare: byte-identical to the baseline");
             }
         }
         "chaos" => {

@@ -393,7 +393,7 @@ mod tests {
         let b = run_profile(&smoke_config());
         assert_eq!(a.report, b.report);
         assert_eq!(a.report.to_json_pretty(), b.report.to_json_pretty());
-        assert_eq!(a.report.experiments.len(), 18, "17 sync experiments + X1");
+        assert_eq!(a.report.experiments.len(), 19, "18 sync experiments + X1");
         assert!(!a.report.timed);
         assert!(a
             .report

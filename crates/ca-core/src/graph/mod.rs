@@ -17,9 +17,17 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
 
-/// Maximum number of processes supported (bounded by the seen-set bitmask width
-/// used in protocol messages).
-pub const MAX_PROCESSES: usize = 128;
+pub mod generators;
+
+pub use generators::{GraphStats, TopologySpec};
+
+/// Maximum number of processes supported. The seen-sets in protocol messages
+/// and the level frontier are hybrid inline/heap [`crate::bitset::BitSet`]s,
+/// so the bound is a sanity rail against accidental quadratic blowups (a
+/// `Run`'s delivery matrix is `m²` bits per round), not a representation
+/// limit; it is sized for the big-graph scenario sweeps (`ca sweep` at
+/// `m` in the hundreds to ~2000).
+pub const MAX_PROCESSES: usize = 2048;
 
 /// An undirected communication graph over processes `0..m`.
 ///
@@ -201,7 +209,7 @@ impl Graph {
                 reason: "hypercube dimension must be at least 1",
             });
         }
-        if d > 7 {
+        if (1usize << d) > MAX_PROCESSES {
             return Err(ModelError::TooManyProcesses {
                 got: 1usize << d,
                 max: MAX_PROCESSES,
@@ -515,7 +523,8 @@ mod tests {
             assert_eq!(g.neighbors(v).len(), 3);
         }
         assert!(Graph::hypercube(0).is_err());
-        assert!(Graph::hypercube(8).is_err());
+        assert!(Graph::hypercube(12).is_err());
+        assert!(Graph::hypercube(11).is_ok());
     }
 
     #[test]
@@ -555,7 +564,7 @@ mod tests {
             Err(ModelError::TooFewProcesses { .. })
         ));
         assert!(matches!(
-            Graph::new(200, &[]),
+            Graph::new(MAX_PROCESSES + 1, &[]),
             Err(ModelError::TooManyProcesses { .. })
         ));
         assert!(matches!(

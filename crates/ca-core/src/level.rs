@@ -10,23 +10,48 @@
 //! both the input *and* the leader's round-0 state `(1, 0)` to flow to the
 //! process (because Protocol S needs every attacker to know `rfire`).
 //!
-//! Two implementations are provided:
+//! Three implementations are provided:
 //!
+//! * [`min_level_into`] / [`min_modified_level_into`] — a sparse
+//!   counting-automaton frontier, `O(|messages| · m/64)` per round, generic
+//!   over any [`DeliverySource`] (dense [`Run`] or edge-keyed
+//!   [`crate::run::EdgeRun`]); this is the hot path every Monte Carlo trial
+//!   rides. See DESIGN.md §11 for the frontier invariant.
 //! * [`levels`] / [`modified_levels`] — an `O(m²·N)` "gossip" dynamic program
-//!   that mirrors how the levels actually propagate; this is what the rest of
-//!   the workspace uses.
+//!   that mirrors how the levels actually propagate, building the full
+//!   per-round table; the dense min-level variant survives as the
+//!   differential oracle behind [`dense_min_level_into`].
 //! * [`level_by_definition`] / [`modified_level_by_definition`] — a direct
 //!   memoized transcription of the recursive definition, used as a test
 //!   oracle.
+//!
+//! # Why the sparse frontier is exact
+//!
+//! The gossip DP carries a full vector `heard[j][i]` per process. But those
+//! vectors obey a spread invariant (the engine-level face of Lemma 6.2): once
+//! `j` has heard that anyone reached height `v ≥ 2`, it must have heard —
+//! transitively, through the same message — that *everyone* reached `v - 1`,
+//! because the only source of "`i` is at `v`" is `i`'s own vector, which held
+//! `≥ v - 1` for every process when `i` got there. So `max - min ≤ 1` within
+//! each vector, and the whole vector compresses losslessly to a pair: the own
+//! level `count_j = heard[j][j]` plus the set
+//! `seen_j = {k : heard[j][k] = count_j}`. That pair is exactly the paper's
+//! Figure-1 counting automaton (Lemma 6.4: `count_i^r = ML_i^r`), and the
+//! frontier propagates it in `O(m/64)` per message instead of `O(m)` —
+//! touching only processes that actually receive messages. The unmodified
+//! level `L` is the same automaton with the leader-state requirement dropped
+//! from the base case. `tests/sparse_level_differential.rs` pins the frontier
+//! against the dense DP over sampled graphs and runs.
 //!
 //! The paper's Lemmas 6.1 and 6.2 (`L_i - 1 ≤ ML_i ≤ L_i`,
 //! `|ML_i - ML_j| ≤ 1`) are asserted in this module's tests and again as
 //! property tests.
 
+use crate::bitset::BitSet;
 use crate::error::CaError;
 use crate::flow::FlowGraph;
 use crate::ids::{ProcessId, Round};
-use crate::run::Run;
+use crate::run::{DeliverySource, Run};
 use serde::{Deserialize, Serialize};
 
 /// Per-process, per-round level table for one run.
@@ -147,6 +172,8 @@ fn ensure_two_processes(run: &Run) -> Result<(), CaError> {
 /// working vectors alive across trials instead of reallocating them.
 #[derive(Debug, Default)]
 pub struct LevelScratch {
+    // --- dense-oracle buffers (the legacy `O(m²)` DP behind
+    // `dense_min_level_into`, kept as the differential oracle) ---
     valid: Vec<bool>,
     heard_leader: Vec<bool>,
     /// `heard[j * m + i]`: best level of `i` known (via flow) to `j`.
@@ -154,6 +181,30 @@ pub struct LevelScratch {
     snap_heard: Vec<u32>,
     snap_valid: Vec<bool>,
     snap_leader: Vec<bool>,
+    // --- sparse frontier buffers (the counting-automaton hot path) ---
+    /// `count[j]`: `j`'s current level (`heard[j][j]` in the dense view).
+    count: Vec<u32>,
+    /// `seen[j]`: processes `j` knows to be at `count[j]` (capacity `m`).
+    seen: Vec<BitSet>,
+    /// Has the input flowed to `j`?
+    fvalid: Vec<bool>,
+    /// Has the leader's round-0 state flowed to `j`?
+    ftoken: Vec<bool>,
+    /// Per-receiver round accumulators: highest sender count received …
+    rx_high: Vec<u32>,
+    /// … union of the seen-sets of senders at that highest count …
+    rx_seen: Vec<BitSet>,
+    /// … and the validity / leader-state bits that flowed in.
+    rx_valid: Vec<bool>,
+    rx_token: Vec<bool>,
+    /// Round stamp per receiver: `stamp[j] == stamp_cur` means `j`'s
+    /// accumulators are live this round (lazy reset, no per-round clear).
+    stamp: Vec<u32>,
+    stamp_cur: u32,
+    /// Receivers touched this round, in first-message order.
+    touch: Vec<u32>,
+    /// `m` the frontier buffers are currently sized for.
+    cap: usize,
 }
 
 impl LevelScratch {
@@ -167,22 +218,188 @@ impl LevelScratch {
 /// allocation-free once the scratch has warmed up, and identical to
 /// `levels(run).min_level()`.
 ///
+/// Generic over the delivery representation: dense [`Run`] or sparse
+/// [`crate::run::EdgeRun`].
+///
 /// # Panics
 ///
 /// Panics if the run has fewer than 2 processes.
-pub fn min_level_into(run: &Run, scratch: &mut LevelScratch) -> u32 {
-    gossip_min_level(run, false, scratch)
+pub fn min_level_into<D: DeliverySource + ?Sized>(run: &D, scratch: &mut LevelScratch) -> u32 {
+    frontier_extremes(run, false, scratch).0
 }
 
 /// `ML(R) = min_i ML_i(R)` without building the full [`LevelTable`] —
 /// allocation-free once the scratch has warmed up, and identical to
 /// `modified_levels(run).min_level()`.
 ///
+/// Generic over the delivery representation: dense [`Run`] or sparse
+/// [`crate::run::EdgeRun`].
+///
 /// # Panics
 ///
 /// Panics if the run has fewer than 2 processes.
-pub fn min_modified_level_into(run: &Run, scratch: &mut LevelScratch) -> u32 {
-    gossip_min_level(run, true, scratch)
+pub fn min_modified_level_into<D: DeliverySource + ?Sized>(
+    run: &D,
+    scratch: &mut LevelScratch,
+) -> u32 {
+    frontier_extremes(run, true, scratch).0
+}
+
+/// Final-level extremes `(min_i L_i(R), max_i L_i(R))` in one frontier pass.
+///
+/// # Panics
+///
+/// Panics if the run has fewer than 2 processes.
+pub fn level_extremes_into<D: DeliverySource + ?Sized>(
+    run: &D,
+    scratch: &mut LevelScratch,
+) -> (u32, u32) {
+    frontier_extremes(run, false, scratch)
+}
+
+/// Final modified-level extremes `(min_i ML_i(R), max_i ML_i(R))` in one
+/// frontier pass — what the `ca sweep` classifier consumes: with Protocol S's
+/// firing threshold `rfire`, TA ⟺ `min ≥ rfire` and NA ⟺ `max < rfire`
+/// (Lemma 6.4 equates `ML` with the attack counts).
+///
+/// # Panics
+///
+/// Panics if the run has fewer than 2 processes.
+pub fn modified_level_extremes_into<D: DeliverySource + ?Sized>(
+    run: &D,
+    scratch: &mut LevelScratch,
+) -> (u32, u32) {
+    frontier_extremes(run, true, scratch)
+}
+
+/// The sparse counting-automaton frontier (see the module docs for why it is
+/// exactly the gossip DP): each process carries `(count, seen)`; a round
+/// sweeps delivered messages into per-receiver accumulators reading only
+/// previous-round sender state, then finalizes the touched receivers —
+/// adopt a higher count outright, union seen-sets at an equal count, and bump
+/// `count` (at most once) when `seen` covers all `m` processes.
+fn frontier_extremes<D: DeliverySource + ?Sized>(
+    run: &D,
+    modified: bool,
+    s: &mut LevelScratch,
+) -> (u32, u32) {
+    let m = run.process_count();
+    let n = run.horizon();
+    assert!(m >= 2, "levels are defined for m >= 2 (paper's model)");
+
+    if s.cap != m {
+        s.cap = m;
+        s.count = vec![0; m];
+        s.seen = (0..m).map(|_| BitSet::new(m)).collect();
+        s.rx_seen = (0..m).map(|_| BitSet::new(m)).collect();
+        s.fvalid = vec![false; m];
+        s.ftoken = vec![false; m];
+        s.rx_high = vec![0; m];
+        s.rx_valid = vec![false; m];
+        s.rx_token = vec![false; m];
+        s.stamp = vec![0; m];
+        s.stamp_cur = 0;
+        s.touch = Vec::with_capacity(m);
+    }
+
+    let base_holds = |valid: bool, token: bool| -> bool {
+        if modified {
+            valid && token
+        } else {
+            valid
+        }
+    };
+
+    // Round 0: inputs arrive; the leader holds its own round-0 state.
+    for j in 0..m {
+        s.fvalid[j] = run.has_input(ProcessId::new(j as u32));
+        s.ftoken[j] = j == ProcessId::LEADER.index();
+        s.seen[j].clear();
+        if base_holds(s.fvalid[j], s.ftoken[j]) {
+            s.count[j] = 1;
+            s.seen[j].insert(j);
+        } else {
+            s.count[j] = 0;
+        }
+    }
+
+    for r in Round::protocol_rounds(n) {
+        // Lazy accumulator reset: a fresh stamp invalidates every receiver's
+        // accumulators at once. On wrap, hard-reset the stamps.
+        s.stamp_cur = s.stamp_cur.wrapping_add(1);
+        if s.stamp_cur == 0 {
+            s.stamp.iter_mut().for_each(|t| *t = 0);
+            s.stamp_cur = 1;
+        }
+        let cur = s.stamp_cur;
+        s.touch.clear();
+        // Sweep: senders' states are still end-of-previous-round values
+        // (writes happen only in the finalize pass), so no snapshot copies
+        // are needed.
+        run.for_each_delivery_in_round(r, |from, to| {
+            let (i, j) = (from.index(), to.index());
+            if s.stamp[j] != cur {
+                s.stamp[j] = cur;
+                s.touch.push(j as u32);
+                s.rx_valid[j] = false;
+                s.rx_token[j] = false;
+                s.rx_high[j] = 0;
+            }
+            s.rx_valid[j] |= s.fvalid[i];
+            s.rx_token[j] |= s.ftoken[i];
+            let ci = s.count[i];
+            if ci > s.rx_high[j] {
+                s.rx_high[j] = ci;
+                s.rx_seen[j].clear();
+                s.rx_seen[j].union_with(&s.seen[i]);
+            } else if ci == s.rx_high[j] && ci > 0 {
+                s.rx_seen[j].union_with(&s.seen[i]);
+            }
+        });
+        // Finalize the touched receivers (untouched state cannot change:
+        // levels only move when a message arrives — Lemma 5.1).
+        for idx in 0..s.touch.len() {
+            let j = s.touch[idx] as usize;
+            s.fvalid[j] |= s.rx_valid[j];
+            s.ftoken[j] |= s.rx_token[j];
+            if s.count[j] == 0 && base_holds(s.fvalid[j], s.ftoken[j]) {
+                s.count[j] = 1;
+                s.seen[j].clear();
+                s.seen[j].insert(j);
+            }
+            if s.count[j] >= 1 && s.rx_high[j] >= s.count[j] {
+                if s.rx_high[j] > s.count[j] {
+                    s.count[j] = s.rx_high[j];
+                    s.seen[j].clear();
+                    s.seen[j].union_with(&s.rx_seen[j]);
+                    s.seen[j].insert(j);
+                } else {
+                    s.seen[j].union_with(&s.rx_seen[j]);
+                }
+                if s.seen[j].is_full() {
+                    s.count[j] += 1;
+                    s.seen[j].clear();
+                    s.seen[j].insert(j);
+                }
+            }
+        }
+    }
+
+    let mut lo = u32::MAX;
+    let mut hi = 0;
+    for &c in &s.count[..m] {
+        lo = lo.min(c);
+        hi = hi.max(c);
+    }
+    (lo, hi)
+}
+
+/// The dense `O(m²)` gossip DP on flat scratch buffers, kept as the
+/// differential oracle for the sparse frontier (see
+/// `tests/sparse_level_differential.rs`). Not part of the supported API.
+#[doc(hidden)]
+pub fn dense_min_level_into(run: &Run, modified: bool, scratch: &mut LevelScratch) -> u32 {
+    gossip_min_level(run, modified, scratch)
 }
 
 /// The same gossip dynamic program as [`gossip_levels`], but on flat scratch
@@ -688,6 +905,79 @@ mod tests {
                     "ML mismatch in {run:?}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn frontier_matches_dense_oracle_and_extremes() {
+        let mut scratch = LevelScratch::new();
+        let mut rng = StdRng::seed_from_u64(909);
+        for g in [
+            Graph::complete(3).unwrap(),
+            Graph::grid(2, 3).unwrap(),
+            Graph::star(5).unwrap(),
+        ] {
+            for _ in 0..25 {
+                let run = random_run(&g, 5, 0.5, &mut rng);
+                for modified in [false, true] {
+                    let table = if modified {
+                        modified_levels(&run)
+                    } else {
+                        levels(&run)
+                    };
+                    let extremes = if modified {
+                        modified_level_extremes_into(&run, &mut scratch)
+                    } else {
+                        level_extremes_into(&run, &mut scratch)
+                    };
+                    assert_eq!(
+                        extremes,
+                        (table.min_level(), table.max_level()),
+                        "extremes mismatch (modified={modified}) in {run:?}"
+                    );
+                    assert_eq!(
+                        extremes.0,
+                        dense_min_level_into(&run, modified, &mut scratch),
+                        "dense oracle mismatch (modified={modified}) in {run:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_accepts_edge_runs() {
+        // The same schedule through both delivery representations must give
+        // identical levels — this is the contract that lets the sweep engine
+        // run on EdgeRun while goldens stay pinned to Run.
+        use crate::run::EdgeRun;
+        let g = Graph::ring(6).unwrap();
+        let mut er = EdgeRun::good(&g, 5);
+        let mut rng = StdRng::seed_from_u64(1234);
+        let mut scratch = LevelScratch::new();
+        for _ in 0..10 {
+            er.reset_good();
+            for e in 0..er.directed_edge_count() {
+                for rr in 1..=5u32 {
+                    if rng.gen_bool(0.4) {
+                        er.destroy(e, r(rr));
+                    }
+                }
+            }
+            if rng.gen_bool(0.3) {
+                er.remove_input(p(rng.gen_range(0..6u32)));
+            }
+            let dense = er.to_run();
+            assert_eq!(
+                modified_level_extremes_into(&er, &mut scratch),
+                modified_level_extremes_into(&dense, &mut scratch),
+                "EdgeRun vs Run ML mismatch in {dense:?}"
+            );
+            assert_eq!(
+                level_extremes_into(&er, &mut scratch),
+                level_extremes_into(&dense, &mut scratch),
+                "EdgeRun vs Run L mismatch in {dense:?}"
+            );
         }
     }
 

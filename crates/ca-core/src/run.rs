@@ -581,6 +581,240 @@ impl Run {
     }
 }
 
+/// A delivery schedule the level frontier can consume: process count,
+/// horizon, inputs, and per-round delivered messages in canonical order.
+///
+/// Two implementations exist: the dense [`Run`] (an `m × m` matrix per
+/// round — canonical, graph-agnostic, serializable) and the sparse
+/// [`EdgeRun`] (one bit per directed *edge* per round — the big-graph hot
+/// path, where `m²` bits per round would dwarf the actual edge set).
+/// [`crate::level::min_modified_level_into`] and friends are generic over
+/// this trait, so both representations ride the same frontier code.
+pub trait DeliverySource {
+    /// Number of processes `m`.
+    fn process_count(&self) -> usize;
+    /// The horizon `N` (last protocol round).
+    fn horizon(&self) -> u32;
+    /// Returns whether process `i` receives the input signal.
+    fn has_input(&self, i: ProcessId) -> bool;
+    /// Calls `f(from, to)` for every delivered message of `round` in
+    /// canonical `(from, to)` order.
+    fn for_each_delivery_in_round(&self, round: Round, f: impl FnMut(ProcessId, ProcessId));
+}
+
+impl DeliverySource for Run {
+    fn process_count(&self) -> usize {
+        self.m
+    }
+
+    fn horizon(&self) -> u32 {
+        self.n
+    }
+
+    fn has_input(&self, i: ProcessId) -> bool {
+        Run::has_input(self, i)
+    }
+
+    fn for_each_delivery_in_round(&self, round: Round, mut f: impl FnMut(ProcessId, ProcessId)) {
+        self.for_each_message_in_round(round, |slot| f(slot.from, slot.to));
+    }
+}
+
+/// An edge-keyed delivery schedule: one bit per directed edge per round.
+///
+/// [`Run`] spends `m²` bits per round so that any ordered pair is
+/// addressable — right for the adversary-search and enumeration paths, but
+/// hopeless at `m = 1000` on a sparse graph (a grid run would burn ~8.7 MB
+/// where the edge set needs ~35 KB). `EdgeRun` fixes the graph up front and
+/// masks only its directed edges, which is what the weak-adversary samplers
+/// perturb anyway.
+///
+/// # Canonical order
+///
+/// Directed edges are stored sorted by `(from, to)`, so per-round iteration
+/// is in the same canonical order as [`Run::messages_in_round`] — this is
+/// what keeps sampler coin draws byte-compatible between the two
+/// representations (see DESIGN.md §11). Samplers iterate *link-major*
+/// (edges in `(from, to)` order, rounds ascending within each link), the
+/// same order [`Run::messages`] yields slots of a good run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EdgeRun {
+    m: usize,
+    n: u32,
+    /// Directed edges sorted by `(from, to)`.
+    edges: Vec<(ProcessId, ProcessId)>,
+    inputs: BitSet,
+    /// Round-major delivery mask: `edges.len().div_ceil(64)` words per round
+    /// `1..=n`, bit `e` within a block = `edges[e]` delivered.
+    words: Vec<u64>,
+}
+
+impl EdgeRun {
+    /// The "good" run over `graph`: every input arrives and every directed
+    /// edge delivers in every round `1..=n`.
+    pub fn good(graph: &Graph, n: u32) -> Self {
+        let mut edges: Vec<(ProcessId, ProcessId)> = graph.directed_edges().collect();
+        edges.sort_unstable();
+        let m = graph.len();
+        let wpr = edges.len().div_ceil(64);
+        let mut inputs = BitSet::new(m);
+        for p in graph.vertices() {
+            inputs.insert(p.index());
+        }
+        let mut words = vec![u64::MAX; n as usize * wpr];
+        // Mask off the unused tail bits of each round block so equality and
+        // popcounts stay exact.
+        if !edges.is_empty() && !edges.len().is_multiple_of(64) {
+            let tail = u64::MAX >> (64 - edges.len() % 64);
+            for r in 0..n as usize {
+                words[r * wpr + wpr - 1] = tail;
+            }
+        }
+        EdgeRun {
+            m,
+            n,
+            edges,
+            inputs,
+            words,
+        }
+    }
+
+    /// Resets every slot back to delivered and every input back to arriving —
+    /// the per-trial reset the weak-adversary samplers start from
+    /// (the edge-keyed analogue of `run.clone_from(&good)`).
+    pub fn reset_good(&mut self) {
+        for b in self.words.iter_mut() {
+            *b = u64::MAX;
+        }
+        let e = self.edges.len();
+        if e > 0 && !e.is_multiple_of(64) {
+            let wpr = self.words_per_round();
+            let tail = u64::MAX >> (64 - e % 64);
+            for r in 0..self.n as usize {
+                self.words[r * wpr + wpr - 1] = tail;
+            }
+        }
+        for j in 0..self.m {
+            self.inputs.insert(j);
+        }
+    }
+
+    fn words_per_round(&self) -> usize {
+        self.edges.len().div_ceil(64)
+    }
+
+    /// Number of processes `m`.
+    pub fn process_count(&self) -> usize {
+        self.m
+    }
+
+    /// The horizon `N` (last protocol round).
+    pub fn horizon(&self) -> u32 {
+        self.n
+    }
+
+    /// Returns whether process `i` receives the input signal.
+    #[inline]
+    pub fn has_input(&self, i: ProcessId) -> bool {
+        self.inputs.contains(i.index())
+    }
+
+    /// The directed edges, sorted by `(from, to)` — the canonical link order
+    /// samplers draw coins in.
+    pub fn directed_edges(&self) -> &[(ProcessId, ProcessId)] {
+        &self.edges
+    }
+
+    /// Number of directed edges.
+    pub fn directed_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Removes the input signal at `i`.
+    pub fn remove_input(&mut self, i: ProcessId) {
+        self.inputs.remove(i.index());
+    }
+
+    /// Destroys the message on directed edge index `e` in `round`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` or `round` is out of range.
+    #[inline]
+    pub fn destroy(&mut self, e: usize, round: Round) {
+        assert!(e < self.edges.len(), "edge index out of range");
+        let r = round.get();
+        assert!(r >= 1 && r <= self.n, "round outside 1..=N");
+        let w = (r as usize - 1) * self.words_per_round() + e / 64;
+        self.words[w] &= !(1u64 << (e % 64));
+    }
+
+    /// Returns whether directed edge index `e` delivers in `round`.
+    #[inline]
+    pub fn delivers_edge(&self, e: usize, round: Round) -> bool {
+        let r = round.get();
+        if e >= self.edges.len() || r < 1 || r > self.n {
+            return false;
+        }
+        let w = (r as usize - 1) * self.words_per_round() + e / 64;
+        self.words[w] & (1u64 << (e % 64)) != 0
+    }
+
+    /// Number of delivered messages.
+    pub fn message_count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Converts to the dense representation (differential tests; not a hot
+    /// path).
+    pub fn to_run(&self) -> Run {
+        let mut run = Run::empty(self.m, self.n);
+        for i in self.inputs.iter() {
+            run.add_input(ProcessId::new(i as u32));
+        }
+        for (e, &(from, to)) in self.edges.iter().enumerate() {
+            for r in Round::protocol_rounds(self.n) {
+                if self.delivers_edge(e, r) {
+                    run.add_message(from, to, r);
+                }
+            }
+        }
+        run
+    }
+}
+
+impl DeliverySource for EdgeRun {
+    fn process_count(&self) -> usize {
+        self.m
+    }
+
+    fn horizon(&self) -> u32 {
+        self.n
+    }
+
+    fn has_input(&self, i: ProcessId) -> bool {
+        EdgeRun::has_input(self, i)
+    }
+
+    fn for_each_delivery_in_round(&self, round: Round, mut f: impl FnMut(ProcessId, ProcessId)) {
+        let r = round.get();
+        if r < 1 || r > self.n {
+            return;
+        }
+        let wpr = self.words_per_round();
+        let block = &self.words[(r as usize - 1) * wpr..(r as usize) * wpr];
+        for (word, &bits) in block.iter().enumerate() {
+            let mut bits = bits;
+            while bits != 0 {
+                let e = word * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let (from, to) = self.edges[e];
+                f(from, to);
+            }
+        }
+    }
+}
+
 impl Clone for Run {
     fn clone(&self) -> Self {
         Run {
@@ -866,6 +1100,72 @@ mod tests {
         let json = serde::json::to_string(&run).unwrap();
         let back: Run = serde::json::from_str(&json).unwrap();
         assert_eq!(back, run);
+    }
+
+    #[test]
+    fn edge_run_good_matches_dense_good() {
+        for g in [
+            Graph::complete(3).unwrap(),
+            Graph::ring(5).unwrap(),
+            Graph::grid(2, 3).unwrap(),
+        ] {
+            let dense = Run::good(&g, 4);
+            let sparse = EdgeRun::good(&g, 4);
+            assert_eq!(sparse.to_run(), dense);
+            assert_eq!(sparse.message_count(), dense.message_count());
+        }
+    }
+
+    #[test]
+    fn edge_run_deliveries_iterate_in_canonical_order() {
+        let g = Graph::grid(2, 3).unwrap();
+        let mut er = EdgeRun::good(&g, 3);
+        er.destroy(0, r(2));
+        er.destroy(3, r(2));
+        er.remove_input(p(1));
+        let dense = er.to_run();
+        for round in Round::protocol_rounds(3) {
+            let mut sparse_pairs = Vec::new();
+            er.for_each_delivery_in_round(round, |a, b| sparse_pairs.push((a, b)));
+            let dense_pairs: Vec<_> = dense
+                .messages_in_round(round)
+                .map(|s| (s.from, s.to))
+                .collect();
+            assert_eq!(sparse_pairs, dense_pairs, "round {round}");
+        }
+    }
+
+    #[test]
+    fn edge_run_destroy_and_reset() {
+        let g = Graph::ring(4).unwrap();
+        let mut er = EdgeRun::good(&g, 2);
+        let full = er.message_count();
+        assert_eq!(full, 8 * 2);
+        assert!(er.delivers_edge(5, r(1)));
+        er.destroy(5, r(1));
+        assert!(!er.delivers_edge(5, r(1)));
+        assert_eq!(er.message_count(), full - 1);
+        er.remove_input(p(2));
+        assert!(!DeliverySource::has_input(&er, p(2)));
+        er.reset_good();
+        assert_eq!(er.message_count(), full);
+        assert!(DeliverySource::has_input(&er, p(2)));
+        // Out-of-range probes are simply absent, as with Run::delivers.
+        assert!(!er.delivers_edge(99, r(1)));
+        assert!(!er.delivers_edge(0, r(9)));
+    }
+
+    #[test]
+    fn delivery_source_run_matches_inherent_accessors() {
+        let g = Graph::complete(3).unwrap();
+        let run = Run::good_with_inputs(&g, 2, &[p(0)]);
+        assert_eq!(DeliverySource::process_count(&run), 3);
+        assert_eq!(DeliverySource::horizon(&run), 2);
+        assert!(DeliverySource::has_input(&run, p(0)));
+        assert!(!DeliverySource::has_input(&run, p(1)));
+        let mut pairs = Vec::new();
+        run.for_each_delivery_in_round(r(1), |a, b| pairs.push((a, b)));
+        assert_eq!(pairs.len(), run.messages_in_round(r(1)).count());
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   `Pr[TA|R]`, `Pr[PA|R]`, and per-process decision probabilities.
 //! * [`stats`] — Bernoulli estimates with Wilson intervals.
 //! * [`trace`] — human-readable execution traces and run diagrams.
+//! * [`weak`] — the weak-adversary family for big-graph sweeps: per-link iid
+//!   and Gilbert–Elliott bursty loss, with dense and edge-keyed sampling
+//!   paths pinned to the same coin draws.
 //! * [`wire`] — message wire-size accounting (a counting serde serializer).
 
 #![warn(missing_docs)]
@@ -24,6 +27,7 @@ pub mod monte_carlo;
 pub mod stats;
 pub mod strategy;
 pub mod trace;
+pub mod weak;
 pub mod wire;
 
 pub use chaos::{ddmin, mix64, parallel_map, resolve_workers};
@@ -35,3 +39,4 @@ pub use strategy::{
     crash_family, cut_family, single_drop_family, FixedRun, RandomDrop, RandomRun, RunSampler,
     SlicedSampler,
 };
+pub use weak::{LossModel, WeakAdversary};

@@ -1,0 +1,69 @@
+//! Big graph, weak adversary: a ring and a scale-free network race to
+//! coordinate under the same lossy channel.
+//!
+//! The paper's §8 observes that against a *weak* (probabilistic) adversary
+//! the liveness/safety tradeoff is far gentler than the `L/U ≤ N` worst
+//! case. This example makes the topology's role concrete at m = 400: the
+//! same 5% iid per-link loss meets a ring (diameter ~200) and a
+//! Barabási–Albert scale-free graph (diameter ~5), and the frontier
+//! `Pr[all attack]` vs `t = 1/ε` separates dramatically — low diameter buys
+//! liveness at the same safety budget, because levels climb once per round
+//! and the ring needs hundreds of rounds for information to cross.
+//!
+//! ```text
+//! cargo run --release --example big_graph
+//! ```
+
+use coordinated_attack::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let m = 400;
+    let mut config = ScenarioSweepConfig::default_at(m, 400, 42);
+    // Head-to-head: the highest-diameter topology we have vs the lowest,
+    // under plain iid loss (swap in LossModel::GilbertElliott for bursts).
+    config.topologies = vec![
+        TopologySpec::Ring { m },
+        TopologySpec::ScaleFree {
+            m,
+            attach: 3,
+            seed: 1,
+        },
+    ];
+    config.adversaries = vec![LossModel::Iid { p: 0.05 }];
+    config.t_curve = vec![2, 4, 8, 16, 32];
+
+    println!("== {} processes, 5% iid loss per link per round ==\n", m);
+    let report = run_sweep(&config)?;
+    for cell in &report.cells {
+        println!(
+            "{}: diameter {}, mean degree {:.1}, horizon N = {} rounds",
+            cell.topology_name,
+            cell.graph.diameter,
+            cell.graph.degree_mean(),
+            cell.horizon
+        );
+        println!(
+            "   run-wide ML over {} sampled runs: mean min {:.1}, mean max {:.1}",
+            cell.trials,
+            cell.mean_ml_min(),
+            cell.mean_ml_max()
+        );
+    }
+    println!("\n{}", report.table());
+
+    let ring = &report.cells[0];
+    let sf = &report.cells[1];
+    let last = config.t_curve.last().copied().unwrap_or(0);
+    println!(
+        "at t = {last} (disagreement budget 1/{last}): ring TA = {:.2}, scale-free TA = {:.2}",
+        ring.points.last().map_or(0.0, |p| p.ta.point()),
+        sf.points.last().map_or(0.0, |p| p.ta.point()),
+    );
+    println!(
+        "same ε, same loss — the frontier is set by how fast levels climb, and levels\n\
+         climb at most one per round from the leader outward (Lemma 6.4): the ring's\n\
+         {}-round horizon cannot cash a t = {last} firing range, the hub graph's can.",
+        ring.horizon
+    );
+    Ok(())
+}

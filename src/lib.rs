@@ -48,8 +48,9 @@ pub mod prelude {
     pub use ca_analysis::exact::{protocol_a_outcomes, protocol_s_outcomes, ExactOutcome};
     pub use ca_analysis::report::Table;
     pub use ca_analysis::runs::{leader_only_input_run, ml_staircase, tree_run};
+    pub use ca_analysis::sweep::{run_sweep, ScenarioSweepConfig, ScenarioSweepReport};
     pub use ca_core::exec::{execute, execute_outputs, Execution};
-    pub use ca_core::graph::Graph;
+    pub use ca_core::graph::{Graph, GraphStats, TopologySpec};
     pub use ca_core::ids::{ProcessId, Round};
     pub use ca_core::level::{levels, modified_levels};
     pub use ca_core::outcome::Outcome;
@@ -62,8 +63,8 @@ pub mod prelude {
         NeverAttack, ProtocolA, ProtocolS, Repeat, ValidityMode, VectorS,
     };
     pub use ca_sim::{
-        simulate, simulate_scalar, simulate_sliced, BernoulliEstimate, FixedRun, RandomDrop,
-        SimConfig, SimReport,
+        simulate, simulate_scalar, simulate_sliced, BernoulliEstimate, FixedRun, LossModel,
+        RandomDrop, SimConfig, SimReport, WeakAdversary,
     };
 }
 
